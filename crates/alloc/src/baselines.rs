@@ -1,0 +1,272 @@
+//! Baseline resource managers: random search, autoscaling, and CLITE.
+
+use aqua_gp::{expected_improvement, Gp, GpConfig, Halton};
+use aqua_sim::SimRng;
+
+use crate::evaluator::ConfigEvaluator;
+use crate::{outcome_from_history, ResourceManager, SearchOutcome, SearchStep};
+
+/// Budgeted random search (the Starfish-style tuner of §7.4): sample
+/// uniformly, keep the best feasible.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    rng: SimRng,
+}
+
+impl RandomSearch {
+    /// Creates a seeded random search.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch { rng: SimRng::seed(seed) }
+    }
+}
+
+impl ResourceManager for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn optimize(
+        &mut self,
+        eval: &mut dyn ConfigEvaluator,
+        qos_secs: f64,
+        budget: usize,
+    ) -> SearchOutcome {
+        let dim = eval.dim();
+        let mut history = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let u: Vec<f64> = (0..dim).map(|_| self.rng.uniform()).collect();
+            let r = eval.evaluate(&u);
+            history.push(SearchStep { u, latency: r.latency, cost: r.cost });
+        }
+        outcome_from_history(history, qos_secs, eval.space())
+    }
+}
+
+/// Usage-feedback autoscaling applied uniformly to every stage (§7.4's
+/// autoscaling baseline): scale all stages up while QoS is violated, then
+/// trim until just before violation. No model, no per-stage attribution —
+/// the two failure modes the paper highlights (it "adds resources to all
+/// containers belonging to a serverless workflow").
+#[derive(Debug, Clone)]
+pub struct AutoscaleRm {
+    step: f64,
+}
+
+impl AutoscaleRm {
+    /// Default 10%-of-range adjustment step.
+    pub fn new() -> Self {
+        AutoscaleRm { step: 0.1 }
+    }
+}
+
+impl Default for AutoscaleRm {
+    fn default() -> Self {
+        AutoscaleRm::new()
+    }
+}
+
+impl ResourceManager for AutoscaleRm {
+    fn name(&self) -> &'static str {
+        "Autoscale"
+    }
+
+    fn optimize(
+        &mut self,
+        eval: &mut dyn ConfigEvaluator,
+        qos_secs: f64,
+        budget: usize,
+    ) -> SearchOutcome {
+        let dim = eval.dim();
+        // Start mid-range with concurrency 1.
+        let mut u = vec![0.5; dim];
+        for s in 0..dim / 3 {
+            u[3 * s + 2] = 0.0;
+        }
+        let mut history = Vec::with_capacity(budget);
+        let mut evals = 0;
+        let mut trimming = false;
+        while evals < budget {
+            let r = eval.evaluate(&u);
+            evals += 1;
+            history.push(SearchStep { u: u.clone(), latency: r.latency, cost: r.cost });
+            if r.latency > qos_secs {
+                if trimming {
+                    // Trimmed too far: step back up and stop.
+                    for s in 0..dim / 3 {
+                        u[3 * s] = (u[3 * s] + self.step).min(1.0);
+                        u[3 * s + 1] = (u[3 * s + 1] + self.step).min(1.0);
+                    }
+                    if evals < budget {
+                        let r = eval.evaluate(&u);
+                        history.push(SearchStep { u: u.clone(), latency: r.latency, cost: r.cost });
+                    }
+                    break;
+                }
+                // Violating: scale every stage up.
+                if u[0] >= 1.0 && u[1] >= 1.0 {
+                    break; // cannot scale further
+                }
+                for s in 0..dim / 3 {
+                    u[3 * s] = (u[3 * s] + self.step).min(1.0);
+                    u[3 * s + 1] = (u[3 * s + 1] + self.step).min(1.0);
+                }
+            } else {
+                // Meeting QoS: trim every stage down to reclaim resources.
+                trimming = true;
+                if u[0] <= 0.0 && u[1] <= 0.0 {
+                    break;
+                }
+                for s in 0..dim / 3 {
+                    u[3 * s] = (u[3 * s] - self.step).max(0.0);
+                    u[3 * s + 1] = (u[3 * s + 1] - self.step).max(0.0);
+                }
+            }
+        }
+        outcome_from_history(history, qos_secs, eval.space())
+    }
+}
+
+/// CLITE (Patel & Tiwari, HPCA'20), adapted to FaaS as in §7.4: Bayesian
+/// optimization over a **single** GP fit to a hand-crafted objective that
+/// adds a reactive penalty on QoS violation, sampled one point at a time
+/// with classic (noise-blind) expected improvement.
+#[derive(Debug, Clone)]
+pub struct Clite {
+    rng: SimRng,
+    bootstrap: usize,
+    candidates: usize,
+}
+
+impl Clite {
+    /// Creates CLITE with the standard 5-point bootstrap.
+    pub fn new(seed: u64) -> Self {
+        Clite { rng: SimRng::seed(seed), bootstrap: 5, candidates: 48 }
+    }
+
+    /// The hand-crafted penalized objective (lower is better).
+    fn score(cost: f64, latency: f64, qos: f64) -> f64 {
+        if latency <= qos {
+            cost
+        } else {
+            // Reactive penalty: scale by the relative violation.
+            cost * (1.0 + 4.0 * (latency - qos) / qos)
+        }
+    }
+}
+
+impl ResourceManager for Clite {
+    fn name(&self) -> &'static str {
+        "CLITE"
+    }
+
+    fn optimize(
+        &mut self,
+        eval: &mut dyn ConfigEvaluator,
+        qos_secs: f64,
+        budget: usize,
+    ) -> SearchOutcome {
+        let dim = eval.dim();
+        let mut history: Vec<SearchStep> = Vec::with_capacity(budget);
+        // Bootstrap.
+        for _ in 0..self.bootstrap.min(budget) {
+            let u: Vec<f64> = (0..dim).map(|_| self.rng.uniform()).collect();
+            let r = eval.evaluate(&u);
+            history.push(SearchStep { u, latency: r.latency, cost: r.cost });
+        }
+        // Sequential EI over the penalized scalar objective.
+        while history.len() < budget {
+            let xs: Vec<Vec<f64>> = history.iter().map(|s| s.u.clone()).collect();
+            let ys: Vec<f64> = history
+                .iter()
+                .map(|s| Self::score(s.cost, s.latency, qos_secs))
+                .collect();
+            // Noise-blind: near-zero fixed noise, as in the original.
+            let next_u = match Gp::fit(xs, ys.clone(), GpConfig::with_noise(1e-6)) {
+                Ok(gp) => {
+                    let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let mut halton = Halton::new(dim);
+                    let candidates = halton.points(self.candidates);
+                    candidates
+                        .into_iter()
+                        .max_by(|a, b| {
+                            expected_improvement(&gp, a, best)
+                                .partial_cmp(&expected_improvement(&gp, b, best))
+                                .expect("finite EI")
+                        })
+                        .expect("candidates non-empty")
+                }
+                Err(_) => (0..dim).map(|_| self.rng.uniform()).collect(),
+            };
+            let r = eval.evaluate(&next_u);
+            history.push(SearchStep { u: next_u, latency: r.latency, cost: r.cost });
+        }
+        outcome_from_history(history, qos_secs, eval.space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use crate::testkit::tiny_problem;
+    use aqua_faas::types::ConfigSpace;
+
+    fn make_eval(seed: u64) -> (SimEvaluator, f64) {
+        let (sim, dag, qos) = tiny_problem(seed);
+        (SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true), qos)
+    }
+
+    #[test]
+    fn random_finds_a_feasible_config() {
+        let (mut eval, qos) = make_eval(11);
+        let mut rm = RandomSearch::new(1);
+        let out = rm.optimize(&mut eval, qos, 25);
+        assert_eq!(out.evaluations(), 25);
+        let (_, _, lat) = out.best.expect("feasible config in 25 random draws");
+        assert!(lat <= qos);
+    }
+
+    #[test]
+    fn autoscale_converges_to_feasible() {
+        let (mut eval, qos) = make_eval(12);
+        let mut rm = AutoscaleRm::new();
+        let out = rm.optimize(&mut eval, qos, 30);
+        let (_, _, lat) = out.best.expect("autoscale should reach feasibility");
+        assert!(lat <= qos);
+    }
+
+    #[test]
+    fn clite_beats_random_on_average_cost() {
+        let budget = 22;
+        let mut random_cost = 0.0;
+        let mut clite_cost = 0.0;
+        let trials = 3;
+        for t in 0..trials {
+            let (mut eval, qos) = make_eval(20 + t);
+            let out = RandomSearch::new(t).optimize(&mut eval, qos, budget);
+            random_cost += out.best.map(|b| b.1).unwrap_or(1e9);
+            let (mut eval, qos) = make_eval(20 + t);
+            let out = Clite::new(t).optimize(&mut eval, qos, budget);
+            clite_cost += out.best.map(|b| b.1).unwrap_or(1e9);
+        }
+        assert!(
+            clite_cost <= random_cost * 1.05,
+            "CLITE {clite_cost} should be at least on par with random {random_cost}"
+        );
+    }
+
+    #[test]
+    fn clite_score_penalizes_violation() {
+        assert_eq!(Clite::score(10.0, 0.5, 1.0), 10.0);
+        assert!(Clite::score(10.0, 2.0, 1.0) > 10.0);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (mut eval, qos) = make_eval(30);
+        let mut rm = Clite::new(3);
+        let out = rm.optimize(&mut eval, qos, 12);
+        assert!(out.evaluations() <= 12);
+        assert_eq!(eval.evaluations(), out.evaluations());
+    }
+}

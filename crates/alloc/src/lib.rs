@@ -1,0 +1,149 @@
+//! Per-function resource managers (paper §5, §8.2).
+//!
+//! Everything behind one trait, [`ResourceManager`]: given a black-box
+//! [`ConfigEvaluator`] (the simulated cluster) and an end-to-end QoS, find
+//! per-stage resource configurations that minimize execution cost.
+//!
+//! * [`RandomSearch`] — budgeted random sampling (Starfish-style tuner).
+//! * [`AutoscaleRm`] — usage-feedback scaling applied uniformly to all
+//!   stages (EMARS/ENSURE-style), no learning.
+//! * [`Clite`] — the prior state-of-the-art BO manager: a single GP over a
+//!   hand-crafted penalized objective, sequential EI, no noise handling.
+//! * [`AquatopeRm`] — the paper's customized BO: separate fixed-noise cost
+//!   and latency GPs, constrained noisy EI with QMC, batch sampling (q=3),
+//!   leave-one-out anomaly pruning, and sliding-window change adaptation.
+//! * [`OracleSearch`] — iterated coordinate descent over the quantized
+//!   grid, the stand-in for the paper's exhaustive offline ORACLE
+//!   (documented substitution: full cross-product search is intractable
+//!   for 18–24-dimensional spaces, coordinate descent converges to the
+//!   same optimum on these monotone-response workloads).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use aqua_alloc::{AquatopeRm, ResourceManager, SimEvaluator};
+//! use aqua_faas::prelude::*;
+//! use aqua_faas::types::ConfigSpace;
+//!
+//! # let (sim, dag, qos) = aqua_alloc::testkit::tiny_problem(1);
+//! let mut eval = SimEvaluator::new(sim, dag, ConfigSpace::default(), 3, true);
+//! let mut manager = AquatopeRm::new(7);
+//! let outcome = manager.optimize(&mut eval, qos, 30);
+//! assert!(outcome.best.is_some());
+//! ```
+
+pub mod aquatope;
+pub mod baselines;
+pub mod evaluator;
+pub mod oracle;
+pub mod testkit;
+
+pub use aquatope::{AquatopeRm, AquatopeRmConfig};
+pub use baselines::{AutoscaleRm, Clite, RandomSearch};
+pub use evaluator::{ConfigEvaluator, SampleResult, SimEvaluator};
+pub use oracle::OracleSearch;
+
+use aqua_faas::StageConfigs;
+
+/// One evaluated configuration along a search trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchStep {
+    /// The point in `[0,1]^{3·stages}` that was decoded and evaluated.
+    pub u: Vec<f64>,
+    /// Mean end-to-end latency observed, seconds.
+    pub latency: f64,
+    /// Mean execution cost observed.
+    pub cost: f64,
+}
+
+/// Result of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Best QoS-feasible configuration found, with its observed cost and
+    /// latency (`None` if nothing feasible was found).
+    pub best: Option<(StageConfigs, f64, f64)>,
+    /// Every evaluation, in order.
+    pub history: Vec<SearchStep>,
+}
+
+impl SearchOutcome {
+    /// Best feasible cost after the first `k` evaluations (`None` if no
+    /// feasible point was seen yet) — the Fig. 12 convergence metric.
+    pub fn best_cost_after(&self, k: usize, qos: f64) -> Option<f64> {
+        self.history[..k.min(self.history.len())]
+            .iter()
+            .filter(|s| s.latency <= qos)
+            .map(|s| s.cost)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.min(c))))
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// A strategy that searches the resource-configuration space.
+pub trait ResourceManager {
+    /// Short display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search with at most `budget` evaluator calls, aiming to
+    /// minimize cost subject to `latency ≤ qos_secs`.
+    fn optimize(
+        &mut self,
+        eval: &mut dyn evaluator::ConfigEvaluator,
+        qos_secs: f64,
+        budget: usize,
+    ) -> SearchOutcome;
+}
+
+/// Builds the outcome from a history, selecting the best feasible step.
+pub(crate) fn outcome_from_history(
+    history: Vec<SearchStep>,
+    qos: f64,
+    space: &aqua_faas::types::ConfigSpace,
+) -> SearchOutcome {
+    let best = history
+        .iter()
+        .filter(|s| s.latency <= qos)
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite cost"))
+        .map(|s| {
+            (
+                StageConfigs::decode(space, &s.u),
+                s.cost,
+                s.latency,
+            )
+        });
+    SearchOutcome { best, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_faas::types::ConfigSpace;
+
+    #[test]
+    fn best_cost_after_tracks_feasible_prefix() {
+        let history = vec![
+            SearchStep { u: vec![0.5; 3], latency: 9.0, cost: 1.0 }, // infeasible
+            SearchStep { u: vec![0.5; 3], latency: 1.0, cost: 5.0 },
+            SearchStep { u: vec![0.5; 3], latency: 1.0, cost: 3.0 },
+        ];
+        let out = outcome_from_history(history, 2.0, &ConfigSpace::default());
+        assert_eq!(out.best_cost_after(1, 2.0), None);
+        assert_eq!(out.best_cost_after(2, 2.0), Some(5.0));
+        assert_eq!(out.best_cost_after(3, 2.0), Some(3.0));
+        let (_, cost, lat) = out.best.clone().unwrap();
+        assert_eq!(cost, 3.0);
+        assert_eq!(lat, 1.0);
+    }
+
+    #[test]
+    fn no_feasible_points_gives_none() {
+        let history = vec![SearchStep { u: vec![0.0; 3], latency: 10.0, cost: 1.0 }];
+        let out = outcome_from_history(history, 1.0, &ConfigSpace::default());
+        assert!(out.best.is_none());
+        assert_eq!(out.evaluations(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared fixtures for tests, examples, and benches.
+
+use aqua_faas::{FaasSim, FunctionRegistry, FunctionSpec, NoiseModel, WorkflowDag};
+
+/// A small two-stage chain problem on a quiet cluster: returns
+/// `(simulator, dag, qos_secs)`. The QoS is meetable with mid-range
+/// resources but violated by the stingiest configurations.
+pub fn tiny_problem(seed: u64) -> (FaasSim, WorkflowDag, f64) {
+    let mut registry = FunctionRegistry::new();
+    let a = registry.register(
+        FunctionSpec::new("stage-a")
+            .with_work_ms(300.0)
+            .with_io_ms(20.0)
+            .with_mem_demand(768.0)
+            .with_parallelism(2.0)
+            .with_cold_start(500.0, 300.0)
+            .with_exec_cv(0.03),
+    );
+    let b = registry.register(
+        FunctionSpec::new("stage-b")
+            .with_work_ms(200.0)
+            .with_io_ms(20.0)
+            .with_mem_demand(512.0)
+            .with_parallelism(2.0)
+            .with_cold_start(500.0, 300.0)
+            .with_exec_cv(0.03),
+    );
+    let dag = WorkflowDag::chain("tiny", vec![a, b]);
+    let sim = FaasSim::builder()
+        .workers(4, 40.0, 131_072)
+        .registry(registry)
+        .noise(NoiseModel::quiet())
+        .seed(seed)
+        .build();
+    // Warm latency ranges roughly 0.4 s (4 CPU) – 3+ s (0.25 CPU, starved
+    // memory); 0.8 s is meetable but not trivial.
+    (sim, dag, 0.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_faas::types::{ConfigSpace, StageConfigs};
+
+    #[test]
+    fn qos_separates_configs() {
+        let (mut sim, dag, qos) = tiny_problem(9);
+        let space = ConfigSpace::default();
+        let generous = StageConfigs::decode(&space, &[1.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+        let stingy = StageConfigs::decode(&space, &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let fast = sim.profile_config(&dag, &generous, 3, true, 1.0, 1.0);
+        let slow = sim.profile_config(&dag, &stingy, 3, true, 1.0, 1.0);
+        let fast_lat = fast.iter().map(|s| s.0).sum::<f64>() / 3.0;
+        let slow_lat = slow.iter().map(|s| s.0).sum::<f64>() / 3.0;
+        assert!(fast_lat <= qos, "generous config must meet QoS: {fast_lat}");
+        assert!(slow_lat > qos, "stingy config must violate QoS: {slow_lat}");
+    }
+}

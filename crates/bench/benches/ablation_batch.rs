@@ -1,0 +1,8 @@
+//! Ablation bench: batch sampling and noise awareness in AQUATOPE's RM.
+//! Run with `cargo bench --bench ablation_batch`.
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::ablation::run(scale);
+    aqua_bench::write_json("ablation", &record);
+}

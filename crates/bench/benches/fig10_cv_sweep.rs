@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig10 result.
+//! Run with `cargo bench --bench fig10_cv_sweep` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig10::run(scale);
+    aqua_bench::write_json("fig10", &record);
+}

@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig11 result.
+//! Run with `cargo bench --bench fig11_fluctuating` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig11::run(scale);
+    aqua_bench::write_json("fig11", &record);
+}

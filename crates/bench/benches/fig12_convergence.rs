@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig12 result.
+//! Run with `cargo bench --bench fig12_convergence` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig12::run(scale);
+    aqua_bench::write_json("fig12", &record);
+}

@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig13 result.
+//! Run with `cargo bench --bench fig13_efficiency` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig13::run(scale);
+    aqua_bench::write_json("fig13", &record);
+}

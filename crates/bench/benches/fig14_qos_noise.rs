@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig14 result.
+//! Run with `cargo bench --bench fig14_qos_noise` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig14::run(scale);
+    aqua_bench::write_json("fig14", &record);
+}

@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig16 result.
+//! Run with `cargo bench --bench fig16_retraining` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig16::run(scale);
+    aqua_bench::write_json("fig16", &record);
+}

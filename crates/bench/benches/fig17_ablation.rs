@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig17 result.
+//! Run with `cargo bench --bench fig17_ablation` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig17::run(scale);
+    aqua_bench::write_json("fig17", &record);
+}

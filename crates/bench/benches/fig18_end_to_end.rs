@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's fig18 result.
+//! Run with `cargo bench --bench fig18_end_to_end` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::fig18::run(scale);
+    aqua_bench::write_json("fig18", &record);
+}

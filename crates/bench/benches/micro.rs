@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the core computational kernels: GP fit
+//! and prediction, constrained-NEI acquisition, hybrid-model forward
+//! passes, and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aqua_faas::prelude::*;
+use aqua_faas::types::ResourceConfig;
+use aqua_gp::{constrained_nei, Gp, GpConfig, NeiConfig};
+use aqua_nn::{EncoderDecoder, Seq2SeqConfig};
+use aqua_sim::{SimRng, SimTime};
+
+fn bench_gp(c: &mut Criterion) {
+    let mut rng = SimRng::seed(1);
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|_| (0..6).map(|_| rng.uniform()).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.05)).collect();
+    c.bench_function("gp_fit_40pts_6d", |b| {
+        b.iter(|| Gp::fit(xs.clone(), ys.clone(), GpConfig::default()).unwrap())
+    });
+    let gp = Gp::fit(xs.clone(), ys.clone(), GpConfig::default()).unwrap();
+    c.bench_function("gp_predict", |b| b.iter(|| gp.predict(&[0.3; 6])));
+    let lat_gp = Gp::fit(xs.clone(), ys.clone(), GpConfig::default()).unwrap();
+    c.bench_function("constrained_nei", |b| {
+        b.iter(|| constrained_nei(&gp, &lat_gp, 3.0, &[0.4; 6], NeiConfig { qmc_samples: 16 }))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = SimRng::seed(2);
+    let ed = EncoderDecoder::new(
+        Seq2SeqConfig { input_dim: 1, enc_hidden: vec![32, 32], dec_hidden: vec![16], horizon: 2, dropout: 0.1 },
+        &mut rng,
+    );
+    let xs: Vec<Vec<f64>> = (0..24).map(|i| vec![(i as f64 / 5.0).sin()]).collect();
+    c.bench_function("lstm_encode_24x32x32", |b| {
+        b.iter(|| ed.encode(&xs, false, &mut rng))
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut registry = FunctionRegistry::new();
+    let f = registry.register(FunctionSpec::new("f").with_work_ms(50.0).with_exec_cv(0.0));
+    let dag = WorkflowDag::chain("w", vec![f]);
+    let configs = StageConfigs::uniform(&dag, ResourceConfig::default());
+    let arrivals: Vec<SimTime> = (0..1000).map(|i| SimTime::from_millis(100 * i)).collect();
+    c.bench_function("sim_1000_invocations", |b| {
+        b.iter(|| {
+            let mut sim = FaasSim::builder()
+                .workers(4, 40.0, 131_072)
+                .registry(registry.clone())
+                .noise(NoiseModel::quiet())
+                .build();
+            sim.run_workflow_trace(&dag, &configs, &arrivals, SimTime::from_secs(200))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gp, bench_nn, bench_sim);
+criterion_main!(benches);

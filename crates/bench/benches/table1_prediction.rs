@@ -1,0 +1,8 @@
+//! Experiment bench target: regenerates the paper's table1 result.
+//! Run with `cargo bench --bench table1_prediction` (AQUA_SCALE=full for paper scale).
+
+fn main() {
+    let scale = aqua_bench::Scale::from_env();
+    let record = aqua_bench::table1::run(scale);
+    aqua_bench::write_json("table1", &record);
+}

@@ -1,0 +1,157 @@
+//! Shared experiment infrastructure: scale control, table printing, JSON
+//! output, and workload construction.
+
+use std::path::PathBuf;
+
+use aqua_faas::{FaasSim, FunctionRegistry, NoiseModel};
+use aqua_sim::{SimRng, SimTime};
+use aqua_workflows::{apps, App, RateTraceConfig};
+
+/// Experiment scale, selected with the `AQUA_SCALE` environment variable
+/// (`quick` default, `full` for paper-scale runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-long runs: short traces, few repeats.
+    Quick,
+    /// Paper-scale runs: long traces, more repeats.
+    Full,
+}
+
+impl Scale {
+    /// Reads `AQUA_SCALE` (default quick).
+    pub fn from_env() -> Self {
+        match std::env::var("AQUA_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks between the quick and full value.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Prints a fixed-width table with a title.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes an experiment's JSON record under the *workspace's*
+/// `target/experiments/` (bench binaries run with the package directory as
+/// CWD, so a bare relative path would land inside `crates/bench`).
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let target = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
+        // Walk up from CWD to the workspace root (marked by Cargo.lock).
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                break dir.join("target");
+            }
+            if !dir.pop() {
+                break PathBuf::from("target");
+            }
+        }
+    });
+    let dir = target.join("experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            if std::fs::write(&path, s).is_ok() {
+                println!("\n[json] {}", path.display());
+            }
+        }
+    }
+}
+
+/// The standard simulated cluster (the paper's invoker fleet).
+pub fn cluster_sim(registry: FunctionRegistry, noise: NoiseModel, seed: u64) -> FaasSim {
+    FaasSim::builder()
+        .workers(6, 40.0, 131_072)
+        .registry(registry)
+        .noise(noise)
+        .seed(seed)
+        .build()
+}
+
+/// Builds all five applications into one registry.
+pub fn all_apps() -> (FunctionRegistry, Vec<App>) {
+    let mut registry = FunctionRegistry::new();
+    let apps: Vec<App> = apps::AppKind::ALL
+        .iter()
+        .map(|k| k.build(&mut registry))
+        .collect();
+    (registry, apps)
+}
+
+/// An Azure-like workload trace for one app: diurnal + bursts, scaled to
+/// `rpm` mean invocations/minute over `minutes`.
+pub fn azure_like_arrivals(minutes: usize, rpm: f64, seed: u64) -> Vec<SimTime> {
+    let mut rng = SimRng::seed(seed);
+    RateTraceConfig {
+        minutes,
+        mean_rpm: rpm,
+        diurnal: 0.4,
+        weekly: 0.0,
+        burst_prob: 0.01,
+        burst_scale: 2.5,
+        burst_len: 5.0,
+        rate_noise_cv: 0.15,
+        business_hours: 0.0,
+        timer_spike: None,
+    }
+    .generate(&mut rng)
+    .arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn apps_and_cluster_build() {
+        let (registry, apps) = all_apps();
+        assert_eq!(apps.len(), 5);
+        assert!(registry.len() >= 20);
+        let _sim = cluster_sim(registry, NoiseModel::quiet(), 1);
+    }
+
+    #[test]
+    fn arrivals_are_sorted() {
+        let arr = azure_like_arrivals(30, 5.0, 2);
+        assert!(!arr.is_empty());
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

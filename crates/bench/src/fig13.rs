@@ -1,0 +1,107 @@
+//! Fig. 13: final CPU time and memory time (% of oracle) of each resource
+//! manager's chosen configuration, per workflow, averaged over repeats.
+//!
+//! Paper shape: Aquatope within ~5% of oracle on average, using 25–62%
+//! less CPU and 18–51% less memory than the second-best manager.
+
+use aqua_alloc::{AquatopeRm, AutoscaleRm, Clite, OracleSearch, RandomSearch, ResourceManager};
+use aqua_faas::types::ConfigSpace;
+use aqua_faas::{NoiseModel, StageConfigs};
+use aqua_linalg::mean;
+use aqua_workflows::App;
+use serde_json::json;
+
+use crate::common::{cluster_sim, print_table, Scale};
+use crate::fig12::{app_evaluator, five_workflows};
+
+/// Measures the chosen configuration's warm-path CPU and memory time per
+/// invocation (averaged over profiling samples) on a quiet cluster.
+fn measure(app: &App, registry: &aqua_faas::FunctionRegistry, configs: &StageConfigs, seed: u64) -> (f64, f64) {
+    let mut sim = cluster_sim(registry.clone(), NoiseModel::quiet(), seed);
+    let detail = sim.profile_detail(&app.dag, configs, 4, true);
+    let cpu = mean(&detail.iter().map(|d| d.1).collect::<Vec<_>>());
+    let mem = mean(&detail.iter().map(|d| d.2).collect::<Vec<_>>());
+    (cpu, mem)
+}
+
+/// Runs the experiment and returns its JSON record.
+pub fn run(scale: Scale) -> serde_json::Value {
+    let budget = scale.pick(30, 60);
+    let repeats = scale.pick(2, 5);
+    let samples = scale.pick(2, 3);
+
+    let manager_names = ["Random", "Autoscale", "CLITE", "Aquatope"];
+    let mut records = Vec::new();
+    for (registry, app) in five_workflows() {
+        let qos = app.qos.as_secs_f64();
+        // Oracle reference CPU/memory time.
+        let oracle_cfg = {
+            let sim = cluster_sim(registry.clone(), NoiseModel::quiet(), 0xF16_13);
+            let mut eval = aqua_alloc::SimEvaluator::new(
+                sim,
+                app.dag.clone(),
+                ConfigSpace::default(),
+                2,
+                true,
+            );
+            OracleSearch::default()
+                .optimize(&mut eval, qos, 500)
+                .best
+                .expect("oracle feasible")
+                .0
+        };
+        let (oracle_cpu, oracle_mem) = measure(&app, &registry, &oracle_cfg, 0xF16_13);
+
+        let mut cpu_pct = vec![Vec::new(); manager_names.len()];
+        let mut mem_pct = vec![Vec::new(); manager_names.len()];
+        for rep in 0..repeats {
+            let seed = 0xF16_13 + rep as u64;
+            let managers: Vec<Box<dyn ResourceManager>> = vec![
+                Box::new(RandomSearch::new(seed)),
+                Box::new(AutoscaleRm::new()),
+                Box::new(Clite::new(seed)),
+                Box::new(AquatopeRm::new(seed)),
+            ];
+            for (mi, mut rm) in managers.into_iter().enumerate() {
+                let mut eval = app_evaluator(&app, &registry, samples, seed);
+                let out = rm.optimize(&mut eval, qos, budget);
+                if let Some((cfg, _, _)) = out.best {
+                    let (cpu, mem) = measure(&app, &registry, &cfg, seed);
+                    cpu_pct[mi].push(100.0 * cpu / oracle_cpu);
+                    mem_pct[mi].push(100.0 * mem / oracle_mem);
+                }
+            }
+        }
+
+        let rows: Vec<Vec<String>> = manager_names
+            .iter()
+            .enumerate()
+            .map(|(mi, name)| {
+                let fmt = |xs: &[f64]| {
+                    if xs.is_empty() {
+                        "infeasible".to_string()
+                    } else {
+                        format!("{:.0}%", mean(xs))
+                    }
+                };
+                vec![name.to_string(), fmt(&cpu_pct[mi]), fmt(&mem_pct[mi])]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Fig. 13 [{}]: CPU / memory time of chosen config (% oracle, {} repeats)",
+                app.kind.name(),
+                repeats
+            ),
+            &["Manager", "CPU time", "Memory time"],
+            &rows,
+        );
+        records.push(json!({
+            "workflow": app.kind.name(),
+            "managers": manager_names,
+            "cpu_pct_of_oracle": cpu_pct.iter().map(|v| mean(v)).collect::<Vec<_>>(),
+            "mem_pct_of_oracle": mem_pct.iter().map(|v| mean(v)).collect::<Vec<_>>(),
+        }));
+    }
+    json!({ "experiment": "fig13", "workflows": records })
+}

@@ -1,0 +1,121 @@
+//! Fig. 16: adapting to a change in workflow behaviour (input format/size
+//! switch on the video pipeline) via sliding-window incremental retraining.
+//!
+//! Paper shape: performance of the selected configuration collapses at the
+//! change point, the anomaly detector fires, and ~20 new samples restore a
+//! near-optimal configuration.
+
+use aqua_alloc::{AquatopeRm, OracleSearch, ResourceManager, SimEvaluator};
+use aqua_faas::types::ConfigSpace;
+use aqua_faas::{FunctionRegistry, NoiseModel};
+use aqua_workflows::apps;
+use serde_json::json;
+
+use crate::common::{cluster_sim, print_table, Scale};
+
+/// Builds the video app with inputs scaled by `input_scale` (larger inputs
+/// mean proportionally more compute per stage).
+fn video_app(input_scale: f64) -> (FunctionRegistry, aqua_workflows::App) {
+    let mut registry = FunctionRegistry::new();
+    let mut app = apps::video_processing(&mut registry);
+    if (input_scale - 1.0).abs() > 1e-9 {
+        // Rebuild the registry with scaled work.
+        let mut scaled = FunctionRegistry::new();
+        for (_, spec) in registry.iter() {
+            let mut s = spec.clone();
+            s.work_ms *= input_scale;
+            s.io_ms *= input_scale;
+            scaled.register(s);
+        }
+        registry = scaled;
+        // QoS loosens with the input size (the paper keeps QoS fixed per
+        // phase; we keep the original target achievable).
+        app.qos = aqua_sim::SimDuration::from_secs_f64(app.qos.as_secs_f64() * input_scale);
+    }
+    (registry, app)
+}
+
+/// Runs the experiment and returns its JSON record.
+pub fn run(scale: Scale) -> serde_json::Value {
+    let phase_budget = scale.pick(24, 40);
+    let samples = scale.pick(2, 3);
+    let input_scale = 1.7;
+
+    // Phase A: original inputs.
+    let (reg_a, app_a) = video_app(1.0);
+    let qos_a = app_a.qos.as_secs_f64();
+    let mut rm = AquatopeRm::new(0xF16);
+    let mut eval_a = SimEvaluator::new(
+        cluster_sim(reg_a.clone(), NoiseModel::production(), 1),
+        app_a.dag.clone(),
+        ConfigSpace::default(),
+        samples,
+        true,
+    );
+    let out_a = rm.optimize(&mut eval_a, qos_a, phase_budget);
+
+    // Phase B: input size/format change.
+    let (reg_b, app_b) = video_app(input_scale);
+    let qos_b = app_b.qos.as_secs_f64();
+    let mut eval_b = SimEvaluator::new(
+        cluster_sim(reg_b.clone(), NoiseModel::production(), 2),
+        app_b.dag.clone(),
+        ConfigSpace::default(),
+        samples,
+        true,
+    );
+    let out_b = rm.optimize(&mut eval_b, qos_b, phase_budget);
+
+    // Oracle for each phase.
+    let oracle_of = |reg: &FunctionRegistry, dag: &aqua_faas::WorkflowDag, qos: f64| {
+        let mut eval = SimEvaluator::new(
+            cluster_sim(reg.clone(), NoiseModel::quiet(), 3),
+            dag.clone(),
+            ConfigSpace::default(),
+            2,
+            true,
+        );
+        OracleSearch::default()
+            .optimize(&mut eval, qos, 500)
+            .best
+            .expect("oracle feasible")
+            .1
+    };
+    let oracle_a = oracle_of(&reg_a, &app_a.dag, qos_a);
+    let oracle_b = oracle_of(&reg_b, &app_b.dag, qos_b);
+
+    // Performance trajectory: best-so-far cost as % oracle (inverted to
+    // the paper's "performance" axis: oracle/best × 100).
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut push_points = |out: &aqua_alloc::SearchOutcome, oracle: f64, qos: f64, offset: usize| {
+        for k in (4..=out.evaluations()).step_by(4) {
+            let perf = out
+                .best_cost_after(k, qos)
+                .map(|c| 100.0 * oracle / c)
+                .unwrap_or(0.0);
+            rows.push(vec![format!("{}", offset + k), format!("{perf:.0}%")]);
+            series.push(json!({ "samples": offset + k, "performance_pct": perf }));
+        }
+    };
+    push_points(&out_a, oracle_a, qos_a, 0);
+    println!("--- input change (work × {input_scale}) ---");
+    push_points(&out_b, oracle_b, qos_b, phase_budget);
+
+    print_table(
+        "Fig. 16: performance (% oracle) vs samples, behaviour change at the midpoint",
+        &["Samples", "Performance"],
+        &rows,
+    );
+    println!(
+        "change events detected: {} (sliding-window retraining engaged)",
+        rm.changes_detected()
+    );
+
+    json!({
+        "experiment": "fig16",
+        "series": series,
+        "changes_detected": rm.changes_detected(),
+        "phase_budget": phase_budget,
+    })
+}

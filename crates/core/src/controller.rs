@@ -1,0 +1,251 @@
+//! The AQUATOPE controller: plan per-app resources, then run the workload
+//! mix under the dynamic pre-warmed pool.
+
+use aqua_alloc::{AquatopeRm, ConfigEvaluator, ResourceManager, SimEvaluator};
+use aqua_faas::sim::WorkflowJob;
+use aqua_faas::{FaasSim, FunctionRegistry, NoiseModel, StageConfigs};
+use aqua_pool::AquatopePool;
+use aqua_sim::SimTime;
+use aqua_workflows::App;
+
+use crate::config::{AquatopeConfig, ClusterSpec};
+use crate::report::EndToEndReport;
+
+/// One application plus its invocation trace.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The application (DAG + QoS).
+    pub app: App,
+    /// Arrival times of workflow instances.
+    pub arrivals: Vec<SimTime>,
+}
+
+/// The resource plan the controller selected for one application.
+#[derive(Debug, Clone)]
+pub struct AppPlan {
+    /// Application name.
+    pub app: String,
+    /// Chosen per-stage configuration.
+    pub configs: StageConfigs,
+    /// Cost observed for the chosen configuration during search.
+    pub expected_cost: f64,
+    /// Latency observed for the chosen configuration during search.
+    pub expected_latency: f64,
+    /// Evaluations the search spent.
+    pub search_evaluations: usize,
+}
+
+/// The AQUATOPE controller (Fig. 1).
+#[derive(Debug, Clone)]
+pub struct Aquatope {
+    config: AquatopeConfig,
+}
+
+impl Aquatope {
+    /// Creates a controller.
+    pub fn new(config: AquatopeConfig) -> Self {
+        Aquatope { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AquatopeConfig {
+        &self.config
+    }
+
+    /// Builds the simulator for a cluster spec (shared by plan/execute so
+    /// profiling sees the same environment as the online run).
+    pub fn make_sim(&self, registry: &FunctionRegistry, cluster: ClusterSpec, noise: NoiseModel) -> FaasSim {
+        FaasSim::builder()
+            .workers(cluster.workers, cluster.cpu_per_worker, cluster.memory_mb_per_worker)
+            .registry(registry.clone())
+            .noise(noise)
+            .seed(cluster.seed)
+            .build()
+    }
+
+    /// Runs the container resource manager for one application, returning
+    /// the selected per-stage configuration. Falls back to a generous
+    /// configuration if the search finds nothing feasible.
+    pub fn plan_app(&self, registry: &FunctionRegistry, app: &App, cluster: ClusterSpec) -> AppPlan {
+        let sim = self.make_sim(registry, cluster, NoiseModel::production());
+        let mut eval = SimEvaluator::new(
+            sim,
+            app.dag.clone(),
+            self.config.space,
+            self.config.profile_samples,
+            true,
+        )
+        .with_prices(self.config.price_cpu, self.config.price_mem);
+        let mut rm = AquatopeRm::with_config(self.config.seed, self.config.rm.clone());
+        let outcome = rm.optimize(&mut eval, app.qos.as_secs_f64(), self.config.search_budget);
+        let evaluations = outcome.evaluations();
+        match outcome.best {
+            Some((configs, cost, lat)) => AppPlan {
+                app: app.dag.name().to_string(),
+                configs,
+                expected_cost: cost,
+                expected_latency: lat,
+                search_evaluations: evaluations,
+            },
+            None => {
+                // Nothing feasible found: fall back to max resources.
+                let dim = eval.dim();
+                let mut u = vec![1.0; dim];
+                for s in 0..dim / 3 {
+                    u[3 * s + 2] = 0.0;
+                }
+                AppPlan {
+                    app: app.dag.name().to_string(),
+                    configs: StageConfigs::decode(&self.config.space, &u),
+                    expected_cost: f64::NAN,
+                    expected_latency: f64::NAN,
+                    search_evaluations: evaluations,
+                }
+            }
+        }
+    }
+
+    /// Plans every application.
+    pub fn plan(&self, registry: &FunctionRegistry, workloads: &[Workload], cluster: ClusterSpec) -> Vec<AppPlan> {
+        workloads
+            .iter()
+            .map(|w| self.plan_app(registry, &w.app, cluster))
+            .collect()
+    }
+
+    /// Executes the workload mix with the given plans under the dynamic
+    /// pre-warmed container pool.
+    pub fn execute(
+        &self,
+        registry: &FunctionRegistry,
+        workloads: &[Workload],
+        plans: &[AppPlan],
+        cluster: ClusterSpec,
+        horizon: SimTime,
+    ) -> EndToEndReport {
+        assert_eq!(workloads.len(), plans.len(), "one plan per workload");
+        let mut sim = self.make_sim(registry, cluster, NoiseModel::production());
+        let jobs: Vec<WorkflowJob> = workloads
+            .iter()
+            .zip(plans)
+            .map(|(w, p)| WorkflowJob::new(w.app.dag.clone(), p.configs.clone(), w.arrivals.clone()))
+            .collect();
+        let dags: Vec<&aqua_faas::WorkflowDag> = workloads.iter().map(|w| &w.app.dag).collect();
+        let mut pool = AquatopePool::new(self.config.pool.clone(), &dags);
+        let raw = sim.run(&jobs, &mut pool, horizon);
+        let violation = violation_rate(&raw, workloads, horizon);
+        EndToEndReport::from_run(raw, violation, self.config.price_cpu, self.config.price_mem)
+    }
+
+    /// Full pipeline: plan, then execute.
+    pub fn run(
+        &mut self,
+        registry: &FunctionRegistry,
+        workloads: &[Workload],
+        cluster: ClusterSpec,
+        horizon: SimTime,
+    ) -> EndToEndReport {
+        let plans = self.plan(registry, workloads, cluster);
+        self.execute(registry, workloads, &plans, cluster, horizon)
+    }
+}
+
+/// Computes the per-instance QoS violation rate for a mixed-workload run:
+/// each workflow instance is checked against its own app's QoS; unfinished
+/// instances count as violations.
+pub fn violation_rate(raw: &aqua_faas::RunReport, workloads: &[Workload], horizon: SimTime) -> f64 {
+    // Map global instance index → app QoS, mirroring the simulator's
+    // job-major instance numbering.
+    let mut qos_of = Vec::new();
+    for w in workloads {
+        for _ in &w.arrivals {
+            qos_of.push(w.app.qos);
+        }
+    }
+    let arrived: usize = workloads
+        .iter()
+        .flat_map(|w| w.arrivals.iter())
+        .filter(|t| **t <= horizon)
+        .count();
+    if arrived == 0 {
+        return 0.0;
+    }
+    let violated_completed = raw
+        .workflows
+        .iter()
+        .filter(|wf| {
+            qos_of
+                .get(wf.instance)
+                .map_or(false, |qos| wf.latency() > *qos)
+        })
+        .count();
+    (violated_completed + raw.unfinished) as f64 / arrived as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_workflows::apps;
+
+    fn small_workload(n: usize, gap_secs: u64) -> (FunctionRegistry, Workload) {
+        let mut registry = FunctionRegistry::new();
+        let app = apps::chain(&mut registry, 2);
+        let arrivals = (1..=n as u64).map(|i| SimTime::from_secs(i * gap_secs)).collect();
+        (registry, Workload { app, arrivals })
+    }
+
+    #[test]
+    fn plan_produces_feasible_configs() {
+        let (registry, w) = small_workload(5, 30);
+        let controller = Aquatope::new(AquatopeConfig::fast());
+        let plan = controller.plan_app(&registry, &w.app, ClusterSpec::default());
+        assert_eq!(plan.configs.len(), w.app.dag.num_stages());
+        assert!(
+            plan.expected_latency.is_nan() || plan.expected_latency <= w.app.qos.as_secs_f64(),
+            "planned latency {} vs QoS {}",
+            plan.expected_latency,
+            w.app.qos.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn end_to_end_run_completes_instances() {
+        let (registry, w) = small_workload(30, 20);
+        let mut controller = Aquatope::new(AquatopeConfig::fast());
+        let report = controller.run(
+            &registry,
+            std::slice::from_ref(&w),
+            ClusterSpec::default(),
+            SimTime::from_secs(900),
+        );
+        assert!(report.completed >= 25, "most instances complete: {}", report.completed);
+        assert!(report.qos_violation_rate <= 0.4, "violations {}", report.qos_violation_rate);
+    }
+
+    #[test]
+    fn violation_rate_counts_per_app_qos() {
+        use aqua_faas::{RunReport, WorkflowRecord};
+        let (_, w) = small_workload(2, 10);
+        let raw = RunReport {
+            workflows: vec![
+                WorkflowRecord {
+                    instance: 0,
+                    arrived: SimTime::ZERO,
+                    finished: SimTime::from_millis(100),
+                    cold_starts: 0,
+                    invocations: 2,
+                },
+                WorkflowRecord {
+                    instance: 1,
+                    arrived: SimTime::ZERO,
+                    finished: SimTime::from_secs(100),
+                    cold_starts: 0,
+                    invocations: 2,
+                },
+            ],
+            ..Default::default()
+        };
+        let rate = violation_rate(&raw, &[w], SimTime::from_secs(1000));
+        assert!((rate - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,495 @@
+//! The worker cluster: container placement, warm-pool bookkeeping, and
+//! resource-time accounting.
+
+use std::collections::HashMap;
+
+use aqua_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::container::{Container, ContainerState};
+use crate::types::{ContainerId, FunctionId, ResourceConfig, WorkerId};
+
+/// One invoker server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Worker {
+    id: WorkerId,
+    cpu_capacity: f64,
+    memory_capacity_mb: f64,
+    memory_used_mb: f64,
+}
+
+impl Worker {
+    fn free_memory(&self) -> f64 {
+        self.memory_capacity_mb - self.memory_used_mb
+    }
+}
+
+/// Aggregate cluster state handed to pool policies each tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Total memory reserved by containers, MiB.
+    pub reserved_memory_mb: f64,
+    /// Total cluster memory, MiB.
+    pub total_memory_mb: f64,
+    /// Number of live containers.
+    pub containers: usize,
+}
+
+/// The simulated cluster of invoker servers.
+///
+/// All memory-time and CPU-time integrals are maintained here so every
+/// experiment reports resource usage the same way.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    workers: Vec<Worker>,
+    containers: HashMap<ContainerId, Container>,
+    next_id: u64,
+    // Resource-time integrals (updated lazily at every state change).
+    last_account: SimTime,
+    reserved_mb_now: f64,
+    busy_cpu_now: f64,
+    busy_mem_mb_now: f64,
+    memory_mb_seconds: f64,
+    cpu_core_seconds: f64,
+    busy_memory_mb_seconds: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` identical workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or capacities are non-positive.
+    pub fn new(n: usize, cpu_per_worker: f64, memory_mb_per_worker: f64) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert!(cpu_per_worker > 0.0 && memory_mb_per_worker > 0.0, "capacities must be positive");
+        Cluster {
+            workers: (0..n)
+                .map(|i| Worker {
+                    id: WorkerId(i),
+                    cpu_capacity: cpu_per_worker,
+                    memory_capacity_mb: memory_mb_per_worker,
+                    memory_used_mb: 0.0,
+                })
+                .collect(),
+            containers: HashMap::new(),
+            next_id: 0,
+            last_account: SimTime::ZERO,
+            reserved_mb_now: 0.0,
+            busy_cpu_now: 0.0,
+            busy_mem_mb_now: 0.0,
+            memory_mb_seconds: 0.0,
+            cpu_core_seconds: 0.0,
+            busy_memory_mb_seconds: 0.0,
+        }
+    }
+
+    fn account(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_account).as_secs_f64();
+        if dt > 0.0 {
+            self.memory_mb_seconds += self.reserved_mb_now * dt;
+            self.cpu_core_seconds += self.busy_cpu_now * dt;
+            self.busy_memory_mb_seconds += self.busy_mem_mb_now * dt;
+            self.last_account = now;
+        } else if now > self.last_account {
+            self.last_account = now;
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Live container count.
+    pub fn num_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Looks up a container.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Starts booting a container for `function` with `config`; the boot
+    /// completes `boot_time` later (caller schedules the event). Returns
+    /// `None` if no worker has enough free memory.
+    pub fn boot_container(
+        &mut self,
+        function: FunctionId,
+        config: ResourceConfig,
+        now: SimTime,
+        boot_time: SimDuration,
+        prewarmed: bool,
+    ) -> Option<ContainerId> {
+        self.account(now);
+        // Place on the worker with the most free memory (balance).
+        let worker = self
+            .workers
+            .iter_mut()
+            .filter(|w| w.free_memory() >= config.memory_mb)
+            .max_by(|a, b| a.free_memory().partial_cmp(&b.free_memory()).expect("finite"))?;
+        worker.memory_used_mb += config.memory_mb;
+        let wid = worker.id;
+        self.reserved_mb_now += config.memory_mb;
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Container {
+                id,
+                function,
+                worker: wid,
+                config,
+                state: ContainerState::Booting,
+                created: now,
+                ready_at: now + boot_time,
+                last_used: now + boot_time,
+                busy_slots: 0,
+                prewarmed,
+            },
+        );
+        Some(id)
+    }
+
+    /// Marks a booted container warm and idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is unknown or not booting.
+    pub fn boot_complete(&mut self, id: ContainerId, now: SimTime) {
+        self.account(now);
+        let c = self.containers.get_mut(&id).expect("unknown container");
+        assert_eq!(c.state, ContainerState::Booting, "container not booting");
+        c.state = ContainerState::Idle;
+        c.ready_at = now;
+        c.last_used = now;
+    }
+
+    /// Finds a warm container for `function` with a free slot and matching
+    /// resource configuration, preferring the most recently used (better
+    /// cache locality, standard practice).
+    pub fn find_warm(&self, function: FunctionId, config: &ResourceConfig) -> Option<ContainerId> {
+        self.containers
+            .values()
+            .filter(|c| c.function == function && c.config == *config && c.can_serve())
+            .max_by_key(|c| (c.last_used, c.id.0))
+            .map(|c| c.id)
+    }
+
+    /// Finds a booting container for `function` (matching `config`) that
+    /// still has unclaimed future capacity (used to piggyback an arriving
+    /// invocation on an in-flight pre-warm instead of booting again).
+    pub fn find_booting(
+        &self,
+        function: FunctionId,
+        config: &ResourceConfig,
+        claimed: &HashMap<ContainerId, u32>,
+    ) -> Option<ContainerId> {
+        self.containers
+            .values()
+            .filter(|c| {
+                c.function == function
+                    && c.config == *config
+                    && c.state == ContainerState::Booting
+                    && claimed.get(&c.id).copied().unwrap_or(0) < c.config.concurrency
+            })
+            .min_by_key(|c| (c.ready_at, c.id.0))
+            .map(|c| c.id)
+    }
+
+    /// Occupies one invocation slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container cannot serve (booting or full).
+    pub fn assign(&mut self, id: ContainerId, now: SimTime) {
+        self.account(now);
+        let c = self.containers.get_mut(&id).expect("unknown container");
+        assert!(c.can_serve(), "container cannot serve");
+        c.busy_slots += 1;
+        c.state = ContainerState::Busy;
+        self.busy_cpu_now += c.config.cpu_per_slot();
+        self.busy_mem_mb_now += c.config.memory_per_slot();
+    }
+
+    /// Releases one invocation slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is unknown or has no busy slots.
+    pub fn release(&mut self, id: ContainerId, now: SimTime) {
+        self.account(now);
+        let c = self.containers.get_mut(&id).expect("unknown container");
+        assert!(c.busy_slots > 0, "release on an idle container");
+        c.busy_slots -= 1;
+        self.busy_cpu_now -= c.config.cpu_per_slot();
+        self.busy_mem_mb_now -= c.config.memory_per_slot();
+        if c.busy_slots == 0 {
+            c.state = ContainerState::Idle;
+            c.last_used = now;
+        }
+    }
+
+    /// Destroys a container, freeing its memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is unknown or currently busy.
+    pub fn kill(&mut self, id: ContainerId, now: SimTime) {
+        self.account(now);
+        let c = self.containers.remove(&id).expect("unknown container");
+        assert_eq!(c.busy_slots, 0, "cannot kill a busy container");
+        let w = &mut self.workers[c.worker.0];
+        w.memory_used_mb -= c.config.memory_mb;
+        self.reserved_mb_now -= c.config.memory_mb;
+    }
+
+    /// Kills idle containers of `function` idle for longer than
+    /// `keep_alive`. Returns the number killed.
+    pub fn reap_idle(
+        &mut self,
+        function: FunctionId,
+        keep_alive: SimDuration,
+        now: SimTime,
+    ) -> usize {
+        let victims: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| {
+                c.function == function
+                    && c.state == ContainerState::Idle
+                    && c.idle_for(now) > keep_alive
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in &victims {
+            self.kill(*id, now);
+        }
+        victims.len()
+    }
+
+    /// Kills up to `count` idle containers of `function`, newest-idle first
+    /// (used to shrink an over-provisioned pre-warm pool).
+    pub fn shrink_idle(&mut self, function: FunctionId, count: usize, now: SimTime) -> usize {
+        let mut idle: Vec<(SimTime, ContainerId)> = self
+            .containers
+            .values()
+            .filter(|c| c.function == function && c.state == ContainerState::Idle)
+            .map(|c| (c.last_used, c.id))
+            .collect();
+        // Newest first: keep the containers most likely to be cache-warm.
+        idle.sort_by_key(|(t, id)| (std::cmp::Reverse(*t), id.0));
+        let n = count.min(idle.len());
+        for (_, id) in idle.iter().take(n) {
+            self.kill(*id, now);
+        }
+        n
+    }
+
+    /// Evicts least-recently-used idle containers (of any function) until a
+    /// worker can host `memory_mb` more, or no idle containers remain.
+    /// Returns true on success.
+    pub fn evict_for(&mut self, memory_mb: f64, now: SimTime) -> bool {
+        loop {
+            if self.workers.iter().any(|w| w.free_memory() >= memory_mb) {
+                return true;
+            }
+            let victim = self
+                .containers
+                .values()
+                .filter(|c| c.state == ContainerState::Idle)
+                .min_by_key(|c| (c.last_used, c.id.0))
+                .map(|c| c.id);
+            match victim {
+                Some(id) => self.kill(id, now),
+                None => return false,
+            }
+        }
+    }
+
+    /// Counts per-state containers of `function`: `(booting, idle, busy)`.
+    pub fn counts(&self, function: FunctionId) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in self.containers.values() {
+            if c.function != function {
+                continue;
+            }
+            match c.state {
+                ContainerState::Booting => counts.0 += 1,
+                ContainerState::Idle => counts.1 += 1,
+                ContainerState::Busy => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Snapshot for pool policies.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            reserved_memory_mb: self.reserved_mb_now,
+            total_memory_mb: self.workers.iter().map(|w| w.memory_capacity_mb).sum(),
+            containers: self.containers.len(),
+        }
+    }
+
+    /// Brings the resource-time integrals up to `now`.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.account(now);
+    }
+
+    /// Provisioned (reserved) memory integral, GB·s.
+    pub fn memory_gb_seconds(&self) -> f64 {
+        self.memory_mb_seconds / 1024.0
+    }
+
+    /// Busy CPU integral, core·s.
+    pub fn cpu_core_seconds(&self) -> f64 {
+        self.cpu_core_seconds
+    }
+
+    /// Memory-time attributed to executing slots, GB·s (the billed part).
+    pub fn busy_memory_gb_seconds(&self) -> f64 {
+        self.busy_memory_mb_seconds / 1024.0
+    }
+
+    /// Currently reserved memory, MiB.
+    pub fn reserved_memory_mb(&self) -> f64 {
+        self.reserved_mb_now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(2, 8.0, 4096.0)
+    }
+
+    fn cfg() -> ResourceConfig {
+        ResourceConfig::new(1.0, 1024.0, 1)
+    }
+
+    #[test]
+    fn boot_and_complete_lifecycle() {
+        let mut cl = cluster();
+        let id = cl
+            .boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::from_millis(500), false)
+            .unwrap();
+        assert_eq!(cl.counts(FunctionId(0)), (1, 0, 0));
+        assert!(cl.find_warm(FunctionId(0), &cfg()).is_none());
+        cl.boot_complete(id, SimTime::from_millis(500));
+        assert_eq!(cl.counts(FunctionId(0)), (0, 1, 0));
+        assert_eq!(cl.find_warm(FunctionId(0), &cfg()), Some(id));
+    }
+
+    #[test]
+    fn capacity_limit_respected() {
+        let mut cl = Cluster::new(1, 4.0, 2048.0);
+        let c = ResourceConfig::new(1.0, 1024.0, 1);
+        assert!(cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).is_some());
+        assert!(cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).is_some());
+        // Third does not fit.
+        assert!(cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).is_none());
+    }
+
+    #[test]
+    fn eviction_frees_idle_lru() {
+        let mut cl = Cluster::new(1, 4.0, 2048.0);
+        let c = ResourceConfig::new(1.0, 1024.0, 1);
+        let a = cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let b = cl.boot_container(FunctionId(1), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        cl.boot_complete(a, SimTime::from_secs(1));
+        cl.boot_complete(b, SimTime::from_secs(2));
+        assert!(cl.evict_for(1024.0, SimTime::from_secs(3)));
+        // LRU = a (older last_used) was evicted.
+        assert!(cl.container(a).is_none());
+        assert!(cl.container(b).is_some());
+    }
+
+    #[test]
+    fn eviction_fails_without_idle_victims() {
+        let mut cl = Cluster::new(1, 4.0, 1024.0);
+        let c = ResourceConfig::new(1.0, 1024.0, 1);
+        let a = cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        cl.boot_complete(a, SimTime::ZERO);
+        cl.assign(a, SimTime::ZERO);
+        assert!(!cl.evict_for(512.0, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn assign_release_cycle_counts_slots() {
+        let mut cl = cluster();
+        let c = ResourceConfig::new(2.0, 1024.0, 2);
+        let id = cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        cl.boot_complete(id, SimTime::ZERO);
+        cl.assign(id, SimTime::ZERO);
+        cl.assign(id, SimTime::ZERO);
+        assert_eq!(cl.counts(FunctionId(0)), (0, 0, 1));
+        assert!(cl.find_warm(FunctionId(0), &c).is_none(), "both slots busy");
+        cl.release(id, SimTime::from_secs(1));
+        assert!(cl.find_warm(FunctionId(0), &c).is_some(), "one slot free again");
+        cl.release(id, SimTime::from_secs(2));
+        assert_eq!(cl.counts(FunctionId(0)), (0, 1, 0));
+    }
+
+    #[test]
+    fn reap_respects_keep_alive() {
+        let mut cl = cluster();
+        let id = cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        cl.boot_complete(id, SimTime::ZERO);
+        assert_eq!(cl.reap_idle(FunctionId(0), SimDuration::from_secs(60), SimTime::from_secs(30)), 0);
+        assert_eq!(cl.reap_idle(FunctionId(0), SimDuration::from_secs(60), SimTime::from_secs(61)), 1);
+        assert_eq!(cl.num_containers(), 0);
+    }
+
+    #[test]
+    fn memory_time_integral_accumulates() {
+        let mut cl = cluster();
+        let id = cl
+            .boot_container(FunctionId(0), ResourceConfig::new(1.0, 2048.0, 1), SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
+        cl.boot_complete(id, SimTime::ZERO);
+        cl.kill(id, SimTime::from_secs(10));
+        cl.finalize(SimTime::from_secs(20));
+        // 2048 MiB for 10 s = 20 GB·s; nothing after the kill.
+        assert!((cl.memory_gb_seconds() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_time_integral_counts_busy_only() {
+        let mut cl = cluster();
+        let id = cl
+            .boot_container(FunctionId(0), ResourceConfig::new(2.0, 1024.0, 1), SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
+        cl.boot_complete(id, SimTime::ZERO);
+        cl.assign(id, SimTime::from_secs(5));
+        cl.release(id, SimTime::from_secs(8));
+        cl.finalize(SimTime::from_secs(100));
+        // 2 cores busy for 3 s.
+        assert!((cl.cpu_core_seconds() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrink_idle_kills_newest_first() {
+        let mut cl = cluster();
+        let a = cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let b = cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        cl.boot_complete(a, SimTime::from_secs(1));
+        cl.boot_complete(b, SimTime::from_secs(2));
+        assert_eq!(cl.shrink_idle(FunctionId(0), 1, SimTime::from_secs(3)), 1);
+        assert!(cl.container(b).is_none(), "newest-idle container killed first");
+        assert!(cl.container(a).is_some());
+    }
+
+    #[test]
+    fn snapshot_reports_reservation() {
+        let mut cl = cluster();
+        cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let snap = cl.snapshot();
+        assert_eq!(snap.reserved_memory_mb, 1024.0);
+        assert_eq!(snap.total_memory_mb, 8192.0);
+        assert_eq!(snap.containers, 1);
+    }
+}

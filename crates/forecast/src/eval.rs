@@ -1,0 +1,122 @@
+//! Rolling-forecast evaluation with the SMAPE metric (paper Table 1).
+
+use aqua_linalg::smape;
+
+use crate::point::SeriesPoint;
+use crate::Predictor;
+
+/// Result of evaluating a predictor on a held-out suffix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Model name as reported by [`Predictor::name`].
+    pub model: String,
+    /// SMAPE over the evaluation range, as a fraction (0.057 = 5.7%).
+    pub smape: f64,
+    /// Number of one-step forecasts evaluated.
+    pub steps: usize,
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<20} SMAPE = {:5.1}% over {} steps",
+            self.model,
+            self.smape * 100.0,
+            self.steps
+        )
+    }
+}
+
+/// Fits `model` on `series[..train_len]` and rolls one-step forecasts over
+/// the remainder, returning the SMAPE report.
+///
+/// # Panics
+///
+/// Panics if the split leaves no evaluation points or `train_len` is zero.
+pub fn smape_eval(
+    model: &mut dyn Predictor,
+    series: &[SeriesPoint],
+    train_len: usize,
+) -> EvalReport {
+    assert!(train_len > 0 && train_len < series.len(), "bad train/test split");
+    model.fit(&series[..train_len]);
+    let mut actual = Vec::new();
+    let mut forecast = Vec::new();
+    let start = train_len.max(model.min_history());
+    for t in start..series.len() {
+        let f = model.forecast(&series[..t]);
+        forecast.push(f.mean);
+        actual.push(series[t].count);
+    }
+    assert!(!actual.is_empty(), "no evaluation points after split");
+    EvalReport {
+        model: model.name().to_string(),
+        smape: smape(&actual, &forecast),
+        steps: actual.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::TriggerKind;
+    use crate::{Forecast, NaiveLast};
+
+    fn pts(xs: &[f64]) -> Vec<SeriesPoint> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| SeriesPoint::new(x, i as u64, TriggerKind::Http))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_predictor_scores_zero() {
+        /// Cheating oracle that looks one step ahead via interior state.
+        struct Oracle {
+            series: Vec<f64>,
+        }
+        impl Predictor for Oracle {
+            fn name(&self) -> &'static str {
+                "Oracle"
+            }
+            fn fit(&mut self, _t: &[SeriesPoint]) {}
+            fn forecast(&mut self, history: &[SeriesPoint]) -> Forecast {
+                Forecast::point(self.series[history.len()])
+            }
+        }
+        let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64 + 1.0).collect();
+        let mut oracle = Oracle { series: xs.clone() };
+        let report = smape_eval(&mut oracle, &pts(&xs), 30);
+        assert_eq!(report.smape, 0.0);
+        assert_eq!(report.steps, 20);
+    }
+
+    #[test]
+    fn naive_on_constant_series_scores_zero() {
+        let mut m = NaiveLast::new();
+        let report = smape_eval(&mut m, &pts(&[5.0; 40]), 20);
+        assert_eq!(report.smape, 0.0);
+    }
+
+    #[test]
+    fn naive_on_alternating_series_scores_high() {
+        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 2.0 } else { 6.0 }).collect();
+        let mut m = NaiveLast::new();
+        let report = smape_eval(&mut m, &pts(&xs), 20);
+        assert!(report.smape > 0.5, "expected large error, got {}", report.smape);
+    }
+
+    #[test]
+    fn report_formats_as_percentage() {
+        let r = EvalReport { model: "X".into(), smape: 0.057, steps: 10 };
+        assert!(r.to_string().contains("5.7%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad train/test split")]
+    fn rejects_degenerate_split() {
+        let mut m = NaiveLast::new();
+        let _ = smape_eval(&mut m, &pts(&[1.0, 2.0]), 2);
+    }
+}

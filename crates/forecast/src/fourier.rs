@@ -1,0 +1,201 @@
+//! IceBreaker's Fourier-transformation prediction model.
+//!
+//! IceBreaker (ASPLOS'22) models a function's invocation history with a
+//! Fourier decomposition: transform the history, keep the dominant
+//! harmonics, and extrapolate the truncated series one step ahead. The
+//! paper uses it as the strongest prior cold-start baseline (Figs. 9–10).
+
+use crate::point::{counts, Forecast, SeriesPoint};
+use crate::Predictor;
+
+/// Fourier extrapolation with the `k` largest-amplitude harmonics.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_forecast::{FourierPredictor, Predictor, SeriesPoint, TriggerKind};
+///
+/// let series: Vec<SeriesPoint> = (0..128)
+///     .map(|i| SeriesPoint::new(10.0 + 5.0 * ((i as f64) * 0.3).sin(), i, TriggerKind::Http))
+///     .collect();
+/// let mut m = FourierPredictor::new(8, 128);
+/// m.fit(&series);
+/// let f = m.forecast(&series);
+/// assert!(f.mean >= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FourierPredictor {
+    harmonics: usize,
+    window: usize,
+    residual_std: f64,
+}
+
+/// Discrete Fourier transform (naive O(n²); windows are ≤ a few hundred).
+fn dft(xs: &[f64]) -> Vec<(f64, f64)> {
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (t, &x) in xs.iter().enumerate() {
+            let ang = -std::f64::consts::TAU * k as f64 * t as f64 / n as f64;
+            re += x * ang.cos();
+            im += x * ang.sin();
+        }
+        out.push((re, im));
+    }
+    out
+}
+
+impl FourierPredictor {
+    /// Creates the model using the top `harmonics` frequencies over a
+    /// rolling window of `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `harmonics == 0` or `window < 4`.
+    pub fn new(harmonics: usize, window: usize) -> Self {
+        assert!(harmonics > 0, "need at least one harmonic");
+        assert!(window >= 4, "window too small");
+        FourierPredictor {
+            harmonics,
+            window,
+            residual_std: 0.0,
+        }
+    }
+
+    /// Reconstructs the truncated Fourier series at (possibly fractional)
+    /// position `t` within a window of length `n`.
+    fn extrapolate(&self, xs: &[f64], t: f64) -> f64 {
+        let n = xs.len();
+        let spectrum = dft(xs);
+        // Rank frequency bins by amplitude, skipping conjugate duplicates.
+        let half = n / 2;
+        let mut bins: Vec<usize> = (0..=half).collect();
+        bins.sort_by(|&a, &b| {
+            let amp = |k: usize| {
+                let (re, im) = spectrum[k];
+                (re * re + im * im).sqrt()
+            };
+            amp(b).partial_cmp(&amp(a)).expect("finite amplitude")
+        });
+        let mut value = 0.0;
+        for &k in bins.iter().take(self.harmonics) {
+            let (re, im) = spectrum[k];
+            let ang = std::f64::consts::TAU * k as f64 * t / n as f64;
+            // Real-signal inverse with conjugate symmetry folded in.
+            let scale = if k == 0 || (n % 2 == 0 && k == half) { 1.0 } else { 2.0 };
+            value += scale * (re * ang.cos() - im * ang.sin()) / n as f64;
+        }
+        value
+    }
+
+    fn tail<'a>(&self, xs: &'a [f64]) -> &'a [f64] {
+        if xs.len() > self.window {
+            &xs[xs.len() - self.window..]
+        } else {
+            xs
+        }
+    }
+}
+
+impl Predictor for FourierPredictor {
+    fn name(&self) -> &'static str {
+        "IceBreaker-Fourier"
+    }
+
+    fn fit(&mut self, train: &[SeriesPoint]) {
+        // Estimate the one-step residual spread over the training series.
+        let xs = counts(train);
+        if xs.len() < 8 {
+            self.residual_std = 0.0;
+            return;
+        }
+        let mut sse = 0.0;
+        let mut n = 0;
+        let start = xs.len() / 2;
+        for t in start..xs.len() {
+            let hist = self.tail(&xs[..t]);
+            let pred = self.extrapolate(hist, hist.len() as f64);
+            sse += (pred - xs[t]).powi(2);
+            n += 1;
+        }
+        self.residual_std = (sse / n.max(1) as f64).sqrt();
+    }
+
+    fn forecast(&mut self, history: &[SeriesPoint]) -> Forecast {
+        let xs = counts(history);
+        assert!(xs.len() >= 4, "Fourier model needs at least 4 windows");
+        let hist = self.tail(&xs);
+        let mean = self.extrapolate(hist, hist.len() as f64).max(0.0);
+        Forecast { mean, std: self.residual_std }
+    }
+
+    fn min_history(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::TriggerKind;
+
+    fn pts(xs: &[f64]) -> Vec<SeriesPoint> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| SeriesPoint::new(x, i as u64, TriggerKind::Http))
+            .collect()
+    }
+
+    #[test]
+    fn dft_of_constant_is_dc_only() {
+        let spec = dft(&[3.0; 8]);
+        assert!((spec[0].0 - 24.0).abs() < 1e-9);
+        for (re, im) in &spec[1..] {
+            assert!(re.abs() < 1e-9 && im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reconstructs_pure_cosine() {
+        let n = 64;
+        let xs: Vec<f64> = (0..n)
+            .map(|t| 5.0 + 2.0 * (std::f64::consts::TAU * 4.0 * t as f64 / n as f64).cos())
+            .collect();
+        let m = FourierPredictor::new(3, n);
+        // In-window reconstruction at integer points matches the signal.
+        for t in [0usize, 7, 31] {
+            let v = m.extrapolate(&xs, t as f64);
+            assert!((v - xs[t]).abs() < 1e-6, "t={t}: {v} vs {}", xs[t]);
+        }
+        // Extrapolation continues the period (t = n maps onto t = 0).
+        let next = m.extrapolate(&xs, n as f64);
+        assert!((next - xs[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn periodic_forecast_beats_naive() {
+        let series: Vec<f64> = (0..512)
+            .map(|t| 20.0 + 10.0 * (std::f64::consts::TAU * t as f64 / 32.0).sin())
+            .collect();
+        let mut m = FourierPredictor::new(6, 128);
+        m.fit(&pts(&series[..384]));
+        let mut err_f = 0.0;
+        let mut err_naive = 0.0;
+        for t in 384..511 {
+            let f = m.forecast(&pts(&series[..t]));
+            err_f += (f.mean - series[t]).abs();
+            err_naive += (series[t - 1] - series[t]).abs();
+        }
+        assert!(err_f < err_naive * 0.6, "fourier {err_f} naive {err_naive}");
+    }
+
+    #[test]
+    fn clamps_negative() {
+        let series: Vec<f64> = (0..64).map(|t| if t % 2 == 0 { 0.0 } else { 0.1 }).collect();
+        let mut m = FourierPredictor::new(2, 64);
+        m.fit(&pts(&series));
+        assert!(m.forecast(&pts(&series)).mean >= 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Holt's double exponential smoothing (level + trend).
+//!
+//! Not part of the paper's Table 1 but a standard extension baseline the
+//! paper's §4.2 mentions among "classic timeseries prediction models".
+
+use crate::point::{counts, Forecast, SeriesPoint};
+use crate::Predictor;
+
+/// Double exponential smoothing with level-smoothing `alpha` and
+/// trend-smoothing `beta`.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_forecast::{HoltWinters, Predictor, SeriesPoint, TriggerKind};
+///
+/// let series: Vec<SeriesPoint> = (0..50)
+///     .map(|i| SeriesPoint::new(2.0 * i as f64, i, TriggerKind::Http))
+///     .collect();
+/// let mut m = HoltWinters::new(0.5, 0.3);
+/// m.fit(&series);
+/// let f = m.forecast(&series);
+/// assert!((f.mean - 100.0).abs() < 3.0); // follows the trend
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    residual_std: f64,
+}
+
+impl HoltWinters {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both smoothing factors are in `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        assert!((0.0..=1.0).contains(&beta) && beta > 0.0, "beta in (0,1]");
+        HoltWinters { alpha, beta, residual_std: 0.0 }
+    }
+
+    fn run(&self, series: &[f64]) -> (f64, f64, f64) {
+        // Returns (level, trend, residual std) after smoothing the series.
+        let mut level = series[0];
+        let mut trend = if series.len() > 1 { series[1] - series[0] } else { 0.0 };
+        let mut sse = 0.0;
+        let mut n = 0usize;
+        for &x in &series[1..] {
+            let pred = level + trend;
+            sse += (x - pred).powi(2);
+            n += 1;
+            let new_level = self.alpha * x + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (new_level - level) + (1.0 - self.beta) * trend;
+            level = new_level;
+        }
+        (level, trend, (sse / n.max(1) as f64).sqrt())
+    }
+}
+
+impl Predictor for HoltWinters {
+    fn name(&self) -> &'static str {
+        "HoltWinters"
+    }
+
+    fn fit(&mut self, train: &[SeriesPoint]) {
+        assert!(!train.is_empty(), "empty training series");
+        let (_, _, std) = self.run(&counts(train));
+        self.residual_std = std;
+    }
+
+    fn forecast(&mut self, history: &[SeriesPoint]) -> Forecast {
+        assert!(!history.is_empty(), "empty history");
+        let (level, trend, _) = self.run(&counts(history));
+        Forecast {
+            mean: (level + trend).max(0.0),
+            std: self.residual_std,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::TriggerKind;
+
+    fn pts(xs: &[f64]) -> Vec<SeriesPoint> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| SeriesPoint::new(x, i as u64, TriggerKind::Http))
+            .collect()
+    }
+
+    #[test]
+    fn constant_series_is_reproduced() {
+        let mut m = HoltWinters::new(0.5, 0.2);
+        let series = pts(&[4.0; 30]);
+        m.fit(&series);
+        let f = m.forecast(&series);
+        assert!((f.mean - 4.0).abs() < 1e-9);
+        assert!(f.std < 1e-9);
+    }
+
+    #[test]
+    fn tracks_trend() {
+        let series: Vec<f64> = (0..60).map(|i| 1.5 * i as f64).collect();
+        let mut m = HoltWinters::new(0.6, 0.4);
+        let p = pts(&series);
+        m.fit(&p);
+        let f = m.forecast(&p);
+        assert!((f.mean - 90.0).abs() < 2.0, "forecast {}", f.mean);
+    }
+
+    #[test]
+    fn clamps_negative_extrapolation() {
+        let series: Vec<f64> = (0..40).map(|i| (40 - i) as f64 * 0.1).collect();
+        let mut m = HoltWinters::new(0.9, 0.9);
+        let p = pts(&series);
+        m.fit(&p);
+        assert!(m.forecast(&p).mean >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = HoltWinters::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,62 @@
+//! The fixed Keep-Alive baseline: predict the last observed window.
+
+use crate::point::{Forecast, SeriesPoint};
+use crate::Predictor;
+
+/// Naive last-value model — the implicit predictor behind the fixed
+/// keep-alive policy of most FaaS providers (Table 1's first column).
+///
+/// # Examples
+///
+/// ```
+/// use aqua_forecast::{NaiveLast, Predictor, SeriesPoint, TriggerKind};
+///
+/// let mut m = NaiveLast::new();
+/// let h = [SeriesPoint::new(7.0, 0, TriggerKind::Http)];
+/// assert_eq!(m.forecast(&h).mean, 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveLast;
+
+impl NaiveLast {
+    /// Creates the model (it has no parameters).
+    pub fn new() -> Self {
+        NaiveLast
+    }
+}
+
+impl Predictor for NaiveLast {
+    fn name(&self) -> &'static str {
+        "KeepAlive"
+    }
+
+    fn fit(&mut self, _train: &[SeriesPoint]) {}
+
+    fn forecast(&mut self, history: &[SeriesPoint]) -> Forecast {
+        assert!(!history.is_empty(), "naive model needs at least one window");
+        Forecast::point(history.last().expect("non-empty").count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::TriggerKind;
+
+    #[test]
+    fn echoes_last_value() {
+        let mut m = NaiveLast::new();
+        let hist: Vec<SeriesPoint> = (0..5)
+            .map(|i| SeriesPoint::new(i as f64, i, TriggerKind::Http))
+            .collect();
+        assert_eq!(m.forecast(&hist).mean, 4.0);
+        assert_eq!(m.forecast(&hist).std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn empty_history_panics() {
+        let mut m = NaiveLast::new();
+        let _ = m.forecast(&[]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The Theta method (Assimakopoulos & Nikolopoulos 2000) — one of the
+//! "classic timeseries prediction models" the paper's §4.2 lists alongside
+//! exponential smoothing and ARIMA.
+//!
+//! The classic two-line variant: decompose the series into theta-lines with
+//! θ = 0 (the linear-regression trend) and θ = 2 (double curvature, which
+//! is then extrapolated with simple exponential smoothing) and average the
+//! two forecasts.
+
+use crate::point::{counts, Forecast, SeriesPoint};
+use crate::Predictor;
+
+/// Two-line Theta forecaster with SES extrapolation of the θ=2 line.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_forecast::{Predictor, SeriesPoint, Theta, TriggerKind};
+///
+/// let series: Vec<SeriesPoint> = (0..60)
+///     .map(|i| SeriesPoint::new(5.0 + 0.5 * i as f64, i, TriggerKind::Http))
+///     .collect();
+/// let mut m = Theta::new(0.4);
+/// m.fit(&series);
+/// let f = m.forecast(&series);
+/// assert!((f.mean - 35.0).abs() < 2.0); // follows the trend
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theta {
+    /// SES smoothing factor for the θ=2 line.
+    alpha: f64,
+    residual_std: f64,
+}
+
+/// Ordinary least-squares line `y = a + b t` over `xs`.
+fn ols_line(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let t_mean = (n - 1.0) / 2.0;
+    let y_mean = xs.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, y) in xs.iter().enumerate() {
+        let dt = t as f64 - t_mean;
+        num += dt * (y - y_mean);
+        den += dt * dt;
+    }
+    let b = if den > 0.0 { num / den } else { 0.0 };
+    (y_mean - b * t_mean, b)
+}
+
+impl Theta {
+    /// Creates the forecaster.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` lies in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Theta { alpha, residual_std: 0.0 }
+    }
+
+    /// One-step forecast of a raw series.
+    fn forecast_series(&self, xs: &[f64]) -> f64 {
+        let n = xs.len();
+        let (a, b) = ols_line(xs);
+        // θ=0 line: the trend, extrapolated one step.
+        let line0 = a + b * n as f64;
+        // θ=2 line: 2·x_t − trend_t, extrapolated with SES plus the
+        // standard drift correction (SES lags a trending series by
+        // b·(1−α)/α; one forecast step adds another b).
+        let mut ses = 2.0 * xs[0] - a;
+        for (t, x) in xs.iter().enumerate().skip(1) {
+            let theta2 = 2.0 * x - (a + b * t as f64);
+            ses = self.alpha * theta2 + (1.0 - self.alpha) * ses;
+        }
+        let drift = b * ((1.0 - self.alpha) / self.alpha + 1.0);
+        (line0 + ses + drift) / 2.0
+    }
+}
+
+impl Predictor for Theta {
+    fn name(&self) -> &'static str {
+        "Theta"
+    }
+
+    fn fit(&mut self, train: &[SeriesPoint]) {
+        let xs = counts(train);
+        assert!(xs.len() >= 4, "Theta needs at least 4 observations");
+        let mut sse = 0.0;
+        let mut n = 0;
+        for t in (xs.len() / 2).max(4)..xs.len() {
+            let pred = self.forecast_series(&xs[..t]);
+            sse += (pred - xs[t]).powi(2);
+            n += 1;
+        }
+        self.residual_std = (sse / n.max(1) as f64).sqrt();
+    }
+
+    fn forecast(&mut self, history: &[SeriesPoint]) -> Forecast {
+        let xs = counts(history);
+        assert!(xs.len() >= 4, "history too short for Theta");
+        Forecast {
+            mean: self.forecast_series(&xs).max(0.0),
+            std: self.residual_std,
+        }
+    }
+
+    fn min_history(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::TriggerKind;
+
+    fn pts(xs: &[f64]) -> Vec<SeriesPoint> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| SeriesPoint::new(x, i as u64, TriggerKind::Http))
+            .collect()
+    }
+
+    #[test]
+    fn ols_line_recovers_exact_trend() {
+        let xs: Vec<f64> = (0..20).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let (a, b) = ols_line(&xs);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let mut m = Theta::new(0.5);
+        let p = pts(&[7.0; 30]);
+        m.fit(&p);
+        let f = m.forecast(&p);
+        assert!((f.mean - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trend_series_extrapolates() {
+        let xs: Vec<f64> = (0..50).map(|t| 1.0 + 0.8 * t as f64).collect();
+        let mut m = Theta::new(0.3);
+        let p = pts(&xs);
+        m.fit(&p);
+        let f = m.forecast(&p);
+        assert!((f.mean - (1.0 + 0.8 * 50.0)).abs() < 1.0, "got {}", f.mean);
+    }
+
+    #[test]
+    fn beats_naive_on_trend() {
+        let xs: Vec<f64> = (0..120).map(|t| 2.0 * t as f64).collect();
+        let mut theta = Theta::new(0.4);
+        theta.fit(&pts(&xs[..90]));
+        let mut err_t = 0.0;
+        let mut err_n = 0.0;
+        for t in 90..119 {
+            let f = theta.forecast(&pts(&xs[..t]));
+            err_t += (f.mean - xs[t]).abs();
+            err_n += (xs[t - 1] - xs[t]).abs();
+        }
+        assert!(err_t < err_n, "theta {err_t} naive {err_n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = Theta::new(0.0);
+    }
+}

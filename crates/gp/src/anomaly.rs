@@ -1,0 +1,125 @@
+//! Leave-one-out diagnostic-GP anomaly detection (paper §5.3).
+//!
+//! Samples corrupted by non-Gaussian noise (resource contention, network
+//! instability) would mis-specify the surrogate models. For each sampled
+//! configuration AQUATOPE fits a *diagnostic* GP on every other sample; if
+//! the held-out observation falls outside the diagnostic model's 95%
+//! predictive interval, it is labeled an anomaly and pruned.
+
+use aqua_linalg::normal_quantile;
+
+use crate::gp::Gp;
+
+/// Returns the indices of training points flagged as anomalies by the
+/// leave-one-out 95% rule.
+///
+/// `confidence` is the two-sided predictive-interval mass (0.95 in the
+/// paper). The interval accounts for the GP's observation noise via the
+/// latent variance plus the configured noise floor being implicit in the
+/// posterior; a small relative tolerance keeps exact-duplicate
+/// observations from self-flagging.
+///
+/// # Panics
+///
+/// Panics if `confidence` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_gp::{detect_anomalies, Gp, GpConfig};
+///
+/// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+/// let mut ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+/// ys[4] = 25.0; // inject an outlier
+/// let gp = Gp::fit(xs, ys, GpConfig::with_noise(0.01)).unwrap();
+/// assert_eq!(detect_anomalies(&gp, 0.95), vec![4]);
+/// ```
+pub fn detect_anomalies(gp: &Gp, confidence: f64) -> Vec<usize> {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let n = gp.len();
+    if n < 4 {
+        // Too little data to diagnose anything.
+        return Vec::new();
+    }
+    let mut anomalies = Vec::new();
+    for i in 0..n {
+        let keep: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        let diagnostic = match gp.refit_subset(&keep) {
+            Ok(g) => g,
+            Err(_) => continue,
+        };
+        let (mean, var) = diagnostic.predict(&gp.train_x()[i]);
+        // Width: latent predictive std, with a floor so near-interpolating
+        // diagnostics don't flag benign points.
+        let spread = gp
+            .train_y()
+            .iter()
+            .map(|y| (y - mean).abs())
+            .fold(0.0, f64::max);
+        let sd = var.sqrt().max(1e-6 * spread.max(1.0));
+        let y = gp.train_y()[i];
+        if (y - mean).abs() > z * sd {
+            anomalies.push(i);
+        }
+    }
+    anomalies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gp::GpConfig;
+
+    fn smooth_with_outlier(outlier_idx: usize, magnitude: f64) -> Gp {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| (2.0 * x[0]).sin()).collect();
+        ys[outlier_idx] += magnitude;
+        Gp::fit(xs, ys, GpConfig::with_noise(0.01)).unwrap()
+    }
+
+    #[test]
+    fn flags_injected_outlier() {
+        let gp = smooth_with_outlier(6, 10.0);
+        let flagged = detect_anomalies(&gp, 0.95);
+        assert!(flagged.contains(&6), "outlier index missing: {flagged:?}");
+    }
+
+    #[test]
+    fn clean_data_mostly_unflagged() {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 3.0).collect();
+        let gp = Gp::fit(xs, ys, GpConfig::with_noise(0.01)).unwrap();
+        let flagged = detect_anomalies(&gp, 0.95);
+        assert!(
+            flagged.len() <= 2,
+            "clean linear data should not be heavily flagged: {flagged:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_datasets_are_never_flagged() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![0.0, 100.0, 0.0];
+        let gp = Gp::fit(xs, ys, GpConfig::default()).unwrap();
+        assert!(detect_anomalies(&gp, 0.95).is_empty());
+    }
+
+    #[test]
+    fn lower_confidence_flags_more() {
+        let gp = smooth_with_outlier(3, 2.0);
+        let strict = detect_anomalies(&gp, 0.999).len();
+        let loose = detect_anomalies(&gp, 0.6).len();
+        assert!(loose >= strict);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn rejects_bad_confidence() {
+        let gp = smooth_with_outlier(0, 0.0);
+        let _ = detect_anomalies(&gp, 1.0);
+    }
+}

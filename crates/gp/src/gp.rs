@@ -1,0 +1,446 @@
+//! Fixed-noise Gaussian-process regression.
+
+use std::error::Error;
+use std::fmt;
+
+use aqua_linalg::{Cholesky, Matrix};
+use aqua_sim::SimRng;
+
+use crate::kernel::Matern52;
+
+/// Configuration for [`Gp::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Observation noise variance (in *standardized* target units). The
+    /// paper uses fixed-noise GPs; pass the noise level you inject/expect.
+    pub noise: f64,
+    /// Candidate lengthscales for the marginal-likelihood grid search
+    /// (inputs are expected in `[0, 1]^d`).
+    pub lengthscale_grid: Vec<f64>,
+    /// Candidate output scales (targets are standardized, so ≈ 1).
+    pub outputscale_grid: Vec<f64>,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            noise: 1e-4,
+            lengthscale_grid: vec![0.05, 0.1, 0.2, 0.35, 0.5, 0.8, 1.2, 2.0],
+            outputscale_grid: vec![0.5, 1.0, 2.0],
+        }
+    }
+}
+
+impl GpConfig {
+    /// Same grids with a different fixed noise variance.
+    pub fn with_noise(noise: f64) -> Self {
+        GpConfig { noise, ..Self::default() }
+    }
+}
+
+/// Errors from GP construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Fewer than two observations, or mismatched lengths.
+    InsufficientData,
+    /// The kernel matrix could not be factored for any hyperparameters.
+    SingularKernel,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::InsufficientData => write!(f, "need at least two observations"),
+            GpError::SingularKernel => write!(f, "kernel matrix is singular"),
+        }
+    }
+}
+
+impl Error for GpError {}
+
+/// A trained Gaussian process.
+///
+/// Targets are standardized internally; predictions are returned in the
+/// original units.
+#[derive(Debug, Clone)]
+pub struct Gp {
+    x: Vec<Vec<f64>>,
+    y_raw: Vec<f64>,
+    y_mean: f64,
+    y_scale: f64,
+    kernel: Matern52,
+    noise: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    lml: f64,
+}
+
+impl Gp {
+    /// Fits a GP, selecting kernel hyperparameters by log marginal
+    /// likelihood over the configured grid.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::InsufficientData`] for fewer than 2 points or mismatched
+    /// lengths; [`GpError::SingularKernel`] if no hyperparameter choice
+    /// yields a factorable kernel matrix.
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, config: GpConfig) -> Result<Self, GpError> {
+        if x.len() < 2 || x.len() != y.len() {
+            return Err(GpError::InsufficientData);
+        }
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
+        let y_scale = var.sqrt().max(1e-9);
+        let y_std_units: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
+
+        let mut best: Option<(f64, Matern52, Cholesky, Vec<f64>)> = None;
+        for &ls in &config.lengthscale_grid {
+            for &os in &config.outputscale_grid {
+                let kernel = Matern52::new(ls, os);
+                if let Some((lml, chol, alpha)) =
+                    Self::evaluate(&x, &y_std_units, &kernel, config.noise)
+                {
+                    if best.as_ref().map_or(true, |(b, ..)| lml > *b) {
+                        best = Some((lml, kernel, chol, alpha));
+                    }
+                }
+            }
+        }
+        let (lml, kernel, chol, alpha) = best.ok_or(GpError::SingularKernel)?;
+        let _ = &y_std_units;
+        Ok(Gp {
+            x,
+            y_raw: y,
+            y_mean,
+            y_scale,
+            kernel,
+            noise: config.noise,
+            chol,
+            alpha,
+            lml,
+        })
+    }
+
+    fn evaluate(
+        x: &[Vec<f64>],
+        y: &[f64],
+        kernel: &Matern52,
+        noise: f64,
+    ) -> Option<(f64, Cholesky, Vec<f64>)> {
+        let n = x.len();
+        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+        k.add_diagonal(noise.max(1e-9));
+        let chol = Cholesky::new_with_jitter(&k).ok()?;
+        let alpha = chol.solve_vec(y);
+        let fit_term: f64 = y.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let lml = -0.5 * fit_term
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        Some((lml, chol, alpha))
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if the GP has no training data (never constructible; kept for
+    /// API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The training inputs.
+    pub fn train_x(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// The training targets in original units.
+    pub fn train_y(&self) -> &[f64] {
+        &self.y_raw
+    }
+
+    /// The selected kernel.
+    pub fn kernel(&self) -> &Matern52 {
+        &self.kernel
+    }
+
+    /// Log marginal likelihood of the selected hyperparameters.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.lml
+    }
+
+    /// Posterior mean and variance of the *latent* function at `x`, in
+    /// original units. The variance excludes observation noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let v = self.chol.forward_solve(&kstar);
+        let var_std = (self.kernel.eval(x, x) - v.iter().map(|a| a * a).sum::<f64>()).max(0.0);
+        (
+            mean_std * self.y_scale + self.y_mean,
+            var_std * self.y_scale * self.y_scale,
+        )
+    }
+
+    /// Posterior mean/variance at many points.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Draws `m` joint posterior samples of the latent function at the
+    /// training inputs (needed by noisy expected improvement, which must
+    /// not assume the incumbent is known exactly). Returned in original
+    /// units, using the supplied standard-normal draws `z[m][n]` (e.g. QMC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `z` row has the wrong length.
+    pub fn posterior_samples_at_train(&self, z: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = self.x.len();
+        // Posterior over latent f at train points:
+        //   mean = K alpha, cov = K - K (K + σ²I)^{-1} K.
+        let k = Matrix::from_fn(n, n, |i, j| self.kernel.eval(&self.x[i], &self.x[j]));
+        let mean_std = k.matvec(&self.alpha);
+        let kinv_k = self.chol.solve_matrix(&k);
+        let mut cov = k.add(&k.matmul(&kinv_k).scale(-1.0));
+        // Symmetrize (rounding) and factor with jitter.
+        for i in 0..n {
+            for j in 0..i {
+                let s = (cov[(i, j)] + cov[(j, i)]) / 2.0;
+                cov[(i, j)] = s;
+                cov[(j, i)] = s;
+            }
+        }
+        let factor = match Cholesky::new_with_jitter(&cov) {
+            Ok(f) => f,
+            Err(_) => {
+                // Degenerate posterior (almost-exact interpolation):
+                // fall back to the mean.
+                return z
+                    .iter()
+                    .map(|_| {
+                        mean_std
+                            .iter()
+                            .map(|m| m * self.y_scale + self.y_mean)
+                            .collect()
+                    })
+                    .collect();
+            }
+        };
+        z.iter()
+            .map(|zrow| {
+                assert_eq!(zrow.len(), n, "z row length must equal train size");
+                let corr = factor.correlate(zrow);
+                mean_std
+                    .iter()
+                    .zip(&corr)
+                    .map(|(m, c)| (m + c) * self.y_scale + self.y_mean)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Returns a new GP conditioned on one extra (possibly fantasized)
+    /// observation, keeping the current kernel hyperparameters — the
+    /// Kriging-believer step used for batch selection.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::SingularKernel`] if the augmented kernel matrix cannot be
+    /// factored.
+    pub fn with_observation(&self, x: Vec<f64>, y: f64) -> Result<Gp, GpError> {
+        let mut xs = self.x.clone();
+        xs.push(x);
+        let mut ys = self.y_raw.clone();
+        ys.push(y);
+        // Keep hyperparameters: re-standardize and re-factor only.
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
+        let y_scale = var.sqrt().max(1e-9);
+        let y_std_units: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
+        let (lml, chol, alpha) =
+            Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
+                .ok_or(GpError::SingularKernel)?;
+        let _ = &y_std_units;
+        Ok(Gp {
+            x: xs,
+            y_raw: ys,
+            y_mean,
+            y_scale,
+            kernel: self.kernel,
+            noise: self.noise,
+            chol,
+            alpha,
+            lml,
+        })
+    }
+
+    /// Refits on a subset of the current data (used by leave-one-out
+    /// anomaly detection and sliding-window retraining), keeping the
+    /// selected hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::InsufficientData`] if fewer than two indices;
+    /// [`GpError::SingularKernel`] on factorization failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn refit_subset(&self, keep: &[usize]) -> Result<Gp, GpError> {
+        if keep.len() < 2 {
+            return Err(GpError::InsufficientData);
+        }
+        let xs: Vec<Vec<f64>> = keep.iter().map(|&i| self.x[i].clone()).collect();
+        let ys: Vec<f64> = keep.iter().map(|&i| self.y_raw[i]).collect();
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
+        let y_scale = var.sqrt().max(1e-9);
+        let y_std_units: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
+        let (lml, chol, alpha) =
+            Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
+                .ok_or(GpError::SingularKernel)?;
+        let _ = &y_std_units;
+        Ok(Gp {
+            x: xs,
+            y_raw: ys,
+            y_mean,
+            y_scale,
+            kernel: self.kernel,
+            noise: self.noise,
+            chol,
+            alpha,
+            lml,
+        })
+    }
+
+    /// Convenience: i.i.d. standard-normal draws shaped for
+    /// [`Gp::posterior_samples_at_train`].
+    pub fn standard_normal_draws(&self, m: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+        (0..m)
+            .map(|_| (0..self.x.len()).map(|_| rng.standard_normal()).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let xs = grid_1d(12);
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin()).collect();
+        let gp = Gp::fit(xs, ys, GpConfig::default()).unwrap();
+        for &t in &[0.15, 0.45, 0.85] {
+            let (mean, _) = gp.predict(&[t]);
+            assert!((mean - (3.0 * t).sin()).abs() < 0.05, "at {t}: {mean}");
+        }
+    }
+
+    #[test]
+    fn variance_shrinks_near_data() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![0.0, 1.0, 0.0];
+        let gp = Gp::fit(xs, ys, GpConfig::default()).unwrap();
+        let (_, var_at_data) = gp.predict(&[0.5]);
+        let (_, var_far) = gp.predict(&[0.25]);
+        assert!(var_at_data < var_far, "{var_at_data} !< {var_far}");
+    }
+
+    #[test]
+    fn predictions_in_original_units() {
+        // Targets far from zero: standardization must round-trip.
+        let xs = grid_1d(8);
+        let ys: Vec<f64> = xs.iter().map(|x| 1000.0 + 50.0 * x[0]).collect();
+        let gp = Gp::fit(xs.clone(), ys.clone(), GpConfig::default()).unwrap();
+        let (mean, _) = gp.predict(&xs[3]);
+        assert!((mean - ys[3]).abs() < 2.0, "{mean} vs {}", ys[3]);
+    }
+
+    #[test]
+    fn rejects_insufficient_data() {
+        assert_eq!(
+            Gp::fit(vec![vec![0.0]], vec![1.0], GpConfig::default()).unwrap_err(),
+            GpError::InsufficientData
+        );
+        assert_eq!(
+            Gp::fit(vec![vec![0.0], vec![1.0]], vec![1.0], GpConfig::default()).unwrap_err(),
+            GpError::InsufficientData
+        );
+    }
+
+    #[test]
+    fn lml_prefers_matching_lengthscale() {
+        // Fast-varying data should select a short lengthscale.
+        let xs = grid_1d(20);
+        let fast: Vec<f64> = xs.iter().map(|x| (20.0 * x[0]).sin()).collect();
+        let gp_fast = Gp::fit(xs.clone(), fast, GpConfig::default()).unwrap();
+        let slow: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp_slow = Gp::fit(xs, slow, GpConfig::default()).unwrap();
+        assert!(gp_fast.kernel().lengthscale() < gp_slow.kernel().lengthscale());
+    }
+
+    #[test]
+    fn with_observation_updates_posterior() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 1.0];
+        let gp = Gp::fit(xs, ys, GpConfig::default()).unwrap();
+        let (_, var_before) = gp.predict(&[0.5]);
+        let gp2 = gp.with_observation(vec![0.5], 5.0).unwrap();
+        let (mean_after, var_after) = gp2.predict(&[0.5]);
+        assert!(var_after < var_before);
+        assert!(mean_after > 1.0, "conditioning should pull the mean up: {mean_after}");
+        assert_eq!(gp2.len(), 3);
+    }
+
+    #[test]
+    fn refit_subset_drops_points() {
+        let xs = grid_1d(6);
+        let ys = vec![0.0, 1.0, 2.0, 3.0, 4.0, 100.0]; // last point is junk
+        let gp = Gp::fit(xs, ys, GpConfig::default()).unwrap();
+        let clean = gp.refit_subset(&[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(clean.len(), 5);
+        let (mean, _) = clean.predict(&[1.0]);
+        assert!(mean < 20.0, "outlier removed, mean should be sane: {mean}");
+    }
+
+    #[test]
+    fn posterior_samples_center_on_mean() {
+        let xs = grid_1d(8);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        let gp = Gp::fit(xs, ys, GpConfig::with_noise(0.05)).unwrap();
+        let mut rng = SimRng::seed(5);
+        let z = gp.standard_normal_draws(300, &mut rng);
+        let samples = gp.posterior_samples_at_train(&z);
+        assert_eq!(samples.len(), 300);
+        // Average over samples approximates the posterior mean at each point.
+        for i in 0..gp.len() {
+            let avg: f64 = samples.iter().map(|s| s[i]).sum::<f64>() / samples.len() as f64;
+            let (mean, _) = gp.predict(&gp.train_x()[i]);
+            assert!((avg - mean).abs() < 0.15, "point {i}: {avg} vs {mean}");
+        }
+    }
+
+    #[test]
+    fn noise_config_controls_fit_tightness() {
+        let xs = grid_1d(10);
+        let ys: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let tight = Gp::fit(xs.clone(), ys.clone(), GpConfig::with_noise(1e-6)).unwrap();
+        let loose = Gp::fit(xs.clone(), ys, GpConfig::with_noise(1.0)).unwrap();
+        // High noise smooths toward the mean; low noise interpolates.
+        let (m_tight, _) = tight.predict(&xs[1]);
+        let (m_loose, _) = loose.predict(&xs[1]);
+        assert!((m_tight - 1.0).abs() < 0.15, "tight fit should interpolate: {m_tight}");
+        assert!((m_loose - 0.5).abs() < 0.4, "loose fit should shrink: {m_loose}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! The GP surrogate models factor their kernel matrices here. The
+//! factorization also exposes log-determinant (for marginal likelihood) and
+//! rank-1-friendly triangular solves (for posterior covariance).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::matrix::Matrix;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_linalg::{Cholesky, Matrix};
+///
+/// let not_spd = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// assert!(Cholesky::new(&not_spd).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefiniteError {
+    /// Pivot index at which factorization failed.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl Error for NotPositiveDefiniteError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let chol = Cholesky::new(&a).unwrap();
+/// let x = chol.solve_vec(&[3.0, 3.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if a pivot is non-positive
+    /// (the matrix is singular or indefinite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Result<Self, NotPositiveDefiniteError> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky of a non-square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefiniteError { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factors `a` after adding progressively larger diagonal jitter until it
+    /// succeeds (up to `1e-4 * max|a|`). Standard practice for kernel
+    /// matrices that are PSD up to rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`NotPositiveDefiniteError`] if even the largest
+    /// jitter fails.
+    pub fn new_with_jitter(a: &Matrix) -> Result<Self, NotPositiveDefiniteError> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok(c),
+            Err(_) => {}
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut jitter = 1e-10 * scale;
+        let mut last_err = NotPositiveDefiniteError { pivot: 0 };
+        while jitter <= 1e-4 * scale {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Cholesky::new(&aj) {
+                Ok(c) => return Ok(c),
+                Err(e) => last_err = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last_err)
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            let lrow = self.l.row(i);
+            for k in 0..i {
+                sum -= lrow[k] * y[k];
+            }
+            y[i] = sum / lrow[i];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != dim()`.
+    pub fn backward_solve(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` for the original matrix `A = L Lᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        self.backward_solve(&self.forward_solve(b))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim(), "dimension mismatch");
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let x = self.solve_vec(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Log-determinant of the original matrix: `2 Σ ln L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Draws `z ↦ L z`, mapping i.i.d. standard normals to samples with
+    /// covariance `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != dim()`.
+    pub fn correlate(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(z.len(), n, "dimension mismatch");
+        (0..n)
+            .map(|i| self.l.row(i)[..=i].iter().zip(z).map(|(l, zz)| l * zz).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reconstruct(c: &Cholesky) -> Matrix {
+        c.factor().matmul(&c.factor().transpose())
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let r = reconstruct(&c);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve_vec(&[9.0, 8.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_known_value() {
+        // det([[2,0],[0,8]]) = 16.
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - 16.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 PSD matrix: plain Cholesky fails, jitter succeeds.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::new_with_jitter(&a).is_ok());
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.solve_matrix(&Matrix::identity(2));
+        let prod = a.matmul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn correlate_matches_factor_product() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let z = vec![1.0, -2.0];
+        let got = c.correlate(&z);
+        let want = c.factor().matvec(&z);
+        assert!((got[0] - want[0]).abs() < 1e-12);
+        assert!((got[1] - want[1]).abs() < 1e-12);
+    }
+
+    fn arb_spd(n: usize) -> impl Strategy<Value = Matrix> {
+        prop::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
+            let b = Matrix::from_vec(n, n, data);
+            let mut g = b.matmul(&b.transpose());
+            g.add_diagonal(0.5); // ensure strictly PD
+            g
+        })
+    }
+
+    proptest! {
+        /// Solving and re-multiplying recovers the RHS for random SPD systems.
+        #[test]
+        fn prop_solve_roundtrip(a in arb_spd(4), b in prop::collection::vec(-5.0f64..5.0, 4)) {
+            let c = Cholesky::new(&a).unwrap();
+            let x = c.solve_vec(&b);
+            let back = a.matvec(&x);
+            for i in 0..4 {
+                prop_assert!((back[i] - b[i]).abs() < 1e-6);
+            }
+        }
+
+        /// log det agrees with the product of squared pivots.
+        #[test]
+        fn prop_log_det_positive_definite(a in arb_spd(3)) {
+            let c = Cholesky::new(&a).unwrap();
+            prop_assert!(c.log_det().is_finite());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Scalar statistics: sample moments, quantiles, the standard normal
+//! distribution, and the SMAPE forecasting metric used by Table 1.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(aqua_linalg::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance. Returns 0 for fewer than two samples.
+pub fn sample_var(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_var(xs).sqrt()
+}
+
+/// Empirical quantile with linear interpolation, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the complementary-error-function relation with an Abramowitz &
+/// Stegun 7.1.26-style rational approximation (|error| < 1.5e-7), more than
+/// enough for acquisition-function arithmetic.
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let tail = normal_pdf(x.abs()) * poly;
+    if x >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Standard normal quantile (inverse CDF) via the Acklam approximation,
+/// refined with one Newton step. `p` must lie strictly inside `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    let x = if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Newton refinement against the accurate CDF.
+    let e = normal_cdf(x) - p;
+    x - e / normal_pdf(x).max(1e-300)
+}
+
+/// Symmetric Mean Absolute Percentage Error, as used by the paper's Table 1.
+///
+/// `SMAPE = mean( |f - a| / ((|a| + |f|) / 2) )`, reported as a fraction in
+/// `[0, 2]`. Pairs where both values are zero contribute zero error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// let err = aqua_linalg::smape(&[100.0, 100.0], &[100.0, 100.0]);
+/// assert_eq!(err, 0.0);
+/// ```
+pub fn smape(actual: &[f64], forecast: &[f64]) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "length mismatch");
+    assert!(!actual.is_empty(), "SMAPE of empty series");
+    let total: f64 = actual
+        .iter()
+        .zip(forecast)
+        .map(|(a, f)| {
+            let denom = (a.abs() + f.abs()) / 2.0;
+            if denom == 0.0 {
+                0.0
+            } else {
+                (f - a).abs() / denom
+            }
+        })
+        .sum();
+    total / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_var_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((sample_var(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((sample_std(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_var(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_key_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for &p in &[0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoid over [-8, 8].
+        let n = 4_000;
+        let h = 16.0 / n as f64;
+        let integral: f64 = (0..=n)
+            .map(|i| {
+                let x = -8.0 + i as f64 * h;
+                let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+                w * normal_pdf(x)
+            })
+            .sum::<f64>()
+            * h;
+        assert!((integral - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smape_basics() {
+        assert_eq!(smape(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        // Forecast double the actual: |2-1| / 1.5 = 2/3.
+        assert!((smape(&[1.0], &[2.0]) - 2.0 / 3.0).abs() < 1e-12);
+        // Symmetric in its arguments.
+        assert_eq!(smape(&[1.0], &[2.0]), smape(&[2.0], &[1.0]));
+    }
+
+    proptest! {
+        /// CDF is monotone non-decreasing.
+        #[test]
+        fn prop_cdf_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        }
+
+        /// SMAPE is bounded by 2 and zero only for identical series.
+        #[test]
+        fn prop_smape_bounds(xs in prop::collection::vec(0.0f64..100.0, 1..50),
+                             ys in prop::collection::vec(0.0f64..100.0, 1..50)) {
+            let n = xs.len().min(ys.len());
+            let s = smape(&xs[..n], &ys[..n]);
+            prop_assert!((0.0..=2.0 + 1e-12).contains(&s));
+            let self_err = smape(&xs[..n], &xs[..n]);
+            prop_assert!(self_err.abs() < 1e-12);
+        }
+
+        /// Quantile output lies within data range.
+        #[test]
+        fn prop_quantile_in_range(xs in prop::collection::vec(-50.0f64..50.0, 1..40),
+                                  q in 0.0f64..=1.0) {
+            let v = quantile(&xs, q);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Monte-Carlo dropout.
+//!
+//! Dropout here is not just a regularizer: kept **active at inference**, `T`
+//! stochastic forward passes approximate Bayesian posterior sampling (Gal &
+//! Ghahramani, ICML'16), which is how AQUATOPE obtains epistemic uncertainty
+//! for its container-pool predictions.
+
+use aqua_sim::SimRng;
+
+/// Inverted dropout with rate `p`: kept units are scaled by `1/(1-p)` so the
+/// expected activation is unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_nn::Dropout;
+/// use aqua_sim::SimRng;
+///
+/// let drop = Dropout::new(0.5);
+/// let mut rng = SimRng::seed(1);
+/// let mask = drop.sample_mask(4, &mut rng);
+/// let y = Dropout::apply(&[1.0, 1.0, 1.0, 1.0], &mask);
+/// assert!(y.iter().all(|v| *v == 0.0 || (*v - 2.0).abs() < 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f64,
+}
+
+impl Dropout {
+    /// Creates a dropout operator with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        Dropout { p }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples a multiplicative mask of the given width: each entry is
+    /// `0` with probability `p`, otherwise `1/(1-p)`.
+    ///
+    /// A rate of zero produces the all-ones mask (dropout disabled).
+    pub fn sample_mask(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        if self.p == 0.0 {
+            return vec![1.0; n];
+        }
+        let keep = 1.0 / (1.0 - self.p);
+        (0..n)
+            .map(|_| if rng.chance(self.p) { 0.0 } else { keep })
+            .collect()
+    }
+
+    /// Applies a previously sampled mask (elementwise product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn apply(x: &[f64], mask: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), mask.len(), "mask length mismatch");
+        x.iter().zip(mask).map(|(a, m)| a * m).collect()
+    }
+
+    /// Backpropagates through a masked application: `dx = dy ⊙ mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn backward(dy: &[f64], mask: &[f64]) -> Vec<f64> {
+        Self::apply(dy, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let d = Dropout::new(0.0);
+        let mut rng = SimRng::seed(2);
+        let mask = d.sample_mask(8, &mut rng);
+        assert_eq!(mask, vec![1.0; 8]);
+    }
+
+    #[test]
+    fn mask_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let mut rng = SimRng::seed(7);
+        let n = 200_000;
+        let mean: f64 = d.sample_mask(n, &mut rng).iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn drop_fraction_close_to_rate() {
+        let d = Dropout::new(0.5);
+        let mut rng = SimRng::seed(8);
+        let mask = d.sample_mask(100_000, &mut rng);
+        let dropped = mask.iter().filter(|m| **m == 0.0).count() as f64 / mask.len() as f64;
+        assert!((dropped - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_rate_one() {
+        let _ = Dropout::new(1.0);
+    }
+
+    proptest! {
+        /// apply/backward use the same mask, making dropout a linear op.
+        #[test]
+        fn prop_backward_is_apply(xs in prop::collection::vec(-3.0f64..3.0, 1..32), seed in 0u64..1000) {
+            let d = Dropout::new(0.4);
+            let mut rng = SimRng::seed(seed);
+            let mask = d.sample_mask(xs.len(), &mut rng);
+            let fwd = Dropout::apply(&xs, &mask);
+            let bwd = Dropout::backward(&xs, &mask);
+            prop_assert_eq!(fwd, bwd);
+        }
+    }
+}

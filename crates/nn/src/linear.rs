@@ -1,0 +1,202 @@
+//! Fully connected layer with manual backpropagation.
+
+use aqua_sim::SimRng;
+
+use crate::Parameterized;
+
+/// A dense affine layer `y = W x + b` with accumulated gradients.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_nn::Linear;
+/// use aqua_sim::SimRng;
+///
+/// let mut rng = SimRng::seed(0);
+/// let layer = Linear::new(3, 2, &mut rng);
+/// let y = layer.forward(&[1.0, 0.0, -1.0]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform initial weights and zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut SimRng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.uniform_range(-bound, bound))
+            .collect();
+        Linear {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let mut y = self.b.clone();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            y[o] += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients for the recorded
+    /// input `x` and upstream gradient `dy`, returning `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        assert_eq!(dy.len(), self.out_dim, "gradient dimension mismatch");
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = dy[o];
+            self.gb[o] += g;
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * x[i];
+                dx[i] += g * row[i];
+            }
+        }
+        dx
+    }
+}
+
+impl Parameterized for Linear {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mse;
+
+    /// Finite-difference check of the analytic gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SimRng::seed(3);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = [0.5, -1.0, 2.0];
+        let target = [1.0, -1.0];
+
+        layer.zero_grad();
+        let y = layer.forward(&x);
+        let (_, dy) = mse(&y, &target);
+        layer.backward(&x, &dy);
+
+        // Capture analytic grads.
+        let mut analytic: Vec<f64> = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.extend_from_slice(g));
+
+        // Numeric grads via central differences on each parameter.
+        let eps = 1e-6;
+        let mut idx = 0;
+        let mut param_lens = Vec::new();
+        layer.visit_params(&mut |w, _| param_lens.push(w.len()));
+        for (block, len) in param_lens.iter().enumerate() {
+            for k in 0..*len {
+                let perturb = |delta: f64, layer: &mut Linear| {
+                    let mut b = 0;
+                    layer.visit_params(&mut |w, _| {
+                        if b == block {
+                            w[k] += delta;
+                        }
+                        b += 1;
+                    });
+                };
+                perturb(eps, &mut layer);
+                let (lp, _) = mse(&layer.forward(&x), &target);
+                perturb(-2.0 * eps, &mut layer);
+                let (lm, _) = mse(&layer.forward(&x), &target);
+                perturb(eps, &mut layer);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[idx]).abs() < 1e-5,
+                    "param {idx}: numeric {numeric} analytic {}",
+                    analytic[idx]
+                );
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut rng = SimRng::seed(4);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = [1.0, 2.0];
+        let y = layer.forward(&x);
+        let (_, dy) = mse(&y, &[0.0, 0.0]);
+        let dx = layer.backward(&x, &dy);
+        assert_eq!(dx.len(), 2);
+
+        // dL/dx via finite differences.
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let (lp, _) = mse(&layer.forward(&xp), &[0.0, 0.0]);
+            xp[i] -= 2.0 * eps;
+            let (lm, _) = mse(&layer.forward(&xp), &[0.0, 0.0]);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = SimRng::seed(5);
+        let mut layer = Linear::new(2, 1, &mut rng);
+        let x = [1.0, 1.0];
+        let y = layer.forward(&x);
+        let (_, dy) = mse(&y, &[5.0]);
+        layer.backward(&x, &dy);
+        layer.zero_grad();
+        let mut all_zero = true;
+        layer.visit_params(&mut |_, g| all_zero &= g.iter().all(|v| *v == 0.0));
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn param_count_matches_shape() {
+        let mut rng = SimRng::seed(6);
+        let mut layer = Linear::new(7, 3, &mut rng);
+        assert_eq!(layer.param_count(), 7 * 3 + 3);
+    }
+}

@@ -1,0 +1,508 @@
+//! Stacked LSTM with exact backpropagation through time and variational
+//! (per-sequence) recurrent dropout.
+//!
+//! Gate layout in all `4H`-sized buffers is `[i | f | g | o]`.
+
+use aqua_sim::SimRng;
+
+use crate::dropout::Dropout;
+use crate::{sigmoid, Parameterized};
+
+/// One LSTM layer: `4H × I` input weights, `4H × H` recurrent weights, and
+/// `4H` biases (forget-gate bias initialized to 1, the standard trick).
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    input_dim: usize,
+    hidden: usize,
+    wx: Vec<f64>,
+    wh: Vec<f64>,
+    b: Vec<f64>,
+    gwx: Vec<f64>,
+    gwh: Vec<f64>,
+    gb: Vec<f64>,
+}
+
+/// Cached activations of one time step, needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+    /// Hidden state after variational dropout (what downstream consumers saw).
+    pub h_out: Vec<f64>,
+}
+
+impl LstmLayer {
+    /// Creates a layer with Xavier-uniform weights.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut SimRng) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "dimensions must be positive");
+        let bx = (6.0 / (input_dim + hidden) as f64).sqrt();
+        let bh = (6.0 / (2 * hidden) as f64).sqrt();
+        let wx = (0..4 * hidden * input_dim)
+            .map(|_| rng.uniform_range(-bx, bx))
+            .collect();
+        let wh = (0..4 * hidden * hidden)
+            .map(|_| rng.uniform_range(-bh, bh))
+            .collect();
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias = 1 helps gradient flow early in training.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        LstmLayer {
+            input_dim,
+            hidden,
+            wx,
+            wh,
+            b,
+            gwx: vec![0.0; 4 * hidden * input_dim],
+            gwh: vec![0.0; 4 * hidden * hidden],
+            gb: vec![0.0; 4 * hidden],
+        }
+    }
+
+    /// Hidden-state width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width `I`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// One forward step. `h_mask` is the variational dropout mask applied to
+    /// the produced hidden state (all-ones to disable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn forward_step(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+        h_mask: &[f64],
+    ) -> StepCache {
+        let hdim = self.hidden;
+        assert_eq!(x.len(), self.input_dim, "input width mismatch");
+        assert_eq!(h_prev.len(), hdim, "hidden width mismatch");
+        assert_eq!(c_prev.len(), hdim, "cell width mismatch");
+        assert_eq!(h_mask.len(), hdim, "mask width mismatch");
+
+        // z = Wx x + Wh h_prev + b
+        let mut z = self.b.clone();
+        for r in 0..4 * hdim {
+            let wxr = &self.wx[r * self.input_dim..(r + 1) * self.input_dim];
+            let whr = &self.wh[r * hdim..(r + 1) * hdim];
+            z[r] += wxr.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+                + whr.iter().zip(h_prev).map(|(w, v)| w * v).sum::<f64>();
+        }
+
+        let mut i = vec![0.0; hdim];
+        let mut f = vec![0.0; hdim];
+        let mut g = vec![0.0; hdim];
+        let mut o = vec![0.0; hdim];
+        let mut c = vec![0.0; hdim];
+        let mut tanh_c = vec![0.0; hdim];
+        let mut h_out = vec![0.0; hdim];
+        for k in 0..hdim {
+            i[k] = sigmoid(z[k]);
+            f[k] = sigmoid(z[hdim + k]);
+            g[k] = z[2 * hdim + k].tanh();
+            o[k] = sigmoid(z[3 * hdim + k]);
+            c[k] = f[k] * c_prev[k] + i[k] * g[k];
+            tanh_c[k] = c[k].tanh();
+            h_out[k] = o[k] * tanh_c[k] * h_mask[k];
+        }
+
+        StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            tanh_c,
+            h_out,
+        }
+    }
+
+    /// One backward step. `dh` is the gradient w.r.t. the *masked* output
+    /// `h_out`; `dc` the gradient w.r.t. the cell state. Returns
+    /// `(dx, dh_prev, dc_prev)` and accumulates weight gradients.
+    pub fn backward_step(
+        &mut self,
+        cache: &StepCache,
+        dh: &[f64],
+        dc: &[f64],
+        h_mask: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let hdim = self.hidden;
+        let mut dz = vec![0.0; 4 * hdim];
+        let mut dc_prev = vec![0.0; hdim];
+        for k in 0..hdim {
+            // Gradient reaching the pre-mask hidden state.
+            let dh_raw = dh[k] * h_mask[k];
+            let do_ = dh_raw * cache.tanh_c[k];
+            let dct = dh_raw * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]) + dc[k];
+            let di = dct * cache.g[k];
+            let df = dct * cache.c_prev[k];
+            let dg = dct * cache.i[k];
+            dc_prev[k] = dct * cache.f[k];
+            dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+            dz[hdim + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+            dz[2 * hdim + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+            dz[3 * hdim + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+        }
+
+        let mut dx = vec![0.0; self.input_dim];
+        let mut dh_prev = vec![0.0; hdim];
+        for r in 0..4 * hdim {
+            let grad = dz[r];
+            self.gb[r] += grad;
+            let wxr = &self.wx[r * self.input_dim..(r + 1) * self.input_dim];
+            let gxr = &mut self.gwx[r * self.input_dim..(r + 1) * self.input_dim];
+            for idx in 0..self.input_dim {
+                gxr[idx] += grad * cache.x[idx];
+                dx[idx] += grad * wxr[idx];
+            }
+            let whr = &self.wh[r * hdim..(r + 1) * hdim];
+            let ghr = &mut self.gwh[r * hdim..(r + 1) * hdim];
+            for idx in 0..hdim {
+                ghr[idx] += grad * cache.h_prev[idx];
+                dh_prev[idx] += grad * whr[idx];
+            }
+        }
+        (dx, dh_prev, dc_prev)
+    }
+}
+
+impl Parameterized for LstmLayer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.wx, &mut self.gwx);
+        f(&mut self.wh, &mut self.gwh);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// A stack of LSTM layers processed over a sequence, with per-sequence
+/// variational dropout masks on each layer's hidden output.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    layers: Vec<LstmLayer>,
+    dropout: Dropout,
+}
+
+/// Everything the backward pass needs from one sequence forward pass.
+#[derive(Debug, Clone)]
+pub struct SeqCache {
+    /// `caches[layer][step]`.
+    caches: Vec<Vec<StepCache>>,
+    /// Variational masks, one per layer.
+    masks: Vec<Vec<f64>>,
+    /// Final (masked) hidden state per layer.
+    pub final_h: Vec<Vec<f64>>,
+    /// Final cell state per layer.
+    pub final_c: Vec<Vec<f64>>,
+    /// Masked top-layer hidden state per step.
+    pub outputs: Vec<Vec<f64>>,
+}
+
+impl Lstm {
+    /// Builds a stack: `dims = [input, h1, h2, ...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    pub fn new(dims: &[usize], dropout: f64, rng: &mut SimRng) -> Self {
+        assert!(dims.len() >= 2, "need at least input and one hidden size");
+        let layers = dims
+            .windows(2)
+            .map(|w| LstmLayer::new(w[0], w[1], rng))
+            .collect();
+        Lstm {
+            layers,
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Number of stacked layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Hidden width of the top layer.
+    pub fn top_hidden(&self) -> usize {
+        self.layers.last().expect("at least one layer").hidden()
+    }
+
+    /// Hidden width of layer `l`.
+    pub fn hidden_of(&self, l: usize) -> usize {
+        self.layers[l].hidden()
+    }
+
+    /// Runs the sequence forward from the given initial states.
+    ///
+    /// `init` is `(h, c)` per layer, or `None` for zeros. When `train` is
+    /// false, dropout masks are all-ones (deterministic inference); when
+    /// true (or for MC-dropout inference), fresh masks are sampled once per
+    /// sequence — Gal & Ghahramani's variational RNN dropout.
+    pub fn forward_seq(
+        &self,
+        xs: &[Vec<f64>],
+        init: Option<(&[Vec<f64>], &[Vec<f64>])>,
+        train: bool,
+        rng: &mut SimRng,
+    ) -> SeqCache {
+        assert!(!xs.is_empty(), "empty sequence");
+        let num_layers = self.layers.len();
+        let masks: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| {
+                if train {
+                    self.dropout.sample_mask(l.hidden(), rng)
+                } else {
+                    vec![1.0; l.hidden()]
+                }
+            })
+            .collect();
+
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(num_layers);
+        let mut c: Vec<Vec<f64>> = Vec::with_capacity(num_layers);
+        for (l, layer) in self.layers.iter().enumerate() {
+            match init {
+                Some((h0, c0)) => {
+                    h.push(h0[l].clone());
+                    c.push(c0[l].clone());
+                }
+                None => {
+                    h.push(vec![0.0; layer.hidden()]);
+                    c.push(vec![0.0; layer.hidden()]);
+                }
+            }
+        }
+
+        let mut caches: Vec<Vec<StepCache>> = vec![Vec::with_capacity(xs.len()); num_layers];
+        let mut outputs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut input = x.clone();
+            for (l, layer) in self.layers.iter().enumerate() {
+                let cache = layer.forward_step(&input, &h[l], &c[l], &masks[l]);
+                h[l] = cache.h_out.clone();
+                c[l] = cache.c.clone();
+                input = cache.h_out.clone();
+                caches[l].push(cache);
+            }
+            outputs.push(input);
+        }
+
+        SeqCache {
+            caches,
+            masks,
+            final_h: h,
+            final_c: c,
+            outputs,
+        }
+    }
+
+    /// Backpropagates through the whole sequence.
+    ///
+    /// `d_outputs[t]` is the gradient w.r.t. the top-layer output at step `t`
+    /// (zero vectors are fine). `d_final` optionally adds gradients flowing
+    /// into the final `(h, c)` of every layer (used by the encoder, whose
+    /// final state feeds the decoder). Returns the gradients w.r.t. each
+    /// input step and w.r.t. the initial states.
+    pub fn backward_seq(
+        &mut self,
+        cache: &SeqCache,
+        d_outputs: &[Vec<f64>],
+        d_final: Option<(&[Vec<f64>], &[Vec<f64>])>,
+    ) -> SeqGrads {
+        let steps = cache.outputs.len();
+        assert_eq!(d_outputs.len(), steps, "gradient/step count mismatch");
+        let num_layers = self.layers.len();
+
+        let mut dh: Vec<Vec<f64>> = Vec::with_capacity(num_layers);
+        let mut dc: Vec<Vec<f64>> = Vec::with_capacity(num_layers);
+        for (l, layer) in self.layers.iter().enumerate() {
+            match d_final {
+                Some((dhf, dcf)) => {
+                    dh.push(dhf[l].clone());
+                    dc.push(dcf[l].clone());
+                }
+                None => {
+                    dh.push(vec![0.0; layer.hidden()]);
+                    dc.push(vec![0.0; layer.hidden()]);
+                }
+            }
+        }
+
+        let input_dim = self.layers[0].input_dim();
+        let mut dxs = vec![vec![0.0; input_dim]; steps];
+        for t in (0..steps).rev() {
+            // Gradient flowing into the top layer's output at this step.
+            let mut dnext: Vec<f64> = d_outputs[t].clone();
+            for l in (0..num_layers).rev() {
+                for (a, b) in dh[l].iter_mut().zip(&dnext) {
+                    *a += b;
+                }
+                let (dx, dh_prev, dc_prev) = {
+                    let step_cache = &cache.caches[l][t];
+                    let mask = &cache.masks[l];
+                    let dh_l = dh[l].clone();
+                    let dc_l = dc[l].clone();
+                    self.layers[l].backward_step(step_cache, &dh_l, &dc_l, mask)
+                };
+                dh[l] = dh_prev;
+                dc[l] = dc_prev;
+                dnext = dx;
+            }
+            dxs[t] = dnext;
+        }
+        SeqGrads {
+            d_inputs: dxs,
+            d_init_h: dh,
+            d_init_c: dc,
+        }
+    }
+}
+
+/// Gradients returned by [`Lstm::backward_seq`].
+#[derive(Debug, Clone)]
+pub struct SeqGrads {
+    /// Gradient w.r.t. each input step.
+    pub d_inputs: Vec<Vec<f64>>,
+    /// Gradient w.r.t. the initial hidden state per layer.
+    pub d_init_h: Vec<Vec<f64>>,
+    /// Gradient w.r.t. the initial cell state per layer.
+    pub d_init_c: Vec<Vec<f64>>,
+}
+
+impl Parameterized for Lstm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mse;
+
+    fn seq_loss(lstm: &Lstm, xs: &[Vec<f64>], target: &[f64], rng: &mut SimRng) -> f64 {
+        let cache = lstm.forward_seq(xs, None, false, rng);
+        let last = cache.outputs.last().unwrap();
+        mse(last, target).0
+    }
+
+    /// Full BPTT gradient check against central finite differences.
+    #[test]
+    fn bptt_matches_finite_differences() {
+        let mut rng = SimRng::seed(10);
+        let mut lstm = Lstm::new(&[2, 3, 2], 0.0, &mut rng);
+        let xs: Vec<Vec<f64>> = vec![vec![0.5, -0.2], vec![1.0, 0.3], vec![-0.7, 0.9]];
+        let target = vec![0.3, -0.4];
+
+        lstm.zero_grad();
+        let cache = lstm.forward_seq(&xs, None, false, &mut rng);
+        let last = cache.outputs.last().unwrap().clone();
+        let (_, dlast) = mse(&last, &target);
+        let mut d_outputs = vec![vec![0.0; 2]; xs.len()];
+        *d_outputs.last_mut().unwrap() = dlast;
+        lstm.backward_seq(&cache, &d_outputs, None);
+
+        let mut analytic = Vec::new();
+        lstm.visit_params(&mut |_, g| analytic.extend_from_slice(g));
+
+        let eps = 1e-5;
+        let mut block_lens = Vec::new();
+        lstm.visit_params(&mut |w, _| block_lens.push(w.len()));
+        let mut idx = 0;
+        for (block, len) in block_lens.iter().enumerate() {
+            // Check a subset of parameters per block to keep the test fast.
+            let stride = (len / 5).max(1);
+            for k in (0..*len).step_by(stride) {
+                let flat_idx = idx + k;
+                let perturb = |delta: f64, l: &mut Lstm| {
+                    let mut b = 0;
+                    l.visit_params(&mut |w, _| {
+                        if b == block {
+                            w[k] += delta;
+                        }
+                        b += 1;
+                    });
+                };
+                perturb(eps, &mut lstm);
+                let lp = seq_loss(&lstm, &xs, &target, &mut rng);
+                perturb(-2.0 * eps, &mut lstm);
+                let lm = seq_loss(&lstm, &xs, &target, &mut rng);
+                perturb(eps, &mut lstm);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[flat_idx]).abs() < 1e-4,
+                    "block {block} param {k}: numeric {numeric} analytic {}",
+                    analytic[flat_idx]
+                );
+            }
+            idx += len;
+        }
+    }
+
+    #[test]
+    fn deterministic_inference_is_repeatable() {
+        let mut rng = SimRng::seed(20);
+        let lstm = Lstm::new(&[1, 4], 0.5, &mut rng);
+        let xs = vec![vec![1.0], vec![2.0]];
+        let a = lstm.forward_seq(&xs, None, false, &mut rng);
+        let b = lstm.forward_seq(&xs, None, false, &mut rng);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn dropout_masks_vary_in_training() {
+        let mut rng = SimRng::seed(21);
+        let lstm = Lstm::new(&[1, 32], 0.5, &mut rng);
+        let xs = vec![vec![1.0]; 3];
+        let a = lstm.forward_seq(&xs, None, true, &mut rng);
+        let b = lstm.forward_seq(&xs, None, true, &mut rng);
+        assert_ne!(a.outputs, b.outputs, "MC dropout should produce stochastic outputs");
+    }
+
+    #[test]
+    fn initial_state_is_respected() {
+        let mut rng = SimRng::seed(22);
+        let lstm = Lstm::new(&[1, 3], 0.0, &mut rng);
+        let xs = vec![vec![0.5]];
+        let zero = lstm.forward_seq(&xs, None, false, &mut rng);
+        let h0 = vec![vec![0.9, -0.9, 0.4]];
+        let c0 = vec![vec![0.1, 0.2, -0.3]];
+        let warm = lstm.forward_seq(&xs, Some((&h0, &c0)), false, &mut rng);
+        assert_ne!(zero.outputs, warm.outputs);
+    }
+
+    #[test]
+    fn cell_state_stays_bounded() {
+        // With bounded inputs the hidden state must stay in (-1, 1).
+        let mut rng = SimRng::seed(23);
+        let lstm = Lstm::new(&[1, 8], 0.0, &mut rng);
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i as f64 / 10.0).sin()]).collect();
+        let cache = lstm.forward_seq(&xs, None, false, &mut rng);
+        for out in &cache.outputs {
+            for v in out {
+                assert!(v.abs() <= 1.0, "hidden state escaped (-1,1): {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Multi-layer perceptron with tanh activations and MC dropout, matching the
+//! paper's prediction network (three fully connected layers, tanh, regular
+//! dropout on the hidden layers).
+
+use aqua_sim::SimRng;
+
+use crate::dropout::Dropout;
+use crate::linear::Linear;
+use crate::Parameterized;
+
+/// An MLP: `Linear → tanh → dropout` per hidden layer, then a final Linear.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_nn::Mlp;
+/// use aqua_sim::SimRng;
+///
+/// let mut rng = SimRng::seed(1);
+/// let mlp = Mlp::new(4, &[16, 16], 1, 0.1, &mut rng);
+/// let y = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
+/// assert_eq!(y.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    dropout: Dropout,
+}
+
+/// Forward-pass record needed for backprop (inputs and masks per layer).
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input to each Linear layer.
+    inputs: Vec<Vec<f64>>,
+    /// Pre-activation output of each hidden Linear.
+    pre_act: Vec<Vec<f64>>,
+    /// Dropout mask per hidden layer.
+    masks: Vec<Vec<f64>>,
+    /// Final network output.
+    pub output: Vec<f64>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given hidden widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        in_dim: usize,
+        hidden: &[usize],
+        out_dim: usize,
+        dropout: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut prev = in_dim;
+        for &h in hidden {
+            layers.push(Linear::new(prev, h, rng));
+            prev = h;
+        }
+        layers.push(Linear::new(prev, out_dim, rng));
+        Mlp {
+            layers,
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Deterministic forward pass (dropout disabled).
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (l, layer) in self.layers.iter().enumerate() {
+            cur = layer.forward(&cur);
+            if l < last {
+                cur.iter_mut().for_each(|v| *v = v.tanh());
+            }
+        }
+        cur
+    }
+
+    /// Stochastic forward pass with dropout active, recording everything the
+    /// backward pass needs. Also used for MC-dropout inference.
+    pub fn forward_train(&self, x: &[f64], rng: &mut SimRng) -> MlpCache {
+        let last = self.layers.len() - 1;
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_act = Vec::with_capacity(last);
+        let mut masks = Vec::with_capacity(last);
+        let mut cur = x.to_vec();
+        for (l, layer) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            cur = layer.forward(&cur);
+            if l < last {
+                pre_act.push(cur.clone());
+                cur.iter_mut().for_each(|v| *v = v.tanh());
+                let mask = self.dropout.sample_mask(cur.len(), rng);
+                cur = Dropout::apply(&cur, &mask);
+                masks.push(mask);
+            }
+        }
+        MlpCache {
+            inputs,
+            pre_act,
+            masks,
+            output: cur,
+        }
+    }
+
+    /// Backward pass for a recorded stochastic forward pass. Accumulates
+    /// parameter gradients and returns `dL/dx`.
+    pub fn backward(&mut self, cache: &MlpCache, d_out: &[f64]) -> Vec<f64> {
+        let last = self.layers.len() - 1;
+        let mut grad = d_out.to_vec();
+        for l in (0..self.layers.len()).rev() {
+            if l < last {
+                // Through dropout, then tanh.
+                grad = Dropout::backward(&grad, &cache.masks[l]);
+                for (gv, z) in grad.iter_mut().zip(&cache.pre_act[l]) {
+                    let t = z.tanh();
+                    *gv *= 1.0 - t * t;
+                }
+            }
+            grad = self.layers[l].backward(&cache.inputs[l], &grad);
+        }
+        grad
+    }
+}
+
+impl Parameterized for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mse;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SimRng::seed(1);
+        let mlp = Mlp::new(3, &[5, 4], 2, 0.0, &mut rng);
+        assert_eq!(mlp.in_dim(), 3);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.forward(&[0.0; 3]).len(), 2);
+    }
+
+    #[test]
+    fn train_forward_without_dropout_matches_deterministic() {
+        let mut rng = SimRng::seed(2);
+        let mlp = Mlp::new(2, &[4], 1, 0.0, &mut rng);
+        let x = [0.3, -0.8];
+        let det = mlp.forward(&x);
+        let sto = mlp.forward_train(&x, &mut rng);
+        assert!((det[0] - sto.output[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = SimRng::seed(3);
+        let mut mlp = Mlp::new(2, &[4, 3], 1, 0.0, &mut rng);
+        let x = [0.4, -0.6];
+        let target = [0.7];
+
+        mlp.zero_grad();
+        let cache = mlp.forward_train(&x, &mut rng);
+        let (_, d_out) = mse(&cache.output, &target);
+        mlp.backward(&cache, &d_out);
+
+        let mut analytic = Vec::new();
+        mlp.visit_params(&mut |_, g| analytic.extend_from_slice(g));
+
+        let eps = 1e-6;
+        let mut block_lens = Vec::new();
+        mlp.visit_params(&mut |w, _| block_lens.push(w.len()));
+        let mut offset = 0;
+        for (block, len) in block_lens.iter().enumerate() {
+            for k in 0..*len {
+                let perturb = |delta: f64, m: &mut Mlp| {
+                    let mut b = 0;
+                    m.visit_params(&mut |w, _| {
+                        if b == block {
+                            w[k] += delta;
+                        }
+                        b += 1;
+                    });
+                };
+                perturb(eps, &mut mlp);
+                let (lp, _) = mse(&mlp.forward(&x), &target);
+                perturb(-2.0 * eps, &mut mlp);
+                let (lm, _) = mse(&mlp.forward(&x), &target);
+                perturb(eps, &mut mlp);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[offset + k]).abs() < 1e-5,
+                    "block {block} param {k}"
+                );
+            }
+            offset += len;
+        }
+    }
+
+    #[test]
+    fn mc_dropout_produces_variance() {
+        let mut rng = SimRng::seed(4);
+        let mlp = Mlp::new(1, &[32, 32], 1, 0.3, &mut rng);
+        let outs: Vec<f64> = (0..50)
+            .map(|_| mlp.forward_train(&[1.0], &mut rng).output[0])
+            .collect();
+        let mean = outs.iter().sum::<f64>() / outs.len() as f64;
+        let var = outs.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / outs.len() as f64;
+        assert!(var > 0.0, "MC dropout must produce nonzero predictive variance");
+    }
+}

@@ -1,0 +1,458 @@
+//! LSTM encoder-decoder (sequence-to-sequence) for invocation time series.
+//!
+//! Mirrors the paper's Fig. 2: a stacked-LSTM **encoder** summarizes the
+//! input window into a latent variable `Z` (its final top-layer hidden
+//! state), bridge layers map the encoder's final states into the decoder's
+//! initial states, and a stacked-LSTM **decoder** emits the next `k`
+//! windows. After pre-training, the encoder serves as a feature-extraction
+//! black box for the prediction network (see `aqua-forecast`).
+
+use aqua_sim::SimRng;
+
+use crate::adam::Adam;
+use crate::linear::Linear;
+use crate::lstm::Lstm;
+use crate::{mse, Parameterized};
+
+/// Hyperparameters for [`EncoderDecoder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seq2SeqConfig {
+    /// Width of each input step (1 for a univariate container-count series).
+    pub input_dim: usize,
+    /// Hidden widths of the stacked encoder layers (paper: two layers, 64).
+    pub enc_hidden: Vec<usize>,
+    /// Hidden widths of the stacked decoder layers (paper: two layers, 16).
+    pub dec_hidden: Vec<usize>,
+    /// Number of future windows the decoder reconstructs during training.
+    pub horizon: usize,
+    /// Variational dropout rate applied inside the encoder.
+    pub dropout: f64,
+}
+
+impl Default for Seq2SeqConfig {
+    /// Paper-scale defaults: 2×64 encoder, 2×16 decoder, 1-step-ahead
+    /// emphasis with a 4-window reconstruction horizon, 10% dropout.
+    fn default() -> Self {
+        Seq2SeqConfig {
+            input_dim: 1,
+            enc_hidden: vec![64, 64],
+            dec_hidden: vec![16, 16],
+            horizon: 4,
+            dropout: 0.1,
+        }
+    }
+}
+
+/// The encoder-decoder network.
+#[derive(Debug, Clone)]
+pub struct EncoderDecoder {
+    config: Seq2SeqConfig,
+    encoder: Lstm,
+    /// One `(h, c)` bridge pair per decoder layer, fed from the latent `Z`.
+    bridges_h: Vec<Linear>,
+    bridges_c: Vec<Linear>,
+    decoder: Lstm,
+    out: Linear,
+}
+
+impl EncoderDecoder {
+    /// Builds the network from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configured width is zero or `horizon == 0`.
+    pub fn new(config: Seq2SeqConfig, rng: &mut SimRng) -> Self {
+        assert!(config.horizon > 0, "horizon must be positive");
+        let mut enc_dims = vec![config.input_dim];
+        enc_dims.extend_from_slice(&config.enc_hidden);
+        let encoder = Lstm::new(&enc_dims, config.dropout, rng);
+
+        let z_dim = *config.enc_hidden.last().expect("encoder layers");
+        let bridges_h = config
+            .dec_hidden
+            .iter()
+            .map(|&h| Linear::new(z_dim, h, rng))
+            .collect();
+        let bridges_c = config
+            .dec_hidden
+            .iter()
+            .map(|&h| Linear::new(z_dim, h, rng))
+            .collect();
+
+        let mut dec_dims = vec![config.input_dim];
+        dec_dims.extend_from_slice(&config.dec_hidden);
+        let decoder = Lstm::new(&dec_dims, 0.0, rng);
+        let out = Linear::new(*config.dec_hidden.last().expect("decoder layers"), config.input_dim, rng);
+
+        EncoderDecoder {
+            config,
+            encoder,
+            bridges_h,
+            bridges_c,
+            decoder,
+            out,
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &Seq2SeqConfig {
+        &self.config
+    }
+
+    /// Width of the latent variable `Z`.
+    pub fn latent_dim(&self) -> usize {
+        self.encoder.top_hidden()
+    }
+
+    /// Encodes an input window and returns the latent variable `Z` (the
+    /// encoder's final top-layer hidden state).
+    ///
+    /// With `stochastic = true` the encoder's variational dropout stays
+    /// active — one MC-dropout posterior sample per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any step has the wrong width.
+    pub fn encode(&self, xs: &[Vec<f64>], stochastic: bool, rng: &mut SimRng) -> Vec<f64> {
+        let cache = self.encoder.forward_seq(xs, None, stochastic, rng);
+        cache.final_h.last().expect("encoder layers").clone()
+    }
+
+    /// Autoregressive multi-step forecast of the next `k` steps.
+    pub fn predict(&self, xs: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+        let enc = self.encoder.forward_seq(xs, None, false, rng);
+        let z = enc.final_h.last().expect("encoder layers");
+        let (h0, c0) = self.bridge(z);
+        let mut preds = Vec::with_capacity(k);
+        let zero = vec![0.0; self.config.input_dim];
+        let mut h = h0;
+        let mut c = c0;
+        for _ in 0..k {
+            let step = self
+                .decoder
+                .forward_seq(&[zero.clone()], Some((&h, &c)), false, rng);
+            h = step.final_h.clone();
+            c = step.final_c.clone();
+            let y = self.out.forward(step.outputs.last().expect("one step"));
+            preds.push(y.clone());
+        }
+        preds
+    }
+
+    fn bridge(&self, z: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let h = self
+            .bridges_h
+            .iter()
+            .map(|b| b.forward(z).iter().map(|v| v.tanh()).collect())
+            .collect();
+        let c = self
+            .bridges_c
+            .iter()
+            .map(|b| b.forward(z).iter().map(|v| v.tanh()).collect())
+            .collect();
+        (h, c)
+    }
+
+    /// One training step on a single `(input window, target horizon)` pair
+    /// with teacher forcing. Accumulates gradients and returns the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys.len() != config.horizon`.
+    pub fn accumulate_example(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        rng: &mut SimRng,
+    ) -> f64 {
+        assert_eq!(ys.len(), self.config.horizon, "target horizon mismatch");
+
+        // --- forward ---
+        let enc_cache = self.encoder.forward_seq(xs, None, true, rng);
+        let z = enc_cache.final_h.last().expect("encoder layers").clone();
+        // Bridge (record pre-tanh for backprop).
+        let pre_h: Vec<Vec<f64>> = self.bridges_h.iter().map(|b| b.forward(&z)).collect();
+        let pre_c: Vec<Vec<f64>> = self.bridges_c.iter().map(|b| b.forward(&z)).collect();
+        let h0: Vec<Vec<f64>> = pre_h
+            .iter()
+            .map(|v| v.iter().map(|x| x.tanh()).collect())
+            .collect();
+        let c0: Vec<Vec<f64>> = pre_c
+            .iter()
+            .map(|v| v.iter().map(|x| x.tanh()).collect())
+            .collect();
+
+        // Decoder inputs are zeros: every bit of information must flow
+        // through the latent Z and the bridged states, otherwise teacher
+        // forcing lets the decoder copy its inputs and Z learns nothing.
+        let dec_inputs = vec![vec![0.0; self.config.input_dim]; ys.len()];
+        let dec_cache = self
+            .decoder
+            .forward_seq(&dec_inputs, Some((&h0, &c0)), false, rng);
+
+        // Output projection per step + loss.
+        let mut loss = 0.0;
+        let mut d_dec_out = Vec::with_capacity(ys.len());
+        let mut out_inputs = Vec::with_capacity(ys.len());
+        let mut out_grads = Vec::with_capacity(ys.len());
+        for (t, target) in ys.iter().enumerate() {
+            let dec_out = dec_cache.outputs[t].clone();
+            let pred = self.out.forward(&dec_out);
+            let (l, d_pred) = mse(&pred, target);
+            loss += l / ys.len() as f64;
+            out_inputs.push(dec_out);
+            out_grads.push(
+                d_pred
+                    .iter()
+                    .map(|g| g / ys.len() as f64)
+                    .collect::<Vec<f64>>(),
+            );
+            d_dec_out.push(vec![0.0; self.decoder.top_hidden()]);
+        }
+
+        // --- backward ---
+        for t in 0..ys.len() {
+            d_dec_out[t] = self.out.backward(&out_inputs[t], &out_grads[t]);
+        }
+        let dec_grads = self.decoder.backward_seq(&dec_cache, &d_dec_out, None);
+
+        // Through the tanh bridges into Z.
+        let mut dz = vec![0.0; z.len()];
+        for (l, bridge) in self.bridges_h.iter_mut().enumerate() {
+            let d_pre: Vec<f64> = dec_grads.d_init_h[l]
+                .iter()
+                .zip(&pre_h[l])
+                .map(|(g, p)| {
+                    let t = p.tanh();
+                    g * (1.0 - t * t)
+                })
+                .collect();
+            for (a, b) in dz.iter_mut().zip(bridge.backward(&z, &d_pre)) {
+                *a += b;
+            }
+        }
+        for (l, bridge) in self.bridges_c.iter_mut().enumerate() {
+            let d_pre: Vec<f64> = dec_grads.d_init_c[l]
+                .iter()
+                .zip(&pre_c[l])
+                .map(|(g, p)| {
+                    let t = p.tanh();
+                    g * (1.0 - t * t)
+                })
+                .collect();
+            for (a, b) in dz.iter_mut().zip(bridge.backward(&z, &d_pre)) {
+                *a += b;
+            }
+        }
+
+        // Into the encoder: gradient lands on the final top-layer hidden.
+        let num_enc = self.encoder.num_layers();
+        let mut dh_final: Vec<Vec<f64>> = (0..num_enc)
+            .map(|l| vec![0.0; self.encoder.hidden_of(l)])
+            .collect();
+        let dc_final: Vec<Vec<f64>> = dh_final.clone();
+        dh_final[num_enc - 1] = dz;
+        let zero_outputs = vec![vec![0.0; self.encoder.top_hidden()]; xs.len()];
+        self.encoder
+            .backward_seq(&enc_cache, &zero_outputs, Some((&dh_final, &dc_final)));
+
+        loss
+    }
+
+    /// Trains on a dataset of `(window, horizon)` pairs for the given number
+    /// of epochs, returning the mean loss per epoch.
+    pub fn train(
+        &mut self,
+        dataset: &[(Vec<Vec<f64>>, Vec<Vec<f64>>)],
+        epochs: usize,
+        lr: f64,
+        rng: &mut SimRng,
+    ) -> Vec<f64> {
+        assert!(!dataset.is_empty(), "empty training set");
+        let mut adam = Adam::new(lr).with_clip(1.0);
+        let mut history = Vec::with_capacity(epochs);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for &i in &order {
+                self.zero_grad();
+                let (xs, ys) = &dataset[i];
+                epoch_loss += self.accumulate_example(xs, ys, rng);
+                adam.step(self);
+            }
+            history.push(epoch_loss / dataset.len() as f64);
+        }
+        history
+    }
+}
+
+impl Parameterized for EncoderDecoder {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.encoder.visit_params(f);
+        for b in &mut self.bridges_h {
+            b.visit_params(f);
+        }
+        for b in &mut self.bridges_c {
+            b.visit_params(f);
+        }
+        self.decoder.visit_params(f);
+        self.out.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Seq2SeqConfig {
+        Seq2SeqConfig {
+            input_dim: 1,
+            enc_hidden: vec![8, 8],
+            dec_hidden: vec![6],
+            horizon: 2,
+            dropout: 0.0,
+        }
+    }
+
+    fn sine_dataset(n: usize, window: usize, horizon: usize) -> Vec<(Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+        let series: Vec<f64> = (0..n + window + horizon)
+            .map(|i| (i as f64 * 0.4).sin() * 0.5)
+            .collect();
+        (0..n)
+            .map(|s| {
+                let xs = series[s..s + window].iter().map(|v| vec![*v]).collect();
+                let ys = series[s + window..s + window + horizon]
+                    .iter()
+                    .map(|v| vec![*v])
+                    .collect();
+                (xs, ys)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = SimRng::seed(1);
+        let mut model = EncoderDecoder::new(tiny_config(), &mut rng);
+        let data = sine_dataset(40, 8, 2);
+        let history = model.train(&data, 15, 5e-3, &mut rng);
+        let first = history.first().unwrap();
+        let last = history.last().unwrap();
+        assert!(
+            last < &(first * 0.5),
+            "loss should at least halve: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn predict_learns_sine_direction() {
+        let mut rng = SimRng::seed(2);
+        let mut model = EncoderDecoder::new(tiny_config(), &mut rng);
+        let data = sine_dataset(60, 8, 2);
+        model.train(&data, 30, 5e-3, &mut rng);
+        // Evaluate one-step-ahead on held-out windows.
+        let test = sine_dataset(80, 8, 2);
+        let mut err = 0.0;
+        for (xs, ys) in &test[60..80] {
+            let pred = model.predict(xs, 1, &mut rng);
+            err += (pred[0][0] - ys[0][0]).abs();
+        }
+        err /= 20.0;
+        assert!(err < 0.15, "mean 1-step error too high: {err}");
+    }
+
+    #[test]
+    fn latent_has_configured_width() {
+        let mut rng = SimRng::seed(3);
+        let model = EncoderDecoder::new(tiny_config(), &mut rng);
+        assert_eq!(model.latent_dim(), 8);
+        let z = model.encode(&[vec![0.1], vec![0.2]], false, &mut rng);
+        assert_eq!(z.len(), 8);
+    }
+
+    #[test]
+    fn stochastic_encoding_varies_with_dropout() {
+        let mut rng = SimRng::seed(4);
+        let mut cfg = tiny_config();
+        cfg.dropout = 0.4;
+        let model = EncoderDecoder::new(cfg, &mut rng);
+        let xs = vec![vec![0.5]; 6];
+        let a = model.encode(&xs, true, &mut rng);
+        let b = model.encode(&xs, true, &mut rng);
+        assert_ne!(a, b);
+        // Deterministic mode is stable.
+        let c = model.encode(&xs, false, &mut rng);
+        let d = model.encode(&xs, false, &mut rng);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn gradient_check_through_whole_network() {
+        let mut rng = SimRng::seed(5);
+        let mut model = EncoderDecoder::new(
+            Seq2SeqConfig {
+                input_dim: 1,
+                enc_hidden: vec![4],
+                dec_hidden: vec![3],
+                horizon: 2,
+                dropout: 0.0,
+            },
+            &mut rng,
+        );
+        let xs = vec![vec![0.3], vec![-0.5], vec![0.8]];
+        let ys = vec![vec![0.2], vec![-0.1]];
+
+        model.zero_grad();
+        model.accumulate_example(&xs, &ys, &mut rng);
+        let mut analytic = Vec::new();
+        model.visit_params(&mut |_, g| analytic.extend_from_slice(g));
+
+        let loss_of = |m: &mut EncoderDecoder, rng: &mut SimRng| {
+            // Forward-only loss (dropout = 0 so accumulate's forward is
+            // deterministic; recompute without disturbing grads).
+            let enc = m.encoder.forward_seq(&xs, None, false, rng);
+            let z = enc.final_h.last().unwrap().clone();
+            let (h0, c0) = m.bridge(&z);
+            let dec_inputs = vec![vec![0.0; 1]; ys.len()];
+            let dec = m.decoder.forward_seq(&dec_inputs, Some((&h0, &c0)), false, rng);
+            let mut loss = 0.0;
+            for (t, target) in ys.iter().enumerate() {
+                let pred = m.out.forward(&dec.outputs[t]);
+                loss += mse(&pred, target).0 / ys.len() as f64;
+            }
+            loss
+        };
+
+        let eps = 1e-5;
+        let mut block_lens = Vec::new();
+        model.visit_params(&mut |w, _| block_lens.push(w.len()));
+        let mut offset = 0;
+        for (block, len) in block_lens.iter().enumerate() {
+            let stride = (len / 3).max(1);
+            for k in (0..*len).step_by(stride) {
+                let perturb = |delta: f64, m: &mut EncoderDecoder| {
+                    let mut b = 0;
+                    m.visit_params(&mut |w, _| {
+                        if b == block {
+                            w[k] += delta;
+                        }
+                        b += 1;
+                    });
+                };
+                perturb(eps, &mut model);
+                let lp = loss_of(&mut model, &mut rng);
+                perturb(-2.0 * eps, &mut model);
+                let lm = loss_of(&mut model, &mut rng);
+                perturb(eps, &mut model);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[offset + k];
+                assert!(
+                    (numeric - a).abs() < 1e-4,
+                    "block {block} param {k}: numeric {numeric} analytic {a}"
+                );
+            }
+            offset += len;
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Pre-warmed-container-pool policies.
+//!
+//! Every cold-start mitigation compared in the paper's §8.1, implemented
+//! against the simulator's [`PrewarmController`] interface:
+//!
+//! * [`KeepAlivePolicy`] — the fixed 10-minute keep-alive of most
+//!   providers (no pre-warming).
+//! * [`ReactiveAutoscale`] — OpenWhisk's reactive stem-cell autoscaling.
+//! * [`FaasCachePolicy`] — FaaSCache's greedy-dual caching: containers are
+//!   kept until memory pressure evicts them (LRU fallback in the
+//!   simulator), with conservative reactive scaling.
+//! * [`HistogramPolicy`] — the histogram-based keep-alive of *Serverless
+//!   in the Wild* (Shahrad et al.).
+//! * [`IceBreakerPolicy`] — IceBreaker's Fourier-based pre-warming.
+//! * [`AquatopePool`] — AQUATOPE's dynamic pool driven by the hybrid
+//!   Bayesian NN with an uncertainty-aware head-room margin.
+//! * [`AquaLitePool`] — the ablation without uncertainty (paper's
+//!   "AquaLite").
+//!
+//! All predictive policies observe the same per-window statistics and keep
+//! per-function history; none peeks at the future trace.
+
+pub mod aquatope;
+pub mod baselines;
+pub mod histogram;
+
+pub use aquatope::{AquaLitePool, AquatopePool, AquatopePoolConfig};
+pub use baselines::{FaasCachePolicy, IceBreakerPolicy, KeepAlivePolicy, ReactiveAutoscale};
+pub use histogram::HistogramPolicy;
+
+use aqua_forecast::{SeriesPoint, TriggerKind};
+
+/// Converts a per-window concurrency history into the forecasting crate's
+/// series points (1-minute windows, HTTP trigger by default).
+pub fn to_series(history: &[f64]) -> Vec<SeriesPoint> {
+    history
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| SeriesPoint::new(c, i as u64, TriggerKind::Http))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_series_preserves_counts_and_minutes() {
+        let s = to_series(&[1.0, 4.0, 2.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1].count, 4.0);
+        assert_eq!(s[2].minute, 2);
+    }
+}

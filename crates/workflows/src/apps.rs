@@ -1,0 +1,431 @@
+//! The evaluated applications (paper §7.1).
+//!
+//! Function performance profiles are synthetic but shaped after each
+//! application's published behaviour: the ML pipeline is compute-heavy with
+//! a large-model cold start, video processing is fan-out-parallel and
+//! I/O-rich, the social network mixes many small functions with caching
+//! tiers, and the generic Chain / Fan-out workflows use the configurable
+//! function generator the paper describes.
+
+use aqua_faas::{FunctionRegistry, FunctionSpec, Stage, WorkflowDag};
+use aqua_sim::SimDuration;
+
+use crate::graph::SocialGraph;
+
+/// Which of the paper's applications an [`App`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Generic sequential chain of synthetic functions.
+    Chain,
+    /// Generic fan-out/fan-in of synthetic functions.
+    FanOutIn,
+    /// Parking-lot security ML pipeline (Fig. 6).
+    MlPipeline,
+    /// Sprocket-style video processing (Fig. 7).
+    VideoProcessing,
+    /// DeathStarBench-style social network (Fig. 8).
+    SocialNetwork,
+}
+
+impl AppKind {
+    /// All five applications, in the paper's presentation order.
+    pub const ALL: [AppKind; 5] = [
+        AppKind::Chain,
+        AppKind::FanOutIn,
+        AppKind::MlPipeline,
+        AppKind::VideoProcessing,
+        AppKind::SocialNetwork,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Chain => "Chain",
+            AppKind::FanOutIn => "Fan-out/in",
+            AppKind::MlPipeline => "ML Pipeline",
+            AppKind::VideoProcessing => "Video Processing",
+            AppKind::SocialNetwork => "Social Network",
+        }
+    }
+
+    /// Builds the application, registering its functions.
+    pub fn build(self, registry: &mut FunctionRegistry) -> App {
+        match self {
+            AppKind::Chain => chain(registry, 3),
+            AppKind::FanOutIn => fan_out_in(registry, 6),
+            AppKind::MlPipeline => ml_pipeline(registry),
+            AppKind::VideoProcessing => video_processing(registry),
+            AppKind::SocialNetwork => social_network(registry),
+        }
+    }
+}
+
+/// An application: its DAG plus a default end-to-end QoS target.
+///
+/// The QoS is chosen, as in the paper, as the end-to-end latency the
+/// workflow sustains before saturation with a reasonable allocation —
+/// loose enough to be meetable, tight enough that careless allocations
+/// violate it.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Which application this is.
+    pub kind: AppKind,
+    /// Workflow DAG (functions already registered).
+    pub dag: WorkflowDag,
+    /// Default end-to-end latency QoS.
+    pub qos: SimDuration,
+}
+
+/// Synthetic resource-intensive function, the paper's "function generator":
+/// CPU work, memory demand, and cold-start weight are all dials.
+pub fn synthetic_function(
+    name: impl Into<String>,
+    work_ms: f64,
+    mem_demand_mb: f64,
+    parallelism: f64,
+) -> FunctionSpec {
+    FunctionSpec::new(name)
+        .with_work_ms(work_ms)
+        .with_io_ms(10.0 + work_ms * 0.05)
+        .with_mem_demand(mem_demand_mb)
+        .with_parallelism(parallelism)
+        .with_cold_start(500.0 + mem_demand_mb * 0.3, 200.0 + work_ms * 0.5)
+        .with_exec_cv(0.05)
+}
+
+/// Generic chain of `n` synthetic functions with alternating CPU/memory
+/// emphasis (§7.1's Chain workflow).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(registry: &mut FunctionRegistry, n: usize) -> App {
+    assert!(n > 0, "chain length must be positive");
+    let fns: Vec<_> = (0..n)
+        .map(|i| {
+            let (work, mem) = if i % 2 == 0 { (220.0, 400.0) } else { (120.0, 900.0) };
+            registry.register(synthetic_function(
+                format!("chain-{i}"),
+                work,
+                mem,
+                2.0,
+            ))
+        })
+        .collect();
+    let qos_ms = 400.0 * n as f64 + 300.0;
+    App {
+        kind: AppKind::Chain,
+        dag: WorkflowDag::chain("chain", fns),
+        qos: SimDuration::from_millis(qos_ms as u64),
+    }
+}
+
+/// Generic fan-out/fan-in with `width` parallel synthetic workers.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn fan_out_in(registry: &mut FunctionRegistry, width: u32) -> App {
+    assert!(width > 0, "fan-out width must be positive");
+    let split = registry.register(synthetic_function("fan-split", 60.0, 256.0, 1.0));
+    let work = registry.register(synthetic_function("fan-work", 260.0, 700.0, 2.0));
+    let agg = registry.register(synthetic_function("fan-agg", 90.0, 512.0, 1.0));
+    App {
+        kind: AppKind::FanOutIn,
+        dag: WorkflowDag::fan_out_in("fan-out-in", split, work, width, agg),
+        qos: SimDuration::from_millis(1_400),
+    }
+}
+
+/// The parking-lot ML pipeline of Fig. 6: image preprocessing → object
+/// detection → {vehicle recognition ∥ human recognition}.
+pub fn ml_pipeline(registry: &mut FunctionRegistry) -> App {
+    let preprocess = registry.register(
+        FunctionSpec::new("ml-image-processing")
+            .with_work_ms(150.0)
+            .with_io_ms(40.0)
+            .with_mem_demand(512.0)
+            .with_parallelism(2.0)
+            .with_cold_start(700.0, 500.0)
+            .with_exec_cv(0.05),
+    );
+    let detect = registry.register(
+        FunctionSpec::new("ml-object-detection")
+            .with_work_ms(900.0)
+            .with_io_ms(60.0)
+            .with_mem_demand(2048.0)
+            .with_parallelism(4.0)
+            // Large model download + load on cold start.
+            .with_cold_start(1_200.0, 2_500.0)
+            .with_exec_cv(0.08),
+    );
+    let vehicle = registry.register(
+        FunctionSpec::new("ml-vehicle-recognition")
+            .with_work_ms(420.0)
+            .with_io_ms(30.0)
+            .with_mem_demand(1024.0)
+            .with_parallelism(2.0)
+            .with_cold_start(900.0, 1_200.0)
+            .with_exec_cv(0.08),
+    );
+    let human = registry.register(
+        FunctionSpec::new("ml-human-recognition")
+            .with_work_ms(480.0)
+            .with_io_ms(30.0)
+            .with_mem_demand(1024.0)
+            .with_parallelism(2.0)
+            .with_cold_start(900.0, 1_200.0)
+            .with_exec_cv(0.08),
+    );
+    let dag = WorkflowDag::new(
+        "ml-pipeline",
+        vec![
+            Stage::new(preprocess, 1, vec![]),
+            Stage::new(detect, 1, vec![0]),
+            Stage::new(vehicle, 1, vec![1]),
+            Stage::new(human, 1, vec![1]),
+        ],
+    );
+    App { kind: AppKind::MlPipeline, dag, qos: SimDuration::from_millis(2_200) }
+}
+
+/// The Sprocket-style video pipeline of Fig. 7: decode → scene change →
+/// parallel face recognition over chunks → draw box → watermark → encode.
+pub fn video_processing(registry: &mut FunctionRegistry) -> App {
+    let decode = registry.register(
+        FunctionSpec::new("vid-decode")
+            .with_work_ms(350.0)
+            .with_io_ms(120.0)
+            .with_mem_demand(1024.0)
+            .with_parallelism(2.0)
+            .with_cold_start(800.0, 600.0)
+            .with_exec_cv(0.08),
+    );
+    let scene = registry.register(
+        FunctionSpec::new("vid-scene-change")
+            .with_work_ms(180.0)
+            .with_io_ms(50.0)
+            .with_mem_demand(512.0)
+            .with_parallelism(2.0)
+            .with_cold_start(600.0, 300.0)
+            .with_exec_cv(0.06),
+    );
+    let face = registry.register(
+        FunctionSpec::new("vid-face-recognition")
+            .with_work_ms(500.0)
+            .with_io_ms(40.0)
+            .with_mem_demand(1536.0)
+            .with_parallelism(2.0)
+            .with_cold_start(1_000.0, 1_500.0)
+            .with_exec_cv(0.1),
+    );
+    let draw = registry.register(
+        FunctionSpec::new("vid-draw-box")
+            .with_work_ms(120.0)
+            .with_io_ms(30.0)
+            .with_mem_demand(512.0)
+            .with_parallelism(1.0)
+            .with_cold_start(500.0, 200.0)
+            .with_exec_cv(0.06),
+    );
+    let watermark = registry.register(
+        FunctionSpec::new("vid-watermark")
+            .with_work_ms(100.0)
+            .with_io_ms(30.0)
+            .with_mem_demand(384.0)
+            .with_parallelism(1.0)
+            .with_cold_start(500.0, 150.0)
+            .with_exec_cv(0.06),
+    );
+    let encode = registry.register(
+        FunctionSpec::new("vid-encode")
+            .with_work_ms(450.0)
+            .with_io_ms(100.0)
+            .with_mem_demand(1024.0)
+            .with_parallelism(3.0)
+            .with_cold_start(700.0, 400.0)
+            .with_exec_cv(0.08),
+    );
+    let dag = WorkflowDag::new(
+        "video-processing",
+        vec![
+            Stage::new(decode, 1, vec![]),
+            Stage::new(scene, 1, vec![0]),
+            Stage::new(face, 4, vec![1]),
+            Stage::new(draw, 4, vec![2]),
+            Stage::new(watermark, 1, vec![3]),
+            Stage::new(encode, 1, vec![4]),
+        ],
+    );
+    App { kind: AppKind::VideoProcessing, dag, qos: SimDuration::from_millis(3_500) }
+}
+
+/// The DeathStarBench-style social network of Fig. 8 with a synthetic
+/// socfb-Reed98-scale graph: compose post → {text filter ∥ media filter ∥
+/// unique id ∥ user mention} → post storage → {home-timeline fan-out ∥
+/// user timeline}.
+pub fn social_network(registry: &mut FunctionRegistry) -> App {
+    social_network_with_graph(registry, &SocialGraph::reed98_like(0x50C1A7))
+}
+
+/// Like [`social_network`] but with an explicit social graph, whose mean
+/// follower count sets the home-timeline fan-out width.
+pub fn social_network_with_graph(registry: &mut FunctionRegistry, graph: &SocialGraph) -> App {
+    let compose = registry.register(
+        FunctionSpec::new("sn-compose-post")
+            .with_work_ms(60.0)
+            .with_io_ms(20.0)
+            .with_mem_demand(256.0)
+            .with_parallelism(1.0)
+            .with_cold_start(450.0, 150.0)
+            .with_exec_cv(0.06),
+    );
+    let text_filter = registry.register(
+        FunctionSpec::new("sn-text-filter")
+            .with_work_ms(140.0)
+            .with_io_ms(15.0)
+            .with_mem_demand(768.0)
+            .with_parallelism(2.0)
+            .with_cold_start(700.0, 900.0)
+            .with_exec_cv(0.07),
+    );
+    let media_filter = registry.register(
+        FunctionSpec::new("sn-media-filter")
+            .with_work_ms(260.0)
+            .with_io_ms(40.0)
+            .with_mem_demand(1024.0)
+            .with_parallelism(2.0)
+            .with_cold_start(800.0, 1_100.0)
+            .with_exec_cv(0.08),
+    );
+    let unique_id = registry.register(
+        FunctionSpec::new("sn-unique-id")
+            .with_work_ms(8.0)
+            .with_io_ms(4.0)
+            .with_mem_demand(128.0)
+            .with_parallelism(1.0)
+            .with_cold_start(350.0, 60.0)
+            .with_exec_cv(0.05),
+    );
+    let user_mention = registry.register(
+        FunctionSpec::new("sn-user-mention")
+            .with_work_ms(45.0)
+            .with_io_ms(20.0)
+            .with_mem_demand(256.0)
+            .with_parallelism(1.0)
+            .with_cold_start(400.0, 120.0)
+            .with_exec_cv(0.06),
+    );
+    let post_storage = registry.register(
+        FunctionSpec::new("sn-post-storage")
+            .with_work_ms(35.0)
+            .with_io_ms(45.0)
+            .with_mem_demand(384.0)
+            .with_parallelism(1.0)
+            .with_cold_start(450.0, 150.0)
+            .with_exec_cv(0.07),
+    );
+    let home_timeline = registry.register(
+        FunctionSpec::new("sn-home-timeline")
+            .with_work_ms(25.0)
+            .with_io_ms(30.0)
+            .with_mem_demand(256.0)
+            .with_parallelism(1.0)
+            .with_cold_start(400.0, 120.0)
+            .with_exec_cv(0.07),
+    );
+    let user_timeline = registry.register(
+        FunctionSpec::new("sn-user-timeline")
+            .with_work_ms(25.0)
+            .with_io_ms(25.0)
+            .with_mem_demand(256.0)
+            .with_parallelism(1.0)
+            .with_cold_start(400.0, 120.0)
+            .with_exec_cv(0.07),
+    );
+    // Followers are updated in batches; each task covers ~4 followers of an
+    // average-degree poster.
+    let fan_out = ((graph.mean_degree() / 4.0).round() as u32).clamp(2, 16);
+    let dag = WorkflowDag::new(
+        "social-network",
+        vec![
+            Stage::new(compose, 1, vec![]),
+            Stage::new(text_filter, 1, vec![0]),
+            Stage::new(media_filter, 1, vec![0]),
+            Stage::new(unique_id, 1, vec![0]),
+            Stage::new(user_mention, 1, vec![0]),
+            Stage::new(post_storage, 1, vec![1, 2, 3, 4]),
+            Stage::new(home_timeline, fan_out, vec![5]),
+            Stage::new(user_timeline, 1, vec![5]),
+        ],
+    );
+    App { kind: AppKind::SocialNetwork, dag, qos: SimDuration::from_millis(1_800) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_build_into_one_registry() {
+        let mut registry = FunctionRegistry::new();
+        let apps: Vec<App> = AppKind::ALL.iter().map(|k| k.build(&mut registry)).collect();
+        assert_eq!(apps.len(), 5);
+        // No function id collisions: registry holds every stage's function.
+        for app in &apps {
+            for stage in app.dag.stages() {
+                let _ = registry.spec(stage.function);
+            }
+        }
+        assert!(registry.len() >= 3 + 3 + 4 + 6 + 8);
+    }
+
+    #[test]
+    fn ml_pipeline_matches_fig6_topology() {
+        let mut registry = FunctionRegistry::new();
+        let app = ml_pipeline(&mut registry);
+        assert_eq!(app.dag.num_stages(), 4);
+        // Vehicle and human recognition both depend on detection (stage 1).
+        assert_eq!(app.dag.stage(2).deps, vec![1]);
+        assert_eq!(app.dag.stage(3).deps, vec![1]);
+        // Detection is the heavyweight stage.
+        let detect = registry.spec(app.dag.stage(1).function);
+        assert!(detect.mem_demand_mb >= 2048.0);
+    }
+
+    #[test]
+    fn video_has_parallel_face_recognition() {
+        let mut registry = FunctionRegistry::new();
+        let app = video_processing(&mut registry);
+        assert_eq!(app.dag.num_stages(), 6);
+        assert!(app.dag.stage(2).tasks >= 4);
+    }
+
+    #[test]
+    fn social_network_fans_out_on_graph_degree() {
+        let mut registry = FunctionRegistry::new();
+        let app = social_network(&mut registry);
+        assert_eq!(app.dag.num_stages(), 8);
+        let home = app.dag.stage(6);
+        assert!(home.tasks >= 2, "timeline fan-out should be parallel");
+        // Post storage waits for all four filters.
+        assert_eq!(app.dag.stage(5).deps, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chain_length_is_parameterized() {
+        let mut registry = FunctionRegistry::new();
+        for n in [1, 3, 5] {
+            let app = chain(&mut registry, n);
+            assert_eq!(app.dag.num_stages(), n);
+        }
+    }
+
+    #[test]
+    fn qos_scales_with_chain_length() {
+        let mut registry = FunctionRegistry::new();
+        let short = chain(&mut registry, 1);
+        let long = chain(&mut registry, 5);
+        assert!(long.qos > short.qos);
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare resource managers on the ML pipeline under one QoS target.
+//!
+//! Reproduces the flavour of the paper's §8.2 on a single app: Random,
+//! Autoscale, CLITE, and AQUATOPE search for a cost-minimal configuration
+//! meeting the same end-to-end QoS with the same evaluation budget; the
+//! oracle's coordinate-descent optimum anchors the comparison.
+//!
+//! ```sh
+//! cargo run --release --example ml_pipeline_qos
+//! ```
+
+use aquatope::alloc::{
+    AquatopeRm, AutoscaleRm, Clite, OracleSearch, RandomSearch, ResourceManager, SimEvaluator,
+};
+use aquatope::faas::types::ConfigSpace;
+use aquatope::faas::{FaasSim, FunctionRegistry, NoiseModel};
+use aquatope::workflows::apps;
+
+fn make_eval(seed: u64) -> (SimEvaluator, f64) {
+    let mut registry = FunctionRegistry::new();
+    let app = apps::ml_pipeline(&mut registry);
+    let sim = FaasSim::builder()
+        .workers(6, 40.0, 131_072)
+        .registry(registry)
+        .noise(NoiseModel::production())
+        .seed(seed)
+        .build();
+    let qos = app.qos.as_secs_f64();
+    (
+        SimEvaluator::new(sim, app.dag, ConfigSpace::default(), 3, true),
+        qos,
+    )
+}
+
+fn main() {
+    let budget = 36;
+    println!("ML pipeline, QoS-constrained cost minimization (budget = {budget} evaluations)\n");
+
+    // Oracle reference (larger budget, grid descent).
+    let (mut eval, qos) = make_eval(1);
+    let oracle = OracleSearch::default().optimize(&mut eval, qos, 400);
+    let oracle_cost = oracle
+        .best
+        .as_ref()
+        .map(|b| b.1)
+        .expect("oracle finds a feasible configuration");
+    println!(
+        "{:<12} cost {:8.2}  (latency {:.2} s, {} evals)",
+        "Oracle",
+        oracle_cost,
+        oracle.best.as_ref().unwrap().2,
+        oracle.evaluations()
+    );
+
+    let managers: Vec<Box<dyn ResourceManager>> = vec![
+        Box::new(RandomSearch::new(11)),
+        Box::new(AutoscaleRm::new()),
+        Box::new(Clite::new(11)),
+        Box::new(AquatopeRm::new(11)),
+    ];
+    for mut m in managers {
+        let (mut eval, qos) = make_eval(1);
+        let out = m.optimize(&mut eval, qos, budget);
+        match out.best {
+            Some((_, cost, lat)) => println!(
+                "{:<12} cost {:8.2}  ({:5.1}% of oracle, latency {:.2} s)",
+                m.name(),
+                cost,
+                100.0 * cost / oracle_cost,
+                lat
+            ),
+            None => println!("{:<12} found no QoS-feasible configuration", m.name()),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run AQUATOPE end to end on one application.
+//!
+//! Builds the ML-pipeline workflow, lets the controller (1) search for a
+//! cost-minimal per-stage resource configuration that meets the end-to-end
+//! QoS and (2) replay a bursty invocation trace under the dynamic
+//! pre-warmed container pool — then prints the plan and the run metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aquatope::core::{Aquatope, AquatopeConfig, ClusterSpec, Workload};
+use aquatope::faas::FunctionRegistry;
+use aquatope::prelude::*;
+use aquatope::workflows::{apps, RateTraceConfig};
+
+fn main() {
+    // 1. Register the application.
+    let mut registry = FunctionRegistry::new();
+    let app = apps::ml_pipeline(&mut registry);
+    println!(
+        "app: {} ({} stages, QoS = {:.1} s)",
+        app.dag.name(),
+        app.dag.num_stages(),
+        app.qos.as_secs_f64()
+    );
+
+    // 2. Generate a 30-minute bursty trace (~12 invocations/min).
+    let mut rng = SimRng::seed(7);
+    let trace = RateTraceConfig {
+        minutes: 30,
+        mean_rpm: 12.0,
+        ..RateTraceConfig::default()
+    }
+    .generate(&mut rng);
+    println!("trace: {} workflow invocations over 30 min", trace.arrivals.len());
+
+    // 3. Plan resources with the customized-BO manager.
+    let controller = Aquatope::new(AquatopeConfig::fast());
+    let cluster = ClusterSpec::default();
+    let plan = controller.plan_app(&registry, &app, cluster);
+    println!(
+        "plan: {} evaluations → expected latency {:.2} s, cost {:.2}",
+        plan.search_evaluations, plan.expected_latency, plan.expected_cost
+    );
+    for (i, cfg) in plan.configs.iter().enumerate() {
+        let spec = registry.spec(app.dag.stage(i).function);
+        println!(
+            "  stage {i} ({:<24}) → {:.2} CPU, {:>6.0} MiB, concurrency {}",
+            spec.name, cfg.cpu, cfg.memory_mb, cfg.concurrency
+        );
+    }
+
+    // 4. Replay the trace under the dynamic pre-warmed pool.
+    let workload = Workload { app, arrivals: trace.arrivals };
+    let report = controller.execute(
+        &registry,
+        std::slice::from_ref(&workload),
+        &[plan],
+        cluster,
+        SimTime::from_secs(32 * 60),
+    );
+    println!("run : {report}");
+    println!("cost: {:.1} (CPU·s + GB·s)", report.execution_cost);
+}

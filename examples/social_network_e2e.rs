@@ -1,0 +1,62 @@
+//! End-to-end frameworks on the social network (Fig. 18 flavour).
+//!
+//! Runs the broadcast-style social network (with its socfb-Reed98-scale
+//! synthetic graph) under three frameworks — autoscaling,
+//! IceBreaker+CLITE, and AQUATOPE — on the same diurnal trace, and prints
+//! QoS violations, cold starts, and resource time for each.
+//!
+//! ```sh
+//! cargo run --release --example social_network_e2e
+//! ```
+
+use aquatope::core::{run_framework, AquatopeConfig, ClusterSpec, Framework, Workload};
+use aquatope::faas::FunctionRegistry;
+use aquatope::prelude::*;
+use aquatope::workflows::{apps, RateTraceConfig, SocialGraph};
+
+fn main() {
+    let mut registry = FunctionRegistry::new();
+    let graph = SocialGraph::reed98_like(0xFB);
+    println!(
+        "social graph: {} users, {} follow edges, mean degree {:.1}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.mean_degree()
+    );
+    let app = apps::social_network_with_graph(&mut registry, &graph);
+
+    let mut rng = SimRng::seed(21);
+    let trace = RateTraceConfig {
+        minutes: 45,
+        mean_rpm: 8.0,
+        ..RateTraceConfig::default()
+    }
+    .generate(&mut rng);
+    println!(
+        "trace: {} posts over {} minutes (QoS = {:.1} s)\n",
+        trace.arrivals.len(),
+        45,
+        app.qos.as_secs_f64()
+    );
+
+    let workloads = vec![Workload { app, arrivals: trace.arrivals }];
+    let cluster = ClusterSpec::default();
+    let horizon = SimTime::from_secs(47 * 60);
+    let cfg = AquatopeConfig::fast();
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>12}",
+        "framework", "QoS viol", "cold", "CPU core·s", "mem GB·s"
+    );
+    for fw in [Framework::Autoscale, Framework::IceBreakerClite, Framework::Aquatope] {
+        let report = run_framework(fw, &registry, &workloads, cluster, horizon, &cfg);
+        println!(
+            "{:<18} {:>9.1}% {:>9.1}% {:>12.1} {:>12.1}",
+            fw.name(),
+            100.0 * report.qos_violation_rate,
+            100.0 * report.cold_start_rate,
+            report.cpu_core_seconds,
+            report.memory_gb_seconds
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # AQUATOPE reproduction — facade crate
+//!
+//! Re-exports every crate of the workspace under one roof. See the README
+//! for the architecture overview and `DESIGN.md` for the experiment index.
+//!
+//! The quickest way in:
+//!
+//! ```no_run
+//! use aquatope::prelude::*;
+//! ```
+
+pub use aqua_alloc as alloc;
+pub use aqua_faas as faas;
+pub use aqua_forecast as forecast;
+pub use aqua_gp as gp;
+pub use aqua_linalg as linalg;
+pub use aqua_nn as nn;
+pub use aqua_pool as pool;
+pub use aqua_sim as sim;
+pub use aqua_workflows as workflows;
+pub use aquatope_core as core;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use aqua_sim::{SimDuration, SimRng, SimTime};
+}

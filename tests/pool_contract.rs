@@ -1,0 +1,143 @@
+//! Contract tests over every pre-warm pool policy: each must return one
+//! decision per observed function with sane keep-alives and targets, for
+//! any window statistics.
+
+use aquatope::faas::cluster::ClusterSnapshot;
+use aquatope::faas::sim::FnWindowStats;
+use aquatope::faas::{FunctionId, PoolObservation, PrewarmController};
+use aquatope::pool::{
+    AquatopePool, AquatopePoolConfig, FaasCachePolicy, HistogramPolicy, IceBreakerPolicy,
+    KeepAlivePolicy, ReactiveAutoscale,
+};
+use aquatope::prelude::*;
+
+fn obs(peaks: &[u32], minute: u64) -> PoolObservation {
+    PoolObservation {
+        now: SimTime::from_secs(60 * minute),
+        window: SimDuration::from_secs(60),
+        stats: peaks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| FnWindowStats {
+                function: FunctionId(i),
+                invocations: p,
+                peak_concurrency: p,
+                booting: 0,
+                idle: (p / 2),
+                busy: p,
+            })
+            .collect(),
+        cluster: ClusterSnapshot {
+            reserved_memory_mb: 1024.0,
+            total_memory_mb: 1.0e6,
+            containers: 3,
+        },
+    }
+}
+
+fn all_policies() -> Vec<(&'static str, Box<dyn PrewarmController>)> {
+    let mut cfg = AquatopePoolConfig::default();
+    cfg.warmup_windows = 10_000; // stay in the reactive regime for speed
+    vec![
+        ("keep", Box::new(KeepAlivePolicy::provider_default())),
+        ("autoscale", Box::new(ReactiveAutoscale::new())),
+        ("hist", Box::new(HistogramPolicy::new())),
+        ("faascache", Box::new(FaasCachePolicy::new())),
+        ("icebreaker", Box::new(IceBreakerPolicy::new())),
+        ("aquatope", Box::new(AquatopePool::new(cfg, &[]))),
+    ]
+}
+
+#[test]
+fn one_decision_per_function_with_sane_values() {
+    for (name, mut policy) in all_policies() {
+        for minute in 0..30u64 {
+            let peaks = [minute as u32 % 5, 3, 0];
+            let decisions = policy.tick(&obs(&peaks, minute));
+            assert_eq!(decisions.len(), peaks.len(), "{name}: decision count");
+            for d in &decisions {
+                assert!(
+                    d.keep_alive > SimDuration::ZERO,
+                    "{name}: keep-alive must be positive"
+                );
+                if let Some(t) = d.prewarm_target {
+                    assert!(t < 10_000, "{name}: absurd target {t}");
+                }
+            }
+            // Exactly one decision per observed function id.
+            let mut fns: Vec<usize> = decisions.iter().map(|d| d.function.0).collect();
+            fns.sort_unstable();
+            assert_eq!(fns, vec![0, 1, 2], "{name}: function coverage");
+        }
+    }
+}
+
+#[test]
+fn zero_load_eventually_releases_predictive_pools() {
+    // After sustained zero demand, predictive policies must not keep
+    // requesting capacity.
+    for (name, mut policy) in all_policies() {
+        let mut last = Vec::new();
+        for minute in 0..60u64 {
+            last = policy.tick(&obs(&[0, 0, 0], minute));
+        }
+        for d in &last {
+            if let Some(t) = d.prewarm_target {
+                assert!(
+                    t <= 1,
+                    "{name}: still holding {t} containers after an hour of silence"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn preloaded_history_feeds_the_predictive_policies() {
+    // A strongly periodic preloaded history should let IceBreaker predict
+    // the busy phase with no live warm-up.
+    let mut ice = IceBreakerPolicy::new();
+    let hist: Vec<f64> = (0..256).map(|m| if m % 8 == 0 { 6.0 } else { 0.0 }).collect();
+    ice.preload_history(FunctionId(0), &hist);
+    // History ends at index 255 (phase 7); the first live window is phase 0
+    // (busy). After observing it, the next prediction targets phase 1
+    // (quiet); at phase 7 the prediction targets phase 0 (busy).
+    let mut targets = Vec::new();
+    for minute in 0..16u64 {
+        let phase = (256 + minute) % 8;
+        let peak = if phase == 0 { 6 } else { 0 };
+        let d = ice.tick(&obs(&[peak], minute));
+        targets.push(d[0].prewarm_target.unwrap());
+    }
+    // Predictions made at phase 7 (minute indices 7 and 15, targeting the
+    // busy next-phase 0) should be high.
+    let before_busy: usize = targets[7].max(targets[15]);
+    let mid_quiet = targets[2].min(targets[10]);
+    assert!(
+        before_busy > mid_quiet,
+        "periodic history should shape predictions: {targets:?}"
+    );
+}
+
+#[test]
+fn aquatope_pool_trains_from_preloaded_history_alone() {
+    let mut cfg = AquatopePoolConfig::default();
+    cfg.warmup_windows = 64;
+    cfg.training_window = 256;
+    cfg.hybrid.window = 12;
+    cfg.hybrid.enc_hidden = vec![8];
+    cfg.hybrid.dec_hidden = vec![6];
+    cfg.hybrid.mlp_hidden = vec![12, 8];
+    cfg.hybrid.pretrain_epochs = 1;
+    cfg.hybrid.train_epochs = 2;
+    cfg.hybrid.mc_passes = 6;
+    let mut pool = AquatopePool::new(cfg, &[]);
+    let hist: Vec<f64> = (0..256).map(|m| if m % 8 < 2 { 4.0 } else { 0.0 }).collect();
+    pool.preload_history(FunctionId(0), &hist);
+    // First live tick: with ≥ warmup history preloaded, the model trains
+    // immediately and the decision is model-driven (not the 1.25× reactive
+    // fallback, which would return exactly ceil(0 × 1.25) = 0 at peak 0
+    // and ceil(4×1.25) = 5 at peak 4 forever).
+    let d = pool.tick(&obs(&[0], 0));
+    assert!(d[0].prewarm_target.is_some());
+}

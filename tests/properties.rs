@@ -1,0 +1,173 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! workload the generators can produce.
+
+use aquatope::faas::prelude::*;
+use aquatope::faas::types::ResourceConfig;
+use aquatope::prelude::*;
+use proptest::prelude::*;
+
+fn run_chain(
+    n_functions: usize,
+    arrivals_secs: Vec<u64>,
+    cpu: f64,
+    mem: f64,
+    seed: u64,
+) -> (RunReport, usize) {
+    let mut registry = FunctionRegistry::new();
+    let fns: Vec<_> = (0..n_functions)
+        .map(|i| {
+            registry.register(
+                FunctionSpec::new(format!("f{i}"))
+                    .with_work_ms(50.0 + 40.0 * i as f64)
+                    .with_cold_start(300.0, 200.0),
+            )
+        })
+        .collect();
+    let dag = WorkflowDag::chain("prop", fns);
+    let configs = StageConfigs::uniform(&dag, ResourceConfig::new(cpu, mem, 1));
+    let arrivals: Vec<SimTime> = arrivals_secs.iter().map(|s| SimTime::from_secs(*s)).collect();
+    let n = arrivals.len();
+    let mut sim = FaasSim::builder()
+        .workers(3, 40.0, 65_536)
+        .registry(registry)
+        .noise(NoiseModel::production())
+        .seed(seed)
+        .build();
+    let horizon = SimTime::from_secs(arrivals_secs.iter().max().copied().unwrap_or(0) + 600);
+    (
+        sim.run_workflow_trace(&dag, &configs, &arrivals, horizon),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every arrival is accounted for: completed + unfinished = arrived,
+    /// and each completed instance ran exactly `stages` invocations.
+    #[test]
+    fn prop_invocation_conservation(
+        n_functions in 1usize..4,
+        arrivals in prop::collection::vec(0u64..600, 1..25),
+        seed in 0u64..100,
+    ) {
+        let (report, n) = run_chain(n_functions, arrivals, 1.0, 1024.0, seed);
+        prop_assert_eq!(report.workflows.len() + report.unfinished, n);
+        for wf in &report.workflows {
+            prop_assert_eq!(wf.invocations as usize, n_functions);
+        }
+        let done_invocations: usize = report.workflows.iter().map(|w| w.invocations as usize).sum();
+        prop_assert!(report.invocations.len() >= done_invocations);
+    }
+
+    /// Resource-time integrals and billed costs are non-negative, and the
+    /// provisioned-memory integral dominates the busy-memory integral.
+    #[test]
+    fn prop_resource_accounting_sane(
+        arrivals in prop::collection::vec(0u64..400, 1..20),
+        cpu in 0.25f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let cpu = (cpu * 4.0).round() / 4.0;
+        let (report, _) = run_chain(2, arrivals, cpu, 1024.0, seed);
+        prop_assert!(report.cpu_core_seconds >= 0.0);
+        prop_assert!(report.memory_gb_seconds >= 0.0);
+        prop_assert!(
+            report.memory_gb_seconds + 1e-9 >= report.busy_memory_gb_seconds,
+            "reserved {} < busy {}",
+            report.memory_gb_seconds,
+            report.busy_memory_gb_seconds
+        );
+        prop_assert!(report.execution_cost(1.0, 1.0) >= 0.0);
+        for r in &report.invocations {
+            prop_assert!(r.finished >= r.started);
+            prop_assert!(r.started >= r.requested);
+            prop_assert!(r.cpu_seconds >= 0.0 && r.memory_gb_seconds >= 0.0);
+        }
+    }
+
+    /// Workflow latency is bounded below by any of its invocations' spans
+    /// and every completed workflow finishes after it arrives.
+    #[test]
+    fn prop_latency_ordering(
+        arrivals in prop::collection::vec(0u64..300, 1..15),
+        seed in 0u64..100,
+    ) {
+        let (report, _) = run_chain(3, arrivals, 2.0, 1024.0, seed);
+        for wf in &report.workflows {
+            prop_assert!(wf.finished >= wf.arrived);
+            let members: Vec<_> = report
+                .invocations
+                .iter()
+                .filter(|r| r.workflow_instance == wf.instance)
+                .collect();
+            for m in &members {
+                prop_assert!(m.requested >= wf.arrived);
+                prop_assert!(m.finished <= wf.finished);
+            }
+        }
+    }
+
+    /// More CPU never makes the deterministic warm path slower.
+    #[test]
+    fn prop_cpu_monotone_latency(seed in 0u64..50) {
+        let profile = |cpu: f64| {
+            let mut registry = FunctionRegistry::new();
+            let f = registry.register(
+                FunctionSpec::new("m")
+                    .with_work_ms(400.0)
+                    .with_parallelism(4.0)
+                    .with_exec_cv(0.0),
+            );
+            let dag = WorkflowDag::chain("m", vec![f]);
+            let configs = StageConfigs::uniform(&dag, ResourceConfig::new(cpu, 1024.0, 1));
+            let mut sim = FaasSim::builder()
+                .workers(2, 40.0, 65_536)
+                .registry(registry)
+                .noise(NoiseModel::quiet())
+                .seed(seed)
+                .build();
+            let raw = sim.profile_config(&dag, &configs, 2, true, 1.0, 1.0);
+            raw.iter().map(|s| s.0).sum::<f64>() / raw.len() as f64
+        };
+        let slow = profile(0.5);
+        let fast = profile(2.0);
+        prop_assert!(fast <= slow + 1e-9, "2 CPU ({fast}) slower than 0.5 CPU ({slow})");
+    }
+
+    /// Trace generation: arrivals are sorted and land within the horizon.
+    #[test]
+    fn prop_trace_sorted_in_horizon(minutes in 5usize..120, rpm in 0.5f64..30.0, seed in 0u64..500) {
+        use aquatope::workflows::RateTraceConfig;
+        let mut rng = SimRng::seed(seed);
+        let bundle = RateTraceConfig { minutes, mean_rpm: rpm, ..RateTraceConfig::default() }
+            .generate(&mut rng);
+        prop_assert!(bundle.arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let horizon = SimTime::from_secs(60 * minutes as u64);
+        prop_assert!(bundle.arrivals.iter().all(|t| *t < horizon));
+        prop_assert_eq!(bundle.rates.len(), minutes);
+    }
+
+    /// GP posterior variance is non-negative everywhere and the posterior
+    /// mean interpolates near-noiseless observations.
+    #[test]
+    fn prop_gp_posterior_sane(
+        ys in prop::collection::vec(-5.0f64..5.0, 4..12),
+        q in 0.0f64..1.0,
+    ) {
+        use aquatope::gp::{Gp, GpConfig};
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64 / (ys.len() - 1) as f64])
+            .collect();
+        let gp = Gp::fit(xs.clone(), ys.clone(), GpConfig::with_noise(1e-6)).unwrap();
+        let (_, var) = gp.predict(&[q]);
+        prop_assert!(var >= 0.0);
+        // Interpolation at a training point (unless targets are degenerate).
+        let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread > 0.5 {
+            let (mean, _) = gp.predict(&xs[0]);
+            prop_assert!((mean - ys[0]).abs() < 0.35 * spread.max(1.0), "mean {mean} y0 {}", ys[0]);
+        }
+    }
+}

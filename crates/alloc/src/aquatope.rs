@@ -16,8 +16,12 @@
 //!    model (input change, function update), old samples are dropped via a
 //!    sliding window and exploration resumes (Fig. 16).
 
-use aqua_gp::{detect_anomalies, probability_feasible, propose_batch, Gp, GpConfig, Halton, NeiConfig};
-use aqua_sim::SimRng;
+use aqua_gp::{
+    constrained_nei, detect_anomalies, probability_feasible, propose_batch, Gp, GpConfig, Halton,
+    NeiConfig,
+};
+use aqua_sim::{SimRng, SimTime};
+use aqua_telemetry::{SimEvent, Telemetry};
 
 use crate::evaluator::ConfigEvaluator;
 use crate::{outcome_from_history, ResourceManager, SearchOutcome, SearchStep};
@@ -75,6 +79,9 @@ pub struct AquatopeRm {
     /// Persistent low-discrepancy stream: every BO iteration draws *fresh*
     /// candidates instead of re-ranking the same fixed point set.
     halton: Option<Halton>,
+    /// Evaluations performed across all optimize calls (event numbering).
+    evaluations: usize,
+    telemetry: Telemetry,
 }
 
 impl AquatopeRm {
@@ -91,7 +98,21 @@ impl AquatopeRm {
             observations: Vec::new(),
             changes_detected: 0,
             halton: None,
+            evaluations: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry channel; every profiled configuration is
+    /// reported as a [`SimEvent::BoIteration`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry channel in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The AquaLite ablation: same skeleton, noise handling disabled.
@@ -133,10 +154,22 @@ impl AquatopeRm {
                 .filter(|s| s.latency <= qos)
                 .map(|s| s.cost)
                 .fold(0.0_f64, f64::max);
-            if feasible_max > 0.0 { 5.0 * feasible_max } else { f64::INFINITY }
+            if feasible_max > 0.0 {
+                5.0 * feasible_max
+            } else {
+                f64::INFINITY
+            }
         };
-        let lats: Vec<f64> = self.observations.iter().map(|s| s.latency.min(lat_cap)).collect();
-        let costs: Vec<f64> = self.observations.iter().map(|s| s.cost.min(cost_cap)).collect();
+        let lats: Vec<f64> = self
+            .observations
+            .iter()
+            .map(|s| s.latency.min(lat_cap))
+            .collect();
+        let costs: Vec<f64> = self
+            .observations
+            .iter()
+            .map(|s| s.cost.min(cost_cap))
+            .collect();
         let gp_cfg = GpConfig::with_noise(self.config.noise);
         let lat_gp = Gp::fit(xs.clone(), lats, gp_cfg.clone()).ok()?;
         let cost_gp = Gp::fit(xs, costs, gp_cfg.clone()).ok()?;
@@ -163,14 +196,15 @@ impl AquatopeRm {
     /// Generates the iteration's candidate pool: fresh Halton coverage
     /// plus local perturbations of the best feasible point.
     fn candidates(&mut self, dim: usize, qos: f64) -> Vec<Vec<f64>> {
-        let halton = self
-            .halton
-            .get_or_insert_with(|| Halton::new(dim.min(32)));
+        let halton = self.halton.get_or_insert_with(|| Halton::new(dim.min(32)));
         let mut cands = halton.points(self.config.candidates);
         // Exploit around the best feasible points at two perturbation
         // radii (local refinement matters in the quantized config space).
-        let mut feasible: Vec<&SearchStep> =
-            self.observations.iter().filter(|s| s.latency <= qos).collect();
+        let mut feasible: Vec<&SearchStep> = self
+            .observations
+            .iter()
+            .filter(|s| s.latency <= qos)
+            .collect();
         feasible.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"));
         for best in feasible.iter().take(3) {
             for sigma in [0.05, 0.12] {
@@ -206,9 +240,12 @@ impl AquatopeRm {
             })
             .count();
         // Majority of the batch contradicting the model ⇒ behaviour change.
-        if surprises * 2 >= batch.len().max(1) && self.observations.len() > self.config.sliding_window {
+        if surprises * 2 >= batch.len().max(1)
+            && self.observations.len() > self.config.sliding_window
+        {
             // Keep only the most recent window of samples.
-            let keep_from = self.observations.len() - self.config.sliding_window.min(self.observations.len());
+            let keep_from =
+                self.observations.len() - self.config.sliding_window.min(self.observations.len());
             self.observations.drain(..keep_from);
             self.changes_detected += 1;
         }
@@ -242,7 +279,20 @@ impl ResourceManager for AquatopeRm {
             }
             let r = eval.evaluate(&u);
             spent += 1;
-            let step = SearchStep { u, latency: r.latency, cost: r.cost };
+            self.evaluations += 1;
+            let step = SearchStep {
+                u,
+                latency: r.latency,
+                cost: r.cost,
+            };
+            self.telemetry.emit_with(|| SimEvent::BoIteration {
+                at: SimTime::ZERO,
+                iteration: self.evaluations - 1,
+                candidate: step.u.clone(),
+                ei: 0.0, // bootstrap samples are drawn before any surrogate exists
+                latency: step.latency,
+                cost: step.cost,
+            });
             history.push(step.clone());
             self.observations.push(step);
         }
@@ -251,27 +301,47 @@ impl ResourceManager for AquatopeRm {
         while spent < budget {
             let q = self.config.batch.min(budget - spent);
             let models = self.fit_models(qos_secs);
-            let batch_points: Vec<Vec<f64>> = match &models {
+            let batch_points: Vec<(Vec<f64>, f64)> = match &models {
                 Some((cost_gp, lat_gp)) => {
                     let cands = self.candidates(dim, qos_secs);
                     let nei = NeiConfig {
-                        qmc_samples: if self.config.noise_aware { self.config.qmc_samples } else { 1 },
+                        qmc_samples: if self.config.noise_aware {
+                            self.config.qmc_samples
+                        } else {
+                            1
+                        },
                     };
                     propose_batch(cost_gp, lat_gp, qos_secs, &cands, q, nei)
                         .into_iter()
-                        .map(|i| cands[i].clone())
+                        .map(|i| {
+                            let ei = constrained_nei(cost_gp, lat_gp, qos_secs, &cands[i], nei);
+                            (cands[i].clone(), ei)
+                        })
                         .collect()
                 }
                 None => (0..q)
-                    .map(|_| (0..dim).map(|_| self.rng.uniform()).collect())
+                    .map(|_| ((0..dim).map(|_| self.rng.uniform()).collect(), 0.0))
                     .collect(),
             };
 
             let mut batch_steps = Vec::with_capacity(batch_points.len());
-            for u in batch_points {
+            for (u, ei) in batch_points {
                 let r = eval.evaluate(&u);
                 spent += 1;
-                let step = SearchStep { u, latency: r.latency, cost: r.cost };
+                self.evaluations += 1;
+                let step = SearchStep {
+                    u,
+                    latency: r.latency,
+                    cost: r.cost,
+                };
+                self.telemetry.emit_with(|| SimEvent::BoIteration {
+                    at: SimTime::ZERO,
+                    iteration: self.evaluations - 1,
+                    candidate: step.u.clone(),
+                    ei,
+                    latency: step.latency,
+                    cost: step.cost,
+                });
                 history.push(step.clone());
                 batch_steps.push(step.clone());
                 self.observations.push(step);
@@ -299,8 +369,7 @@ impl ResourceManager for AquatopeRm {
                     // margin: a single noise-lucky observation is not
                     // evidence of feasibility.
                     let (mean, _) = lat_gp.predict(&s.u);
-                    probability_feasible(&lat_gp, &s.u, qos_secs) >= 0.7
-                        && mean <= 0.92 * qos_secs
+                    probability_feasible(&lat_gp, &s.u, qos_secs) >= 0.7 && mean <= 0.92 * qos_secs
                 })
             }
             _ => Box::new(|_s: &SearchStep| true),
@@ -338,7 +407,10 @@ mod tests {
 
     fn make_eval(seed: u64) -> (SimEvaluator, f64) {
         let (sim, dag, qos) = tiny_problem(seed);
-        (SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true), qos)
+        (
+            SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true),
+            qos,
+        )
     }
 
     #[test]
@@ -387,7 +459,10 @@ mod tests {
         assert_eq!(second.evaluations(), 6);
         let b1 = first.best.map(|b| b.1).unwrap_or(f64::INFINITY);
         let b2 = second.best.map(|b| b.1).unwrap_or(f64::INFINITY);
-        assert!(b2 <= b1 * 1.2, "continuation should not regress much: {b1} -> {b2}");
+        assert!(
+            b2 <= b1 * 1.2,
+            "continuation should not regress much: {b1} -> {b2}"
+        );
     }
 
     #[test]
@@ -395,19 +470,30 @@ mod tests {
         let (mut eval, qos) = make_eval(70);
         let mut rm = AquatopeRm::with_config(
             3,
-            AquatopeRmConfig { sliding_window: 6, ..AquatopeRmConfig::default() },
+            AquatopeRmConfig {
+                sliding_window: 6,
+                ..AquatopeRmConfig::default()
+            },
         );
         rm.optimize(&mut eval, qos, 18);
-        assert_eq!(rm.changes_detected(), 0, "stable workload: no change events");
+        assert_eq!(
+            rm.changes_detected(),
+            0,
+            "stable workload: no change events"
+        );
 
         // Swap in a much heavier workload (input-size change).
         let (sim2, dag2, _) = tiny_problem(71);
         let mut registry2 = aqua_faas::FunctionRegistry::new();
         let heavy_a = registry2.register(
-            aqua_faas::FunctionSpec::new("a2").with_work_ms(2_000.0).with_exec_cv(0.02),
+            aqua_faas::FunctionSpec::new("a2")
+                .with_work_ms(2_000.0)
+                .with_exec_cv(0.02),
         );
         let heavy_b = registry2.register(
-            aqua_faas::FunctionSpec::new("b2").with_work_ms(1_500.0).with_exec_cv(0.02),
+            aqua_faas::FunctionSpec::new("b2")
+                .with_work_ms(1_500.0)
+                .with_exec_cv(0.02),
         );
         let heavy_dag = aqua_faas::WorkflowDag::chain("tiny", vec![heavy_a, heavy_b]);
         let heavy_sim = aqua_faas::FaasSim::builder()

@@ -16,7 +16,9 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Creates a seeded random search.
     pub fn new(seed: u64) -> Self {
-        RandomSearch { rng: SimRng::seed(seed) }
+        RandomSearch {
+            rng: SimRng::seed(seed),
+        }
     }
 }
 
@@ -36,7 +38,11 @@ impl ResourceManager for RandomSearch {
         for _ in 0..budget {
             let u: Vec<f64> = (0..dim).map(|_| self.rng.uniform()).collect();
             let r = eval.evaluate(&u);
-            history.push(SearchStep { u, latency: r.latency, cost: r.cost });
+            history.push(SearchStep {
+                u,
+                latency: r.latency,
+                cost: r.cost,
+            });
         }
         outcome_from_history(history, qos_secs, eval.space())
     }
@@ -88,7 +94,11 @@ impl ResourceManager for AutoscaleRm {
         while evals < budget {
             let r = eval.evaluate(&u);
             evals += 1;
-            history.push(SearchStep { u: u.clone(), latency: r.latency, cost: r.cost });
+            history.push(SearchStep {
+                u: u.clone(),
+                latency: r.latency,
+                cost: r.cost,
+            });
             if r.latency > qos_secs {
                 if trimming {
                     // Trimmed too far: step back up and stop.
@@ -98,7 +108,11 @@ impl ResourceManager for AutoscaleRm {
                     }
                     if evals < budget {
                         let r = eval.evaluate(&u);
-                        history.push(SearchStep { u: u.clone(), latency: r.latency, cost: r.cost });
+                        history.push(SearchStep {
+                            u: u.clone(),
+                            latency: r.latency,
+                            cost: r.cost,
+                        });
                     }
                     break;
                 }
@@ -140,7 +154,11 @@ pub struct Clite {
 impl Clite {
     /// Creates CLITE with the standard 5-point bootstrap.
     pub fn new(seed: u64) -> Self {
-        Clite { rng: SimRng::seed(seed), bootstrap: 5, candidates: 48 }
+        Clite {
+            rng: SimRng::seed(seed),
+            bootstrap: 5,
+            candidates: 48,
+        }
     }
 
     /// The hand-crafted penalized objective (lower is better).
@@ -171,7 +189,11 @@ impl ResourceManager for Clite {
         for _ in 0..self.bootstrap.min(budget) {
             let u: Vec<f64> = (0..dim).map(|_| self.rng.uniform()).collect();
             let r = eval.evaluate(&u);
-            history.push(SearchStep { u, latency: r.latency, cost: r.cost });
+            history.push(SearchStep {
+                u,
+                latency: r.latency,
+                cost: r.cost,
+            });
         }
         // Sequential EI over the penalized scalar objective.
         while history.len() < budget {
@@ -198,7 +220,11 @@ impl ResourceManager for Clite {
                 Err(_) => (0..dim).map(|_| self.rng.uniform()).collect(),
             };
             let r = eval.evaluate(&next_u);
-            history.push(SearchStep { u: next_u, latency: r.latency, cost: r.cost });
+            history.push(SearchStep {
+                u: next_u,
+                latency: r.latency,
+                cost: r.cost,
+            });
         }
         outcome_from_history(history, qos_secs, eval.space())
     }
@@ -213,7 +239,10 @@ mod tests {
 
     fn make_eval(seed: u64) -> (SimEvaluator, f64) {
         let (sim, dag, qos) = tiny_problem(seed);
-        (SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true), qos)
+        (
+            SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true),
+            qos,
+        )
     }
 
     #[test]

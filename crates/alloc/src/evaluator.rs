@@ -51,7 +51,13 @@ impl SimEvaluator {
     /// Creates an evaluator profiling `samples` workflow runs per
     /// configuration (`warm = true` routes them through a pre-warmed pool,
     /// the paper's §5.3 batch-evaluation setup).
-    pub fn new(sim: FaasSim, dag: WorkflowDag, space: ConfigSpace, samples: usize, warm: bool) -> Self {
+    pub fn new(
+        sim: FaasSim,
+        dag: WorkflowDag,
+        space: ConfigSpace,
+        samples: usize,
+        warm: bool,
+    ) -> Self {
         assert!(samples > 0, "need at least one sample per evaluation");
         SimEvaluator {
             sim,
@@ -68,7 +74,10 @@ impl SimEvaluator {
     /// Overrides the linear price model (defaults: 1.0 per core·s and per
     /// GB·s, so cost ≈ CPU-time + memory-time).
     pub fn with_prices(mut self, price_cpu: f64, price_mem: f64) -> Self {
-        assert!(price_cpu >= 0.0 && price_mem >= 0.0, "prices must be non-negative");
+        assert!(
+            price_cpu >= 0.0 && price_mem >= 0.0,
+            "prices must be non-negative"
+        );
         self.price_cpu = price_cpu;
         self.price_mem = price_mem;
         self
@@ -86,7 +95,11 @@ impl SimEvaluator {
 
     /// Replaces the workflow (used to model behaviour change, Fig. 16).
     pub fn set_dag(&mut self, dag: WorkflowDag) {
-        assert_eq!(dag.num_stages(), self.dag.num_stages(), "stage count must be stable");
+        assert_eq!(
+            dag.num_stages(),
+            self.dag.num_stages(),
+            "stage count must be stable"
+        );
         self.dag = dag;
     }
 

@@ -108,13 +108,7 @@ pub(crate) fn outcome_from_history(
         .iter()
         .filter(|s| s.latency <= qos)
         .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite cost"))
-        .map(|s| {
-            (
-                StageConfigs::decode(space, &s.u),
-                s.cost,
-                s.latency,
-            )
-        });
+        .map(|s| (StageConfigs::decode(space, &s.u), s.cost, s.latency));
     SearchOutcome { best, history }
 }
 
@@ -126,9 +120,21 @@ mod tests {
     #[test]
     fn best_cost_after_tracks_feasible_prefix() {
         let history = vec![
-            SearchStep { u: vec![0.5; 3], latency: 9.0, cost: 1.0 }, // infeasible
-            SearchStep { u: vec![0.5; 3], latency: 1.0, cost: 5.0 },
-            SearchStep { u: vec![0.5; 3], latency: 1.0, cost: 3.0 },
+            SearchStep {
+                u: vec![0.5; 3],
+                latency: 9.0,
+                cost: 1.0,
+            }, // infeasible
+            SearchStep {
+                u: vec![0.5; 3],
+                latency: 1.0,
+                cost: 5.0,
+            },
+            SearchStep {
+                u: vec![0.5; 3],
+                latency: 1.0,
+                cost: 3.0,
+            },
         ];
         let out = outcome_from_history(history, 2.0, &ConfigSpace::default());
         assert_eq!(out.best_cost_after(1, 2.0), None);
@@ -141,7 +147,11 @@ mod tests {
 
     #[test]
     fn no_feasible_points_gives_none() {
-        let history = vec![SearchStep { u: vec![0.0; 3], latency: 10.0, cost: 1.0 }];
+        let history = vec![SearchStep {
+            u: vec![0.0; 3],
+            latency: 10.0,
+            cost: 1.0,
+        }];
         let out = outcome_from_history(history, 1.0, &ConfigSpace::default());
         assert!(out.best.is_none());
         assert_eq!(out.evaluations(), 1);

@@ -27,7 +27,12 @@ pub struct OracleSearch {
 
 impl Default for OracleSearch {
     fn default() -> Self {
-        OracleSearch { cpu_steps: 6, mem_steps: 5, conc_steps: 2, passes: 2 }
+        OracleSearch {
+            cpu_steps: 6,
+            mem_steps: 5,
+            conc_steps: 2,
+            passes: 2,
+        }
     }
 }
 
@@ -61,8 +66,16 @@ impl ResourceManager for OracleSearch {
         }
         let mut history = Vec::new();
         let first = eval.evaluate(&current);
-        history.push(SearchStep { u: current.clone(), latency: first.latency, cost: first.cost });
-        let mut best_cost = if first.latency <= qos_secs { first.cost } else { f64::INFINITY };
+        history.push(SearchStep {
+            u: current.clone(),
+            latency: first.latency,
+            cost: first.cost,
+        });
+        let mut best_cost = if first.latency <= qos_secs {
+            first.cost
+        } else {
+            f64::INFINITY
+        };
 
         'outer: for _ in 0..self.passes {
             let mut improved = false;
@@ -81,7 +94,11 @@ impl ResourceManager for OracleSearch {
                                 continue;
                             }
                             let r = eval.evaluate(&u);
-                            history.push(SearchStep { u: u.clone(), latency: r.latency, cost: r.cost });
+                            history.push(SearchStep {
+                                u: u.clone(),
+                                latency: r.latency,
+                                cost: r.cost,
+                            });
                             if r.latency <= qos_secs && r.cost < best_cost {
                                 best_cost = r.cost;
                                 current = u;
@@ -113,7 +130,11 @@ mod tests {
         let mut eval = SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true);
         let mut oracle = OracleSearch::default();
         let oracle_out = oracle.optimize(&mut eval, qos, 400);
-        let oracle_cost = oracle_out.best.as_ref().expect("oracle must find feasible").1;
+        let oracle_cost = oracle_out
+            .best
+            .as_ref()
+            .expect("oracle must find feasible")
+            .1;
 
         let (sim, dag, qos) = tiny_problem(90);
         let mut eval = SimEvaluator::new(sim, dag, ConfigSpace::default(), 2, true);

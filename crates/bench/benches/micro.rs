@@ -15,7 +15,10 @@ fn bench_gp(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..40)
         .map(|_| (0..6).map(|_| rng.uniform()).collect())
         .collect();
-    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.05)).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.05))
+        .collect();
     c.bench_function("gp_fit_40pts_6d", |b| {
         b.iter(|| Gp::fit(xs.clone(), ys.clone(), GpConfig::default()).unwrap())
     });
@@ -30,7 +33,13 @@ fn bench_gp(c: &mut Criterion) {
 fn bench_nn(c: &mut Criterion) {
     let mut rng = SimRng::seed(2);
     let ed = EncoderDecoder::new(
-        Seq2SeqConfig { input_dim: 1, enc_hidden: vec![32, 32], dec_hidden: vec![16], horizon: 2, dropout: 0.1 },
+        Seq2SeqConfig {
+            input_dim: 1,
+            enc_hidden: vec![32, 32],
+            dec_hidden: vec![16],
+            horizon: 2,
+            dropout: 0.1,
+        },
         &mut rng,
     );
     let xs: Vec<Vec<f64>> = (0..24).map(|i| vec![(i as f64 / 5.0).sin()]).collect();

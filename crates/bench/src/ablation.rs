@@ -28,11 +28,18 @@ pub fn run(scale: Scale) -> serde_json::Value {
         ("full (q=3, noise-aware)", AquatopeRmConfig::default()),
         (
             "sequential (q=1)",
-            AquatopeRmConfig { batch: 1, ..AquatopeRmConfig::default() },
+            AquatopeRmConfig {
+                batch: 1,
+                ..AquatopeRmConfig::default()
+            },
         ),
         (
             "no noise awareness",
-            AquatopeRmConfig { noise_aware: false, noise: 1e-6, ..AquatopeRmConfig::default() },
+            AquatopeRmConfig {
+                noise_aware: false,
+                noise: 1e-6,
+                ..AquatopeRmConfig::default()
+            },
         ),
         (
             "no batching, no noise",
@@ -67,7 +74,11 @@ pub fn run(scale: Scale) -> serde_json::Value {
                 feasible += 1;
             }
         }
-        let cost = if costs.is_empty() { f64::NAN } else { mean(&costs) };
+        let cost = if costs.is_empty() {
+            f64::NAN
+        } else {
+            mean(&costs)
+        };
         rows.push(vec![
             name.to_string(),
             format!("{cost:.2}"),

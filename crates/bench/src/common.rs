@@ -67,18 +67,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// `target/experiments/` (bench binaries run with the package directory as
 /// CWD, so a bare relative path would land inside `crates/bench`).
 pub fn write_json(name: &str, value: &serde_json::Value) {
-    let target = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-        // Walk up from CWD to the workspace root (marked by Cargo.lock).
-        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-        loop {
-            if dir.join("Cargo.lock").exists() {
-                break dir.join("target");
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // Walk up from CWD to the workspace root (marked by Cargo.lock).
+            let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            loop {
+                if dir.join("Cargo.lock").exists() {
+                    break dir.join("target");
+                }
+                if !dir.pop() {
+                    break PathBuf::from("target");
+                }
             }
-            if !dir.pop() {
-                break PathBuf::from("target");
-            }
-        }
-    });
+        });
     let dir = target.join("experiments");
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.json"));

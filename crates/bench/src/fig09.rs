@@ -60,7 +60,11 @@ fn workload(
     let rates_b: Vec<f64> = (0..total)
         .map(|m| {
             let diurnal = 1.0 + 0.6 * (std::f64::consts::TAU * m as f64 / (24.0 * 60.0)).sin();
-            if rng.chance(0.07 * diurnal.max(0.1)) { 2.0 } else { 0.0 }
+            if rng.chance(0.07 * diurnal.max(0.1)) {
+                2.0
+            } else {
+                0.0
+            }
         })
         .collect();
     let all_b: Vec<u64> = aqua_sim::PoissonProcess::from_per_minute_rates(&rates_b)
@@ -98,14 +102,22 @@ fn workload(
         WorkflowJob::new(chain.dag.clone(), cfg_chain, live(&all_b)),
     ];
     let horizon = SimTime::from_secs(60 * (minutes as u64 + 2));
-    (registry, jobs, horizon, vec![fan, chain], vec![hist_a, hist_b])
+    (
+        registry,
+        jobs,
+        horizon,
+        vec![fan, chain],
+        vec![hist_a, hist_b],
+    )
 }
 
 fn pool_config(scale: Scale) -> AquatopePoolConfig {
-    let mut cfg = AquatopePoolConfig::default();
-    cfg.warmup_windows = scale.pick(48, 64);
-    cfg.retrain_every = scale.pick(240, 180);
-    cfg.training_window = scale.pick(360, 960);
+    let mut cfg = AquatopePoolConfig {
+        warmup_windows: scale.pick(48, 64),
+        retrain_every: scale.pick(240, 180),
+        training_window: scale.pick(360, 960),
+        ..AquatopePoolConfig::default()
+    };
     cfg.hybrid.pretrain_epochs = scale.pick(4, 6);
     cfg.hybrid.train_epochs = scale.pick(10, 14);
     cfg
@@ -113,7 +125,7 @@ fn pool_config(scale: Scale) -> AquatopePoolConfig {
 
 /// Runs the experiment and returns its JSON record.
 pub fn run(scale: Scale) -> serde_json::Value {
-    let seed = 0xF16_09;
+    let seed = 0xF1609;
     let (registry, jobs, horizon, the_apps, histories) = workload(scale, seed);
     let dags: Vec<&aqua_faas::WorkflowDag> = the_apps.iter().map(|a| &a.dag).collect();
 
@@ -169,7 +181,14 @@ pub fn run(scale: Scale) -> serde_json::Value {
         .collect();
     print_table(
         "Fig. 9: cold starts (a) and provisioned memory time (b), relative to Keep",
-        &["Policy", "Cold", "Paper-cold", "Mem (%Keep)", "Paper-mem", "Completed"],
+        &[
+            "Policy",
+            "Cold",
+            "Paper-cold",
+            "Mem (%Keep)",
+            "Paper-mem",
+            "Completed",
+        ],
         &rows,
     );
 

@@ -29,7 +29,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
     for (ci, &cv) in cvs.iter().enumerate() {
         let mut registry = aqua_faas::FunctionRegistry::new();
         let app = apps::chain(&mut registry, 2);
-        let mut rng = SimRng::seed(0xF16_10 + ci as u64);
+        let mut rng = SimRng::seed(0xF1610 + ci as u64);
         let all = arrivals_with_cv(n_total, mean_gap, cv, &mut rng);
 
         // First half is recorded history the models train on; second half
@@ -67,10 +67,12 @@ pub fn run(scale: Scale) -> serde_json::Value {
         };
 
         let mut ice = IceBreakerPolicy::new();
-        let mut pool_cfg = AquatopePoolConfig::default();
-        pool_cfg.warmup_windows = 40;
-        pool_cfg.retrain_every = scale.pick(600, 400);
-        pool_cfg.training_window = scale.pick(480, 960);
+        let mut pool_cfg = AquatopePoolConfig {
+            warmup_windows: 40,
+            retrain_every: scale.pick(600, 400),
+            training_window: scale.pick(480, 960),
+            ..AquatopePoolConfig::default()
+        };
         pool_cfg.hybrid.pretrain_epochs = scale.pick(3, 6);
         pool_cfg.hybrid.train_epochs = scale.pick(8, 14);
         let mut aqua = AquatopePool::new(pool_cfg, &[&app.dag]);

@@ -19,7 +19,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
     let minutes = scale.pick(300, 600);
     let mut registry = aqua_faas::FunctionRegistry::new();
     let app = apps::chain(&mut registry, 2);
-    let mut rng = SimRng::seed(0xF16_11);
+    let mut rng = SimRng::seed(0xF1611);
     let trace = RateTraceConfig::fluctuating(minutes, 5.0).generate(&mut rng);
     let per_container_mb = 1024.0;
     let configs = StageConfigs::uniform(&app.dag, ResourceConfig::new(1.0, per_container_mb, 1));
@@ -27,8 +27,10 @@ pub fn run(scale: Scale) -> serde_json::Value {
     let horizon = SimTime::from_secs(60 * (minutes as u64 + 2));
 
     let pool_cfg = {
-        let mut cfg = AquatopePoolConfig::default();
-        cfg.warmup_windows = scale.pick(48, 64);
+        let mut cfg = AquatopePoolConfig {
+            warmup_windows: scale.pick(48, 64),
+            ..AquatopePoolConfig::default()
+        };
         cfg.hybrid.pretrain_epochs = scale.pick(2, 4);
         cfg.hybrid.train_epochs = scale.pick(4, 8);
         cfg
@@ -55,7 +57,12 @@ pub fn run(scale: Scale) -> serde_json::Value {
             .iter()
             .map(|c| c * per_container_mb / 1024.0)
             .collect();
-        (series, demand, report.cold_start_rate(), report.memory_gb_seconds)
+        (
+            series,
+            demand,
+            report.cold_start_rate(),
+            report.memory_gb_seconds,
+        )
     };
 
     let mut aqua = AquatopePool::new(pool_cfg.clone(), &[&app.dag]);
@@ -94,7 +101,12 @@ pub fn run(scale: Scale) -> serde_json::Value {
     ];
     print_table(
         "Fig. 11: fluctuating load — Aquatope vs AquaLite",
-        &["Pool", "Cold starts", "Provisioned GB·s", "Mean tracking error"],
+        &[
+            "Pool",
+            "Cold starts",
+            "Provisioned GB·s",
+            "Mean tracking error",
+        ],
         &rows,
     );
     println!(

@@ -5,8 +5,8 @@
 //! budget level; Random/Autoscale plateau high; CLITE lands in between.
 
 use aqua_alloc::{
-    AquatopeRm, AutoscaleRm, Clite, OracleSearch, RandomSearch, ResourceManager,
-    SearchOutcome, SimEvaluator,
+    AquatopeRm, AutoscaleRm, Clite, OracleSearch, RandomSearch, ResourceManager, SearchOutcome,
+    SimEvaluator,
 };
 use aqua_faas::types::ConfigSpace;
 use aqua_faas::NoiseModel;
@@ -16,7 +16,12 @@ use serde_json::json;
 use crate::common::{cluster_sim, print_table, Scale};
 
 /// Builds the evaluator for one app.
-pub(crate) fn app_evaluator(app: &App, registry: &aqua_faas::FunctionRegistry, samples: usize, seed: u64) -> SimEvaluator {
+pub(crate) fn app_evaluator(
+    app: &App,
+    registry: &aqua_faas::FunctionRegistry,
+    samples: usize,
+    seed: u64,
+) -> SimEvaluator {
     let sim = cluster_sim(registry.clone(), NoiseModel::production(), seed);
     SimEvaluator::new(sim, app.dag.clone(), ConfigSpace::default(), samples, true)
 }
@@ -55,7 +60,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
     let mut records = Vec::new();
     for (registry, app) in five_workflows() {
         let qos = app.qos.as_secs_f64();
-        let oracle = oracle_cost(&app, &registry, 0xF16_12);
+        let oracle = oracle_cost(&app, &registry, 0xF1612);
 
         // Seed-averaged convergence curves (search stochasticity is large
         // at these budgets; the paper also averages repeated trials).
@@ -63,7 +68,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
         let mut counts = vec![vec![0usize; checkpoints.len()]; manager_names.len()];
         for seed in 0..seeds {
             let mut run = |rm: &mut dyn ResourceManager, mi: usize| {
-                let mut eval = app_evaluator(&app, &registry, samples, 0xF16_12 + seed);
+                let mut eval = app_evaluator(&app, &registry, samples, 0xF1612 + seed);
                 let outcome: SearchOutcome = rm.optimize(&mut eval, qos, budget);
                 for (ci, &frac) in checkpoints.iter().enumerate() {
                     let k = ((budget as f64) * frac).round() as usize;
@@ -104,7 +109,8 @@ pub fn run(scale: Scale) -> serde_json::Value {
             &["Manager", "20%", "40%", "60%", "80%", "100%"],
             &rows,
         );
-        records.push(json!({ "workflow": app.kind.name(), "curves": curves, "oracle_cost": oracle }));
+        records
+            .push(json!({ "workflow": app.kind.name(), "curves": curves, "oracle_cost": oracle }));
     }
     json!({ "experiment": "fig12", "budget": budget, "workflows": records })
 }

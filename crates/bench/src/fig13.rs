@@ -16,7 +16,12 @@ use crate::fig12::{app_evaluator, five_workflows};
 
 /// Measures the chosen configuration's warm-path CPU and memory time per
 /// invocation (averaged over profiling samples) on a quiet cluster.
-fn measure(app: &App, registry: &aqua_faas::FunctionRegistry, configs: &StageConfigs, seed: u64) -> (f64, f64) {
+fn measure(
+    app: &App,
+    registry: &aqua_faas::FunctionRegistry,
+    configs: &StageConfigs,
+    seed: u64,
+) -> (f64, f64) {
     let mut sim = cluster_sim(registry.clone(), NoiseModel::quiet(), seed);
     let detail = sim.profile_detail(&app.dag, configs, 4, true);
     let cpu = mean(&detail.iter().map(|d| d.1).collect::<Vec<_>>());
@@ -36,7 +41,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
         let qos = app.qos.as_secs_f64();
         // Oracle reference CPU/memory time.
         let oracle_cfg = {
-            let sim = cluster_sim(registry.clone(), NoiseModel::quiet(), 0xF16_13);
+            let sim = cluster_sim(registry.clone(), NoiseModel::quiet(), 0xF1613);
             let mut eval = aqua_alloc::SimEvaluator::new(
                 sim,
                 app.dag.clone(),
@@ -50,12 +55,12 @@ pub fn run(scale: Scale) -> serde_json::Value {
                 .expect("oracle feasible")
                 .0
         };
-        let (oracle_cpu, oracle_mem) = measure(&app, &registry, &oracle_cfg, 0xF16_13);
+        let (oracle_cpu, oracle_mem) = measure(&app, &registry, &oracle_cfg, 0xF1613);
 
         let mut cpu_pct = vec![Vec::new(); manager_names.len()];
         let mut mem_pct = vec![Vec::new(); manager_names.len()];
         for rep in 0..repeats {
-            let seed = 0xF16_13 + rep as u64;
+            let seed = 0xF1613 + rep as u64;
             let managers: Vec<Box<dyn ResourceManager>> = vec![
                 Box::new(RandomSearch::new(seed)),
                 Box::new(AutoscaleRm::new()),

@@ -45,6 +45,7 @@ struct Comparison {
     aqua_viol: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compare(
     registry: &FunctionRegistry,
     dag: &WorkflowDag,
@@ -109,8 +110,16 @@ fn compare(
         }
     }
     Comparison {
-        clite_pct: if stats[0].1 > 0 { stats[0].0 / stats[0].1 as f64 } else { f64::NAN },
-        aqua_pct: if stats[1].1 > 0 { stats[1].0 / stats[1].1 as f64 } else { f64::NAN },
+        clite_pct: if stats[0].1 > 0 {
+            stats[0].0 / stats[0].1 as f64
+        } else {
+            f64::NAN
+        },
+        aqua_pct: if stats[1].1 > 0 {
+            stats[1].0 / stats[1].1 as f64
+        } else {
+            f64::NAN
+        },
         clite_viol: stats[0].2,
         aqua_viol: stats[1].2,
     }
@@ -136,7 +145,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
             budget,
             samples,
             seeds,
-            0xF16_14 + n as u64,
+            0xF1614 + n as u64,
         );
         rows_a.push(vec![
             n.to_string(),
@@ -178,7 +187,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
             budget,
             samples.max(3),
             seeds,
-            0xF16_14 + (cv * 10.0) as u64,
+            0xF1614 + (cv * 10.0) as u64,
         );
         rows_b.push(vec![
             format!("{cv:.1}"),

@@ -29,7 +29,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
 
     // Oracle configuration under quiet conditions (the offline reference).
     let oracle_cfg: StageConfigs = {
-        let sim = cluster_sim(registry.clone(), NoiseModel::quiet(), 0xF16_15);
+        let sim = cluster_sim(registry.clone(), NoiseModel::quiet(), 0xF1615);
         let mut eval = SimEvaluator::new(sim, app.dag.clone(), ConfigSpace::default(), 2, true);
         OracleSearch::default()
             .optimize(&mut eval, qos, 500)
@@ -52,13 +52,13 @@ pub fn run(scale: Scale) -> serde_json::Value {
     let mut records = Vec::new();
     for (li, &level) in levels.iter().enumerate() {
         let noise = NoiseModel::background_jobs(level);
-        let (_, oracle_cost) = truth(&oracle_cfg, noise, 0xF16_15 + li as u64);
+        let (_, oracle_cost) = truth(&oracle_cfg, noise, 0xF1615 + li as u64);
 
         let mut sums = [0.0f64; 3];
         let mut counts = [0usize; 3];
         let mut viols = [0usize; 3];
         for seed in 0..seeds {
-            let base = 0xF16_15 + li as u64 * 100 + seed;
+            let base = 0xF1615 + li as u64 * 100 + seed;
             let eval_for = |sd: u64| {
                 SimEvaluator::new(
                     cluster_sim(registry.clone(), noise, sd),
@@ -69,9 +69,18 @@ pub fn run(scale: Scale) -> serde_json::Value {
                 )
             };
             let picks: [Option<StageConfigs>; 3] = [
-                Clite::new(base).optimize(&mut eval_for(base), qos, budget).best.map(|b| b.0),
-                AquatopeRm::aqualite(base).optimize(&mut eval_for(base), qos, budget).best.map(|b| b.0),
-                AquatopeRm::new(base).optimize(&mut eval_for(base), qos, budget).best.map(|b| b.0),
+                Clite::new(base)
+                    .optimize(&mut eval_for(base), qos, budget)
+                    .best
+                    .map(|b| b.0),
+                AquatopeRm::aqualite(base)
+                    .optimize(&mut eval_for(base), qos, budget)
+                    .best
+                    .map(|b| b.0),
+                AquatopeRm::new(base)
+                    .optimize(&mut eval_for(base), qos, budget)
+                    .best
+                    .map(|b| b.0),
             ];
             for (mi, pick) in picks.into_iter().enumerate() {
                 match pick {
@@ -89,7 +98,11 @@ pub fn run(scale: Scale) -> serde_json::Value {
             }
         }
         let pct = |mi: usize| {
-            if counts[mi] > 0 { sums[mi] / counts[mi] as f64 } else { f64::NAN }
+            if counts[mi] > 0 {
+                sums[mi] / counts[mi] as f64
+            } else {
+                f64::NAN
+            }
         };
         rows.push(vec![
             format!("{level:.0}"),

@@ -88,16 +88,17 @@ pub fn run(scale: Scale) -> serde_json::Value {
     // the paper's "performance" axis: oracle/best × 100).
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    let mut push_points = |out: &aqua_alloc::SearchOutcome, oracle: f64, qos: f64, offset: usize| {
-        for k in (4..=out.evaluations()).step_by(4) {
-            let perf = out
-                .best_cost_after(k, qos)
-                .map(|c| 100.0 * oracle / c)
-                .unwrap_or(0.0);
-            rows.push(vec![format!("{}", offset + k), format!("{perf:.0}%")]);
-            series.push(json!({ "samples": offset + k, "performance_pct": perf }));
-        }
-    };
+    let mut push_points =
+        |out: &aqua_alloc::SearchOutcome, oracle: f64, qos: f64, offset: usize| {
+            for k in (4..=out.evaluations()).step_by(4) {
+                let perf = out
+                    .best_cost_after(k, qos)
+                    .map(|c| 100.0 * oracle / c)
+                    .unwrap_or(0.0);
+                rows.push(vec![format!("{}", offset + k), format!("{perf:.0}%")]);
+                series.push(json!({ "samples": offset + k, "performance_pct": perf }));
+            }
+        };
     push_points(&out_a, oracle_a, qos_a, 0);
     println!("--- input change (work × {input_scale}) ---");
     push_points(&out_b, oracle_b, qos_b, phase_budget);

@@ -18,7 +18,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
     let app = aqua_workflows::apps::ml_pipeline(&mut registry);
     let workloads = vec![Workload {
         app,
-        arrivals: azure_like_arrivals(minutes, 5.0, 0xF16_17),
+        arrivals: azure_like_arrivals(minutes, 5.0, 0xF1617),
     }];
     let mut cfg = AquatopeConfig::fast();
     cfg.search_budget = scale.pick(20, 36);
@@ -51,15 +51,27 @@ pub fn run(scale: Scale) -> serde_json::Value {
         ],
         vec![
             "RM only".to_string(),
-            format!("{:.0}%", 100.0 * rm_only.cpu_core_seconds / full.cpu_core_seconds),
-            format!("{:.0}%", 100.0 * rm_only.memory_gb_seconds / full.memory_gb_seconds),
+            format!(
+                "{:.0}%",
+                100.0 * rm_only.cpu_core_seconds / full.cpu_core_seconds
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * rm_only.memory_gb_seconds / full.memory_gb_seconds
+            ),
             format!("{:.1}%", rm_only.cold_start_rate * 100.0),
             format!("{:.1}%", rm_only.qos_violation_rate * 100.0),
         ],
     ];
     print_table(
         "Fig. 17: resource-manager-only ablation (full system = 100%)",
-        &["System", "CPU time", "Memory time", "Cold starts", "QoS violations"],
+        &[
+            "System",
+            "CPU time",
+            "Memory time",
+            "Cold starts",
+            "QoS violations",
+        ],
         &rows,
     );
     println!("(paper: RM-only pays +64% CPU time and +28% memory time)");

@@ -7,7 +7,10 @@
 //! alternatives.
 
 use aqua_sim::SimTime;
-use aquatope_core::{run_framework_with_history, AquatopeConfig, AquatopePoolConfig, ClusterSpec, Framework, Workload};
+use aquatope_core::{
+    run_framework_with_history, AquatopeConfig, AquatopePoolConfig, ClusterSpec, Framework,
+    Workload,
+};
 use serde_json::json;
 
 use aqua_sim::SimRng;
@@ -55,7 +58,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
             history_minutes + minutes,
             periods[i],
             bursts[i],
-            0xF16_18 + i as u64,
+            0xF1618 + i as u64,
         );
         let split = aqua_sim::SimTime::from_secs(history_minutes as u64 * 60);
         let mut counts = vec![0.0f64; history_minutes];
@@ -71,7 +74,10 @@ pub fn run(scale: Scale) -> serde_json::Value {
             .filter(|t| **t >= split)
             .map(|t| SimTime::from_secs(t.as_secs_f64() as u64 - history_minutes as u64 * 60))
             .collect();
-        workloads.push(Workload { app, arrivals: live });
+        workloads.push(Workload {
+            app,
+            arrivals: live,
+        });
     }
 
     let mut cfg = AquatopeConfig::fast();
@@ -111,14 +117,25 @@ pub fn run(scale: Scale) -> serde_json::Value {
                 .filter(|wf| wf.instance >= start && wf.instance < end && wf.latency() > w.app.qos)
                 .count();
             let lat_mean: f64 = {
-                let ls: Vec<f64> = report.raw.workflows.iter()
+                let ls: Vec<f64> = report
+                    .raw
+                    .workflows
+                    .iter()
                     .filter(|wf| wf.instance >= start && wf.instance < end)
-                    .map(|wf| wf.latency().as_secs_f64()).collect();
-                if ls.is_empty() { 0.0 } else { ls.iter().sum::<f64>() / ls.len() as f64 }
+                    .map(|wf| wf.latency().as_secs_f64())
+                    .collect();
+                if ls.is_empty() {
+                    0.0
+                } else {
+                    ls.iter().sum::<f64>() / ls.len() as f64
+                }
             };
             eprintln!(
                 "  [{}] {}: {viol}/{} violated (QoS {:.1}s, mean lat {lat_mean:.2}s)",
-                fw.name(), w.app.kind.name(), w.arrivals.len(), w.app.qos.as_secs_f64()
+                fw.name(),
+                w.app.kind.name(),
+                w.arrivals.len(),
+                w.app.qos.as_secs_f64()
             );
             start = end;
         }
@@ -142,7 +159,14 @@ pub fn run(scale: Scale) -> serde_json::Value {
         .collect();
     print_table(
         "Fig. 18: end-to-end (CPU/memory normalized to Autoscale)",
-        &["Framework", "QoS viol", "CPU time", "Mem time", "Cold", "Completed"],
+        &[
+            "Framework",
+            "QoS viol",
+            "CPU time",
+            "Mem time",
+            "Cold",
+            "Completed",
+        ],
         &rows,
     );
     println!("(paper: Aquatope < 3% violations, −37–55% CPU, −41–64% memory)");

@@ -96,7 +96,7 @@ pub fn run(scale: Scale) -> serde_json::Value {
             Box::new(HybridBayesian::new(HybridConfig {
                 pretrain_epochs: hybrid_pre,
                 train_epochs: hybrid_train,
-                seed: 0xA0_0A + fi as u64,
+                seed: 0xA00A + fi as u64,
                 ..HybridConfig::default()
             })),
         ];

@@ -60,7 +60,7 @@ impl Default for AquatopeConfig {
             space: ConfigSpace::default(),
             price_cpu: 1.0,
             price_mem: 1.0,
-            seed: 0xACA_7,
+            seed: 0xACA7,
         }
     }
 }
@@ -69,9 +69,11 @@ impl AquatopeConfig {
     /// A configuration with smaller budgets and a lighter pool model, for
     /// tests and examples that need to run in seconds.
     pub fn fast() -> Self {
-        let mut cfg = AquatopeConfig::default();
-        cfg.search_budget = 18;
-        cfg.profile_samples = 2;
+        let mut cfg = AquatopeConfig {
+            search_budget: 18,
+            profile_samples: 2,
+            ..AquatopeConfig::default()
+        };
         cfg.pool.warmup_windows = 30;
         cfg.pool.retrain_every = 60;
         cfg.pool.hybrid.window = 12;

@@ -54,9 +54,18 @@ impl Aquatope {
 
     /// Builds the simulator for a cluster spec (shared by plan/execute so
     /// profiling sees the same environment as the online run).
-    pub fn make_sim(&self, registry: &FunctionRegistry, cluster: ClusterSpec, noise: NoiseModel) -> FaasSim {
+    pub fn make_sim(
+        &self,
+        registry: &FunctionRegistry,
+        cluster: ClusterSpec,
+        noise: NoiseModel,
+    ) -> FaasSim {
         FaasSim::builder()
-            .workers(cluster.workers, cluster.cpu_per_worker, cluster.memory_mb_per_worker)
+            .workers(
+                cluster.workers,
+                cluster.cpu_per_worker,
+                cluster.memory_mb_per_worker,
+            )
             .registry(registry.clone())
             .noise(noise)
             .seed(cluster.seed)
@@ -66,7 +75,12 @@ impl Aquatope {
     /// Runs the container resource manager for one application, returning
     /// the selected per-stage configuration. Falls back to a generous
     /// configuration if the search finds nothing feasible.
-    pub fn plan_app(&self, registry: &FunctionRegistry, app: &App, cluster: ClusterSpec) -> AppPlan {
+    pub fn plan_app(
+        &self,
+        registry: &FunctionRegistry,
+        app: &App,
+        cluster: ClusterSpec,
+    ) -> AppPlan {
         let sim = self.make_sim(registry, cluster, NoiseModel::production());
         let mut eval = SimEvaluator::new(
             sim,
@@ -106,7 +120,12 @@ impl Aquatope {
     }
 
     /// Plans every application.
-    pub fn plan(&self, registry: &FunctionRegistry, workloads: &[Workload], cluster: ClusterSpec) -> Vec<AppPlan> {
+    pub fn plan(
+        &self,
+        registry: &FunctionRegistry,
+        workloads: &[Workload],
+        cluster: ClusterSpec,
+    ) -> Vec<AppPlan> {
         workloads
             .iter()
             .map(|w| self.plan_app(registry, &w.app, cluster))
@@ -128,7 +147,9 @@ impl Aquatope {
         let jobs: Vec<WorkflowJob> = workloads
             .iter()
             .zip(plans)
-            .map(|(w, p)| WorkflowJob::new(w.app.dag.clone(), p.configs.clone(), w.arrivals.clone()))
+            .map(|(w, p)| {
+                WorkflowJob::new(w.app.dag.clone(), p.configs.clone(), w.arrivals.clone())
+            })
             .collect();
         let dags: Vec<&aqua_faas::WorkflowDag> = workloads.iter().map(|w| &w.app.dag).collect();
         let mut pool = AquatopePool::new(self.config.pool.clone(), &dags);
@@ -176,7 +197,7 @@ pub fn violation_rate(raw: &aqua_faas::RunReport, workloads: &[Workload], horizo
         .filter(|wf| {
             qos_of
                 .get(wf.instance)
-                .map_or(false, |qos| wf.latency() > *qos)
+                .is_some_and(|qos| wf.latency() > *qos)
         })
         .count();
     (violated_completed + raw.unfinished) as f64 / arrived as f64
@@ -190,7 +211,9 @@ mod tests {
     fn small_workload(n: usize, gap_secs: u64) -> (FunctionRegistry, Workload) {
         let mut registry = FunctionRegistry::new();
         let app = apps::chain(&mut registry, 2);
-        let arrivals = (1..=n as u64).map(|i| SimTime::from_secs(i * gap_secs)).collect();
+        let arrivals = (1..=n as u64)
+            .map(|i| SimTime::from_secs(i * gap_secs))
+            .collect();
         (registry, Workload { app, arrivals })
     }
 
@@ -218,8 +241,16 @@ mod tests {
             ClusterSpec::default(),
             SimTime::from_secs(900),
         );
-        assert!(report.completed >= 25, "most instances complete: {}", report.completed);
-        assert!(report.qos_violation_rate <= 0.4, "violations {}", report.qos_violation_rate);
+        assert!(
+            report.completed >= 25,
+            "most instances complete: {}",
+            report.completed
+        );
+        assert!(
+            report.qos_violation_rate <= 0.4,
+            "violations {}",
+            report.qos_violation_rate
+        );
     }
 
     #[test]

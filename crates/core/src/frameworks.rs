@@ -16,6 +16,7 @@ use aqua_faas::{
 };
 use aqua_pool::{AquatopePool, IceBreakerPolicy, ReactiveAutoscale};
 use aqua_sim::SimTime;
+use aqua_telemetry::{SimEvent, Telemetry};
 
 use crate::config::{AquatopeConfig, ClusterSpec};
 use crate::controller::{violation_rate, Aquatope, Workload};
@@ -57,7 +58,15 @@ pub fn run_framework(
     horizon: SimTime,
     config: &AquatopeConfig,
 ) -> EndToEndReport {
-    run_framework_with_history(framework, registry, workloads, cluster, horizon, config, &[])
+    run_framework_with_history(
+        framework,
+        registry,
+        workloads,
+        cluster,
+        horizon,
+        config,
+        &[],
+    )
 }
 
 /// Like [`run_framework`], additionally pre-loading the predictive pool
@@ -73,6 +82,33 @@ pub fn run_framework_with_history(
     horizon: SimTime,
     config: &AquatopeConfig,
     history: &[(FunctionId, Vec<f64>)],
+) -> EndToEndReport {
+    run_framework_traced(
+        framework,
+        registry,
+        workloads,
+        cluster,
+        horizon,
+        config,
+        history,
+        Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_framework_with_history`], additionally streaming every
+/// simulator, pool, and resource-manager decision to `telemetry`. After the
+/// online replay, one [`SimEvent::QosViolation`] is emitted per completed
+/// workflow instance that missed its application's QoS target.
+#[allow(clippy::too_many_arguments)]
+pub fn run_framework_traced(
+    framework: Framework,
+    registry: &FunctionRegistry,
+    workloads: &[Workload],
+    cluster: ClusterSpec,
+    horizon: SimTime,
+    config: &AquatopeConfig,
+    history: &[(FunctionId, Vec<f64>)],
+    telemetry: Telemetry,
 ) -> EndToEndReport {
     // --- Planning phase: pick per-stage configs for every app. ---
     let controller = Aquatope::new(config.clone());
@@ -100,6 +136,7 @@ pub fn run_framework_with_history(
                 }
                 Framework::Aquatope | Framework::AquatopeRmOnly => {
                     aqua_alloc::AquatopeRm::with_config(config.seed, config.rm.clone())
+                        .with_telemetry(telemetry.clone())
                         .optimize(&mut eval, qos, config.search_budget)
                 }
             };
@@ -119,6 +156,7 @@ pub fn run_framework_with_history(
 
     // --- Online phase: replay under the framework's pool policy. ---
     let mut sim = controller.make_sim(registry, cluster, NoiseModel::production());
+    sim.set_telemetry(telemetry.clone());
     let jobs: Vec<WorkflowJob> = workloads
         .iter()
         .zip(&plans)
@@ -135,7 +173,8 @@ pub fn run_framework_with_history(
             Box::new(p)
         }
         Framework::Aquatope => {
-            let mut p = AquatopePool::new(config.pool.clone(), &dags);
+            let mut p =
+                AquatopePool::new(config.pool.clone(), &dags).with_telemetry(telemetry.clone());
             for (f, h) in history {
                 p.preload_history(*f, h);
             }
@@ -145,6 +184,33 @@ pub fn run_framework_with_history(
     };
     let raw = sim.run(&jobs, pool.as_mut(), horizon);
     let violation = violation_rate(&raw, workloads, horizon);
+
+    // QoS verdicts are only known once per-app targets are joined with the
+    // run report, so they are synthesized here rather than inside the
+    // simulator. Global instance numbering is job-major (mirroring
+    // `violation_rate`), which lets us recover (workflow, local instance).
+    if telemetry.is_enabled() {
+        let mut job_of = Vec::new();
+        for (job, w) in workloads.iter().enumerate() {
+            for local in 0..w.arrivals.len() {
+                job_of.push((job, local, w.app.qos));
+            }
+        }
+        for wf in &raw.workflows {
+            if let Some(&(job, local, qos)) = job_of.get(wf.instance) {
+                if wf.latency() > qos {
+                    telemetry.emit_with(|| SimEvent::QosViolation {
+                        at: wf.finished,
+                        workflow: job,
+                        instance: local,
+                        latency_secs: wf.latency().as_secs_f64(),
+                        qos_secs: qos.as_secs_f64(),
+                    });
+                }
+            }
+        }
+        telemetry.flush();
+    }
     EndToEndReport::from_run(raw, violation, config.price_cpu, config.price_mem)
 }
 
@@ -178,7 +244,12 @@ mod tests {
                 SimTime::from_secs(700),
                 &cfg,
             );
-            assert!(report.completed > 20, "{}: completed {}", fw.name(), report.completed);
+            assert!(
+                report.completed > 20,
+                "{}: completed {}",
+                fw.name(),
+                report.completed
+            );
         }
     }
 

@@ -38,8 +38,8 @@ pub mod frameworks;
 pub mod report;
 
 pub use config::{AquatopeConfig, ClusterSpec};
-pub use controller::{Aquatope, AppPlan, Workload};
-pub use frameworks::{run_framework, run_framework_with_history, Framework};
+pub use controller::{AppPlan, Aquatope, Workload};
+pub use frameworks::{run_framework, run_framework_traced, run_framework_with_history, Framework};
 pub use report::EndToEndReport;
 
 pub use aqua_alloc::{AquatopeRm, AquatopeRmConfig};

@@ -27,7 +27,12 @@ pub struct EndToEndReport {
 impl EndToEndReport {
     /// Builds the aggregate view from a raw run report and per-instance
     /// QoS outcomes already folded into `qos_violation_rate`.
-    pub fn from_run(raw: RunReport, qos_violation_rate: f64, price_cpu: f64, price_mem: f64) -> Self {
+    pub fn from_run(
+        raw: RunReport,
+        qos_violation_rate: f64,
+        price_cpu: f64,
+        price_mem: f64,
+    ) -> Self {
         EndToEndReport {
             qos_violation_rate,
             cold_start_rate: raw.cold_start_rate(),
@@ -62,7 +67,11 @@ mod tests {
 
     #[test]
     fn from_run_copies_metrics() {
-        let raw = RunReport { cpu_core_seconds: 12.0, memory_gb_seconds: 7.0, ..Default::default() };
+        let raw = RunReport {
+            cpu_core_seconds: 12.0,
+            memory_gb_seconds: 7.0,
+            ..Default::default()
+        };
         let r = EndToEndReport::from_run(raw, 0.25, 1.0, 1.0);
         assert_eq!(r.qos_violation_rate, 0.25);
         assert_eq!(r.cpu_core_seconds, 12.0);

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use aqua_sim::{SimDuration, SimTime};
+use aqua_telemetry::{EvictionReason, SimEvent, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::container::{Container, ContainerState};
@@ -52,6 +53,7 @@ pub struct Cluster {
     memory_mb_seconds: f64,
     cpu_core_seconds: f64,
     busy_memory_mb_seconds: f64,
+    telemetry: Telemetry,
 }
 
 impl Cluster {
@@ -62,7 +64,10 @@ impl Cluster {
     /// Panics if `n == 0` or capacities are non-positive.
     pub fn new(n: usize, cpu_per_worker: f64, memory_mb_per_worker: f64) -> Self {
         assert!(n > 0, "need at least one worker");
-        assert!(cpu_per_worker > 0.0 && memory_mb_per_worker > 0.0, "capacities must be positive");
+        assert!(
+            cpu_per_worker > 0.0 && memory_mb_per_worker > 0.0,
+            "capacities must be positive"
+        );
         Cluster {
             workers: (0..n)
                 .map(|i| Worker {
@@ -81,7 +86,13 @@ impl Cluster {
             memory_mb_seconds: 0.0,
             cpu_core_seconds: 0.0,
             busy_memory_mb_seconds: 0.0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes this cluster's container-lifecycle events to `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn account(&mut self, now: SimTime) {
@@ -128,12 +139,25 @@ impl Cluster {
             .workers
             .iter_mut()
             .filter(|w| w.free_memory() >= config.memory_mb)
-            .max_by(|a, b| a.free_memory().partial_cmp(&b.free_memory()).expect("finite"))?;
+            .max_by(|a, b| {
+                a.free_memory()
+                    .partial_cmp(&b.free_memory())
+                    .expect("finite")
+            })?;
         worker.memory_used_mb += config.memory_mb;
         let wid = worker.id;
         self.reserved_mb_now += config.memory_mb;
         let id = ContainerId(self.next_id);
         self.next_id += 1;
+        self.telemetry.emit_with(|| SimEvent::ColdStartBegin {
+            at: now,
+            function: function.0,
+            container: id.0,
+            worker: wid.0,
+            memory_mb: config.memory_mb,
+            slots: config.concurrency,
+            prewarmed,
+        });
         self.containers.insert(
             id,
             Container {
@@ -231,18 +255,27 @@ impl Cluster {
         }
     }
 
-    /// Destroys a container, freeing its memory.
+    /// Destroys a container, freeing its memory. `reason` is recorded in
+    /// the telemetry trace.
     ///
     /// # Panics
     ///
     /// Panics if the container is unknown or currently busy.
-    pub fn kill(&mut self, id: ContainerId, now: SimTime) {
+    pub fn kill(&mut self, id: ContainerId, now: SimTime, reason: EvictionReason) {
         self.account(now);
         let c = self.containers.remove(&id).expect("unknown container");
         assert_eq!(c.busy_slots, 0, "cannot kill a busy container");
         let w = &mut self.workers[c.worker.0];
         w.memory_used_mb -= c.config.memory_mb;
         self.reserved_mb_now -= c.config.memory_mb;
+        self.telemetry.emit_with(|| SimEvent::Eviction {
+            at: now,
+            function: c.function.0,
+            container: c.id.0,
+            worker: c.worker.0,
+            memory_mb: c.config.memory_mb,
+            reason,
+        });
     }
 
     /// Kills idle containers of `function` idle for longer than
@@ -253,7 +286,7 @@ impl Cluster {
         keep_alive: SimDuration,
         now: SimTime,
     ) -> usize {
-        let victims: Vec<ContainerId> = self
+        let mut victims: Vec<ContainerId> = self
             .containers
             .values()
             .filter(|c| {
@@ -263,8 +296,11 @@ impl Cluster {
             })
             .map(|c| c.id)
             .collect();
+        // HashMap iteration order varies run to run; kill in id order so
+        // accounting and the event trace are bit-for-bit reproducible.
+        victims.sort_unstable_by_key(|id| id.0);
         for id in &victims {
-            self.kill(*id, now);
+            self.kill(*id, now, EvictionReason::KeepAlive);
         }
         victims.len()
     }
@@ -282,7 +318,7 @@ impl Cluster {
         idle.sort_by_key(|(t, id)| (std::cmp::Reverse(*t), id.0));
         let n = count.min(idle.len());
         for (_, id) in idle.iter().take(n) {
-            self.kill(*id, now);
+            self.kill(*id, now, EvictionReason::Shrink);
         }
         n
     }
@@ -302,7 +338,7 @@ impl Cluster {
                 .min_by_key(|c| (c.last_used, c.id.0))
                 .map(|c| c.id);
             match victim {
-                Some(id) => self.kill(id, now),
+                Some(id) => self.kill(id, now, EvictionReason::Pressure),
                 None => return false,
             }
         }
@@ -375,7 +411,13 @@ mod tests {
     fn boot_and_complete_lifecycle() {
         let mut cl = cluster();
         let id = cl
-            .boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::from_millis(500), false)
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::from_millis(500),
+                false,
+            )
             .unwrap();
         assert_eq!(cl.counts(FunctionId(0)), (1, 0, 0));
         assert!(cl.find_warm(FunctionId(0), &cfg()).is_none());
@@ -388,18 +430,28 @@ mod tests {
     fn capacity_limit_respected() {
         let mut cl = Cluster::new(1, 4.0, 2048.0);
         let c = ResourceConfig::new(1.0, 1024.0, 1);
-        assert!(cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).is_some());
-        assert!(cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).is_some());
+        assert!(cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .is_some());
+        assert!(cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .is_some());
         // Third does not fit.
-        assert!(cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).is_none());
+        assert!(cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .is_none());
     }
 
     #[test]
     fn eviction_frees_idle_lru() {
         let mut cl = Cluster::new(1, 4.0, 2048.0);
         let c = ResourceConfig::new(1.0, 1024.0, 1);
-        let a = cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
-        let b = cl.boot_container(FunctionId(1), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let a = cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
+        let b = cl
+            .boot_container(FunctionId(1), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
         cl.boot_complete(a, SimTime::from_secs(1));
         cl.boot_complete(b, SimTime::from_secs(2));
         assert!(cl.evict_for(1024.0, SimTime::from_secs(3)));
@@ -412,7 +464,9 @@ mod tests {
     fn eviction_fails_without_idle_victims() {
         let mut cl = Cluster::new(1, 4.0, 1024.0);
         let c = ResourceConfig::new(1.0, 1024.0, 1);
-        let a = cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let a = cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
         cl.boot_complete(a, SimTime::ZERO);
         cl.assign(a, SimTime::ZERO);
         assert!(!cl.evict_for(512.0, SimTime::from_secs(1)));
@@ -422,14 +476,19 @@ mod tests {
     fn assign_release_cycle_counts_slots() {
         let mut cl = cluster();
         let c = ResourceConfig::new(2.0, 1024.0, 2);
-        let id = cl.boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let id = cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
         cl.boot_complete(id, SimTime::ZERO);
         cl.assign(id, SimTime::ZERO);
         cl.assign(id, SimTime::ZERO);
         assert_eq!(cl.counts(FunctionId(0)), (0, 0, 1));
         assert!(cl.find_warm(FunctionId(0), &c).is_none(), "both slots busy");
         cl.release(id, SimTime::from_secs(1));
-        assert!(cl.find_warm(FunctionId(0), &c).is_some(), "one slot free again");
+        assert!(
+            cl.find_warm(FunctionId(0), &c).is_some(),
+            "one slot free again"
+        );
         cl.release(id, SimTime::from_secs(2));
         assert_eq!(cl.counts(FunctionId(0)), (0, 1, 0));
     }
@@ -437,10 +496,32 @@ mod tests {
     #[test]
     fn reap_respects_keep_alive() {
         let mut cl = cluster();
-        let id = cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let id = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
         cl.boot_complete(id, SimTime::ZERO);
-        assert_eq!(cl.reap_idle(FunctionId(0), SimDuration::from_secs(60), SimTime::from_secs(30)), 0);
-        assert_eq!(cl.reap_idle(FunctionId(0), SimDuration::from_secs(60), SimTime::from_secs(61)), 1);
+        assert_eq!(
+            cl.reap_idle(
+                FunctionId(0),
+                SimDuration::from_secs(60),
+                SimTime::from_secs(30)
+            ),
+            0
+        );
+        assert_eq!(
+            cl.reap_idle(
+                FunctionId(0),
+                SimDuration::from_secs(60),
+                SimTime::from_secs(61)
+            ),
+            1
+        );
         assert_eq!(cl.num_containers(), 0);
     }
 
@@ -448,10 +529,16 @@ mod tests {
     fn memory_time_integral_accumulates() {
         let mut cl = cluster();
         let id = cl
-            .boot_container(FunctionId(0), ResourceConfig::new(1.0, 2048.0, 1), SimTime::ZERO, SimDuration::ZERO, false)
+            .boot_container(
+                FunctionId(0),
+                ResourceConfig::new(1.0, 2048.0, 1),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
             .unwrap();
         cl.boot_complete(id, SimTime::ZERO);
-        cl.kill(id, SimTime::from_secs(10));
+        cl.kill(id, SimTime::from_secs(10), EvictionReason::Shrink);
         cl.finalize(SimTime::from_secs(20));
         // 2048 MiB for 10 s = 20 GB·s; nothing after the kill.
         assert!((cl.memory_gb_seconds() - 20.0).abs() < 1e-9);
@@ -461,7 +548,13 @@ mod tests {
     fn cpu_time_integral_counts_busy_only() {
         let mut cl = cluster();
         let id = cl
-            .boot_container(FunctionId(0), ResourceConfig::new(2.0, 1024.0, 1), SimTime::ZERO, SimDuration::ZERO, false)
+            .boot_container(
+                FunctionId(0),
+                ResourceConfig::new(2.0, 1024.0, 1),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
             .unwrap();
         cl.boot_complete(id, SimTime::ZERO);
         cl.assign(id, SimTime::from_secs(5));
@@ -474,19 +567,45 @@ mod tests {
     #[test]
     fn shrink_idle_kills_newest_first() {
         let mut cl = cluster();
-        let a = cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
-        let b = cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        let a = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
+        let b = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
         cl.boot_complete(a, SimTime::from_secs(1));
         cl.boot_complete(b, SimTime::from_secs(2));
         assert_eq!(cl.shrink_idle(FunctionId(0), 1, SimTime::from_secs(3)), 1);
-        assert!(cl.container(b).is_none(), "newest-idle container killed first");
+        assert!(
+            cl.container(b).is_none(),
+            "newest-idle container killed first"
+        );
         assert!(cl.container(a).is_some());
     }
 
     #[test]
     fn snapshot_reports_reservation() {
         let mut cl = cluster();
-        cl.boot_container(FunctionId(0), cfg(), SimTime::ZERO, SimDuration::ZERO, false).unwrap();
+        cl.boot_container(
+            FunctionId(0),
+            cfg(),
+            SimTime::ZERO,
+            SimDuration::ZERO,
+            false,
+        )
+        .unwrap();
         let snap = cl.snapshot();
         assert_eq!(snap.reserved_memory_mb, 1024.0);
         assert_eq!(snap.total_memory_mb, 8192.0);

@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn idle_duration_only_when_idle() {
         let c = container(ContainerState::Idle, 0, 1);
-        assert_eq!(c.idle_for(SimTime::from_secs(10)), SimDuration::from_secs(8));
+        assert_eq!(
+            c.idle_for(SimTime::from_secs(10)),
+            SimDuration::from_secs(8)
+        );
         let b = container(ContainerState::Busy, 1, 1);
         assert_eq!(b.idle_for(SimTime::from_secs(10)), SimDuration::ZERO);
     }

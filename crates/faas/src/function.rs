@@ -87,7 +87,10 @@ impl FunctionSpec {
 
     /// Sets cold-start boot time and init work (ms).
     pub fn with_cold_start(mut self, boot_ms: f64, init_work_ms: f64) -> Self {
-        assert!(boot_ms >= 0.0 && init_work_ms >= 0.0, "cold-start times must be non-negative");
+        assert!(
+            boot_ms >= 0.0 && init_work_ms >= 0.0,
+            "cold-start times must be non-negative"
+        );
         self.boot_ms = boot_ms;
         self.init_work_ms = init_work_ms;
         self
@@ -187,7 +190,10 @@ impl FunctionRegistry {
 
     /// Iterates `(id, spec)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &FunctionSpec)> {
-        self.specs.iter().enumerate().map(|(i, s)| (FunctionId(i), s))
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FunctionId(i), s))
     }
 }
 
@@ -201,7 +207,9 @@ mod tests {
 
     #[test]
     fn more_cpu_is_faster_until_parallelism_cap() {
-        let f = FunctionSpec::new("f").with_work_ms(1000.0).with_parallelism(2.0);
+        let f = FunctionSpec::new("f")
+            .with_work_ms(1000.0)
+            .with_parallelism(2.0);
         let t1 = f.base_exec_ms(&ResourceConfig::new(1.0, 1024.0, 1));
         let t2 = f.base_exec_ms(&ResourceConfig::new(2.0, 1024.0, 1));
         let t4 = f.base_exec_ms(&ResourceConfig::new(4.0, 1024.0, 1));
@@ -220,7 +228,9 @@ mod tests {
 
     #[test]
     fn concurrency_divides_resources() {
-        let f = FunctionSpec::new("f").with_work_ms(400.0).with_parallelism(4.0);
+        let f = FunctionSpec::new("f")
+            .with_work_ms(400.0)
+            .with_parallelism(4.0);
         let solo = f.base_exec_ms(&ResourceConfig::new(2.0, 2048.0, 1));
         let shared = f.base_exec_ms(&ResourceConfig::new(2.0, 2048.0, 2));
         assert!(shared > solo);

@@ -53,7 +53,10 @@ impl NoiseModel {
     ///
     /// Panics if `level` is negative or not finite.
     pub fn background_jobs(level: f64) -> Self {
-        assert!(level.is_finite() && level >= 0.0, "noise level must be non-negative");
+        assert!(
+            level.is_finite() && level >= 0.0,
+            "noise level must be non-negative"
+        );
         NoiseModel {
             gaussian_cv: 0.05 + 0.03 * level,
             outlier_prob: 0.02 * level,
@@ -100,7 +103,11 @@ mod tests {
 
     #[test]
     fn gaussian_jitter_preserves_mean() {
-        let n = NoiseModel { gaussian_cv: 0.2, outlier_prob: 0.0, ..NoiseModel::quiet() };
+        let n = NoiseModel {
+            gaussian_cv: 0.2,
+            outlier_prob: 0.0,
+            ..NoiseModel::quiet()
+        };
         let mut rng = SimRng::seed(2);
         let m = 50_000;
         let mean: f64 = (0..m).map(|_| n.apply(100.0, 0.0, &mut rng)).sum::<f64>() / m as f64;

@@ -55,9 +55,15 @@ pub use container::{Container, ContainerState};
 pub use function::{FunctionRegistry, FunctionSpec};
 pub use interference::NoiseModel;
 pub use metrics::{InvocationRecord, RunReport, WorkflowRecord};
-pub use sim::{FaasSim, FaasSimBuilder, FixedPrewarm, PoolObservation, PoolDecision, PrewarmController};
+pub use sim::{
+    FaasSim, FaasSimBuilder, FixedPrewarm, PoolDecision, PoolObservation, PrewarmController,
+};
 pub use types::{ContainerId, FunctionId, ResourceConfig, StageConfigs, WorkerId};
 pub use workflow::{Stage, WorkflowDag};
+
+/// Re-export of the telemetry layer the simulator emits through.
+pub use aqua_telemetry as telemetry;
+pub use aqua_telemetry::{EventSink, EvictionReason, SimEvent, Telemetry};
 
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {

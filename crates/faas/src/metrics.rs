@@ -125,12 +125,8 @@ impl RunReport {
         if total == 0 {
             return 0.0;
         }
-        let violated = self
-            .workflows
-            .iter()
-            .filter(|w| w.latency() > qos)
-            .count()
-            + self.unfinished;
+        let violated =
+            self.workflows.iter().filter(|w| w.latency() > qos).count() + self.unfinished;
         violated as f64 / total as f64
     }
 
@@ -173,7 +169,12 @@ mod tests {
     #[test]
     fn cold_start_rate() {
         let report = RunReport {
-            invocations: vec![record(true, 0, 0, 1), record(false, 0, 0, 1), record(false, 0, 0, 1), record(true, 0, 0, 1)],
+            invocations: vec![
+                record(true, 0, 0, 1),
+                record(false, 0, 0, 1),
+                record(false, 0, 0, 1),
+                record(true, 0, 0, 1),
+            ],
             ..Default::default()
         };
         assert_eq!(report.cold_start_rate(), 0.5);

@@ -7,6 +7,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use aqua_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use aqua_telemetry::{SimEvent, Telemetry};
 
 use crate::cluster::{Cluster, ClusterSnapshot};
 use crate::function::FunctionRegistry;
@@ -86,12 +87,18 @@ pub struct FixedPrewarm {
 impl FixedPrewarm {
     /// The 10-minute fixed keep-alive of most providers.
     pub fn provider_default() -> Self {
-        FixedPrewarm { keep_alive: SimDuration::from_secs(600), targets: HashMap::new() }
+        FixedPrewarm {
+            keep_alive: SimDuration::from_secs(600),
+            targets: HashMap::new(),
+        }
     }
 
     /// A profiling policy that holds `targets` warm containers forever.
     pub fn pinned(targets: HashMap<FunctionId, usize>) -> Self {
-        FixedPrewarm { keep_alive: SimDuration::from_secs(1_000_000), targets }
+        FixedPrewarm {
+            keep_alive: SimDuration::from_secs(1_000_000),
+            targets,
+        }
     }
 }
 
@@ -127,16 +134,34 @@ impl WorkflowJob {
     ///
     /// Panics if `configs` does not cover every stage.
     pub fn new(dag: WorkflowDag, configs: StageConfigs, arrivals: Vec<SimTime>) -> Self {
-        assert_eq!(configs.len(), dag.num_stages(), "one config per stage required");
-        WorkflowJob { dag, configs, arrivals }
+        assert_eq!(
+            configs.len(),
+            dag.num_stages(),
+            "one config per stage required"
+        );
+        WorkflowJob {
+            dag,
+            configs,
+            arrivals,
+        }
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Arrival { job: usize, inst: usize },
-    BootDone { container: ContainerId },
-    ExecDone { container: ContainerId, job: usize, inst: usize, stage: usize },
+    Arrival {
+        job: usize,
+        inst: usize,
+    },
+    BootDone {
+        container: ContainerId,
+    },
+    ExecDone {
+        container: ContainerId,
+        job: usize,
+        inst: usize,
+        stage: usize,
+    },
     PoolTick,
 }
 
@@ -171,6 +196,7 @@ pub struct FaasSimBuilder {
     noise: NoiseModel,
     seed: u64,
     tick: SimDuration,
+    telemetry: Telemetry,
 }
 
 impl Default for FaasSimBuilder {
@@ -183,6 +209,7 @@ impl Default for FaasSimBuilder {
             noise: NoiseModel::production(),
             seed: 42,
             tick: SimDuration::from_secs(60),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -221,11 +248,15 @@ impl FaasSimBuilder {
         self
     }
 
+    /// Routes scheduling events to `telemetry` (default: the null sink).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds the simulator.
     pub fn build(self) -> FaasSim {
-        FaasSim {
-            params: self,
-        }
+        FaasSim { params: self }
     }
 }
 
@@ -240,6 +271,11 @@ impl FaasSim {
     /// Starts a builder.
     pub fn builder() -> FaasSimBuilder {
         FaasSimBuilder::default()
+    }
+
+    /// Replaces the telemetry sink for subsequent runs.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.params.telemetry = telemetry;
     }
 
     /// The registry this simulator was built with.
@@ -429,7 +465,12 @@ struct RunState<'a> {
 
 impl<'a> RunState<'a> {
     fn new(params: &'a FaasSimBuilder, jobs: &'a [WorkflowJob]) -> Self {
-        let cluster = Cluster::new(params.workers, params.cpu_per_worker, params.memory_mb_per_worker);
+        let mut cluster = Cluster::new(
+            params.workers,
+            params.cpu_per_worker,
+            params.memory_mb_per_worker,
+        );
+        cluster.set_telemetry(params.telemetry.clone());
         let mut config_of = HashMap::new();
         for job in jobs {
             for (si, stage) in job.dag.stages().enumerate() {
@@ -482,9 +523,12 @@ impl<'a> RunState<'a> {
             match event {
                 Event::Arrival { job, inst } => self.on_arrival(job, inst, now),
                 Event::BootDone { container } => self.on_boot_done(container, now),
-                Event::ExecDone { container, job, inst, stage } => {
-                    self.on_exec_done(container, job, inst, stage, now)
-                }
+                Event::ExecDone {
+                    container,
+                    job,
+                    inst,
+                    stage,
+                } => self.on_exec_done(container, job, inst, stage, now),
                 Event::PoolTick => self.on_pool_tick(controller, now, horizon),
             }
             self.drain_pending(now);
@@ -499,6 +543,7 @@ impl<'a> RunState<'a> {
             .flatten()
             .filter(|i| !i.done && i.arrived <= horizon)
             .count();
+        self.params.telemetry.flush();
         self.report
     }
 
@@ -511,8 +556,24 @@ impl<'a> RunState<'a> {
 
     fn start_stage(&mut self, job: usize, inst: usize, stage: usize, now: SimTime) {
         let tasks = self.jobs[job].dag.stage(stage).tasks;
+        self.params.telemetry.emit_with(|| SimEvent::StageDispatch {
+            at: now,
+            workflow: job,
+            instance: inst,
+            stage,
+            function: self.jobs[job].dag.stage(stage).function.0,
+            tasks,
+        });
         for _ in 0..tasks {
-            self.start_task(Task { job, inst, stage, requested: now }, now);
+            self.start_task(
+                Task {
+                    job,
+                    inst,
+                    stage,
+                    requested: now,
+                },
+                now,
+            );
         }
     }
 
@@ -542,12 +603,16 @@ impl<'a> RunState<'a> {
         // 3. Boot a dedicated container.
         let spec = self.params.registry.spec(function);
         let boot = spec.sample_cold_start(&config, &self.params.noise, &mut self.rng);
-        let cid = match self.cluster.boot_container(function, config, now, boot, false) {
+        let cid = match self
+            .cluster
+            .boot_container(function, config, now, boot, false)
+        {
             Some(cid) => Some(cid),
             None => {
                 // Try LRU eviction, then retry once.
                 if self.cluster.evict_for(config.memory_mb, now) {
-                    self.cluster.boot_container(function, config, now, boot, false)
+                    self.cluster
+                        .boot_container(function, config, now, boot, false)
                 } else {
                     None
                 }
@@ -555,13 +620,21 @@ impl<'a> RunState<'a> {
         };
         match cid {
             Some(cid) => {
-                self.queue.push(now + boot, Event::BootDone { container: cid });
+                self.queue
+                    .push(now + boot, Event::BootDone { container: cid });
                 *self.claimed.entry(cid).or_insert(0) += 1;
                 self.attached.entry(cid).or_default().push(task);
                 self.instances[task.job][task.inst].cold_starts += 1;
             }
             None => {
                 // No capacity anywhere: queue until something frees up.
+                self.params.telemetry.emit_with(|| SimEvent::StageQueued {
+                    at: now,
+                    workflow: task.job,
+                    instance: task.inst,
+                    stage: task.stage,
+                    function: function.0,
+                });
                 self.pending.push_back(task);
             }
         }
@@ -571,13 +644,27 @@ impl<'a> RunState<'a> {
         let function = self.jobs[task.job].dag.stage(task.stage).function;
         let config = self.jobs[task.job].configs.stage(task.stage);
         let spec = self.params.registry.spec(function);
+        if !cold {
+            // Cold tasks were charged at boot completion; only warm reuse
+            // is a warm hit.
+            self.params.telemetry.emit_with(|| SimEvent::WarmHit {
+                at: now,
+                function: function.0,
+                container: cid.0,
+            });
+        }
         self.cluster.assign(cid, now);
 
         let exec = spec.sample_exec(&config, &self.params.noise, &mut self.rng);
         let finish = now + exec;
         self.queue.push(
             finish,
-            Event::ExecDone { container: cid, job: task.job, inst: task.inst, stage: task.stage },
+            Event::ExecDone {
+                container: cid,
+                job: task.job,
+                inst: task.inst,
+                stage: task.stage,
+            },
         );
         let secs = exec.as_secs_f64();
         self.report.invocations.push(InvocationRecord {
@@ -594,27 +681,52 @@ impl<'a> RunState<'a> {
     }
 
     fn global_instance(&self, job: usize, inst: usize) -> usize {
-        self.jobs[..job].iter().map(|j| j.arrivals.len()).sum::<usize>() + inst
+        self.jobs[..job]
+            .iter()
+            .map(|j| j.arrivals.len())
+            .sum::<usize>()
+            + inst
     }
 
     fn on_boot_done(&mut self, cid: ContainerId, now: SimTime) {
-        if self.cluster.container(cid).is_none() {
-            return; // reaped while booting cannot happen, but stay safe
-        }
+        let (function, worker) = match self.cluster.container(cid) {
+            Some(c) => (c.function, c.worker),
+            None => return, // reaped while booting cannot happen, but stay safe
+        };
         self.cluster.boot_complete(cid, now);
         self.claimed.remove(&cid);
-        if let Some(tasks) = self.attached.remove(&cid) {
-            for task in tasks {
-                // Attached tasks experienced the boot as their cold start.
-                self.begin_exec(cid, task, now, true);
-            }
+        let tasks = self.attached.remove(&cid).unwrap_or_default();
+        self.params.telemetry.emit_with(|| SimEvent::ColdStartEnd {
+            at: now,
+            function: function.0,
+            container: cid.0,
+            worker: worker.0,
+            tasks_attached: tasks.len() as u32,
+        });
+        for task in tasks {
+            // Attached tasks experienced the boot as their cold start.
+            self.begin_exec(cid, task, now, true);
         }
     }
 
-    fn on_exec_done(&mut self, cid: ContainerId, job: usize, inst: usize, stage: usize, now: SimTime) {
+    fn on_exec_done(
+        &mut self,
+        cid: ContainerId,
+        job: usize,
+        inst: usize,
+        stage: usize,
+        now: SimTime,
+    ) {
         self.cluster.release(cid, now);
         let function = self.jobs[job].dag.stage(stage).function;
         *self.demand_now.entry(function).or_insert(1) -= 1;
+        self.params.telemetry.emit_with(|| SimEvent::TaskComplete {
+            at: now,
+            workflow: job,
+            instance: inst,
+            stage,
+            container: cid.0,
+        });
         let global_instance = self.global_instance(job, inst);
         let dag = &self.jobs[job].dag;
         let instance = &mut self.instances[job][inst];
@@ -623,6 +735,13 @@ impl<'a> RunState<'a> {
             return;
         }
         // Stage complete.
+        self.params.telemetry.emit_with(|| SimEvent::StageComplete {
+            at: now,
+            workflow: job,
+            instance: inst,
+            stage,
+        });
+        let instance = &mut self.instances[job][inst];
         instance.stages_left -= 1;
         if instance.stages_left == 0 {
             instance.done = true;
@@ -651,7 +770,12 @@ impl<'a> RunState<'a> {
         }
     }
 
-    fn on_pool_tick(&mut self, controller: &mut dyn PrewarmController, now: SimTime, horizon: SimTime) {
+    fn on_pool_tick(
+        &mut self,
+        controller: &mut dyn PrewarmController,
+        now: SimTime,
+        horizon: SimTime,
+    ) {
         let stats: Vec<FnWindowStats> = self
             .params
             .registry
@@ -693,7 +817,13 @@ impl<'a> RunState<'a> {
         }
     }
 
-    fn apply_prewarm_target(&mut self, function: FunctionId, target: usize, shrink: bool, now: SimTime) {
+    fn apply_prewarm_target(
+        &mut self,
+        function: FunctionId,
+        target: usize,
+        shrink: bool,
+        now: SimTime,
+    ) {
         let (booting, idle, _) = self.cluster.counts(function);
         let available = booting + idle;
         if available < target {
@@ -704,8 +834,13 @@ impl<'a> RunState<'a> {
             let spec = self.params.registry.spec(function);
             for _ in 0..(target - available) {
                 let boot = spec.sample_cold_start(&config, &self.params.noise, &mut self.rng);
-                match self.cluster.boot_container(function, config, now, boot, true) {
-                    Some(cid) => self.queue.push(now + boot, Event::BootDone { container: cid }),
+                match self
+                    .cluster
+                    .boot_container(function, config, now, boot, true)
+                {
+                    Some(cid) => self
+                        .queue
+                        .push(now + boot, Event::BootDone { container: cid }),
                     None => break, // cluster full; stop pre-warming
                 }
             }
@@ -807,19 +942,35 @@ mod tests {
         let f = dag.stage(0).function;
         let mut targets = HashMap::new();
         targets.insert(f, 1usize);
-        let mut controller = FixedPrewarm { keep_alive: SimDuration::from_secs(10_000), targets };
+        let mut controller = FixedPrewarm {
+            keep_alive: SimDuration::from_secs(10_000),
+            targets,
+        };
         // Pool tick at 60 s pre-warms; arrival at 120 s is warm.
         let job = WorkflowJob::new(dag.clone(), configs.clone(), vec![SimTime::from_secs(120)]);
         let report = sim.run(&[job], &mut controller, SimTime::from_secs(300));
         assert_eq!(report.invocations.len(), 1);
-        assert!(!report.invocations[0].cold, "pre-warmed container should serve warm");
+        assert!(
+            !report.invocations[0].cold,
+            "pre-warmed container should serve warm"
+        );
     }
 
     #[test]
     fn chain_runs_stages_sequentially() {
         let mut registry = FunctionRegistry::new();
-        let a = registry.register(FunctionSpec::new("a").with_work_ms(100.0).with_exec_cv(0.0).with_cold_start(100.0, 0.0));
-        let b = registry.register(FunctionSpec::new("b").with_work_ms(100.0).with_exec_cv(0.0).with_cold_start(100.0, 0.0));
+        let a = registry.register(
+            FunctionSpec::new("a")
+                .with_work_ms(100.0)
+                .with_exec_cv(0.0)
+                .with_cold_start(100.0, 0.0),
+        );
+        let b = registry.register(
+            FunctionSpec::new("b")
+                .with_work_ms(100.0)
+                .with_exec_cv(0.0)
+                .with_cold_start(100.0, 0.0),
+        );
         let dag = WorkflowDag::chain("c", vec![a, b]);
         let configs = StageConfigs::uniform(&dag, ResourceConfig::default());
         let mut sim = FaasSim::builder()
@@ -827,20 +978,42 @@ mod tests {
             .registry(registry)
             .noise(NoiseModel::quiet())
             .build();
-        let report =
-            sim.run_workflow_trace(&dag, &configs, &[SimTime::from_secs(1)], SimTime::from_secs(60));
+        let report = sim.run_workflow_trace(
+            &dag,
+            &configs,
+            &[SimTime::from_secs(1)],
+            SimTime::from_secs(60),
+        );
         assert_eq!(report.invocations.len(), 2);
         let first = &report.invocations[0];
         let second = &report.invocations[1];
-        assert!(second.requested >= first.finished, "stage 2 starts after stage 1");
+        assert!(
+            second.requested >= first.finished,
+            "stage 2 starts after stage 1"
+        );
     }
 
     #[test]
     fn fan_out_runs_in_parallel() {
         let mut registry = FunctionRegistry::new();
-        let s = registry.register(FunctionSpec::new("s").with_work_ms(10.0).with_exec_cv(0.0).with_cold_start(10.0, 0.0));
-        let w = registry.register(FunctionSpec::new("w").with_work_ms(1000.0).with_exec_cv(0.0).with_cold_start(10.0, 0.0));
-        let a = registry.register(FunctionSpec::new("a").with_work_ms(10.0).with_exec_cv(0.0).with_cold_start(10.0, 0.0));
+        let s = registry.register(
+            FunctionSpec::new("s")
+                .with_work_ms(10.0)
+                .with_exec_cv(0.0)
+                .with_cold_start(10.0, 0.0),
+        );
+        let w = registry.register(
+            FunctionSpec::new("w")
+                .with_work_ms(1000.0)
+                .with_exec_cv(0.0)
+                .with_cold_start(10.0, 0.0),
+        );
+        let a = registry.register(
+            FunctionSpec::new("a")
+                .with_work_ms(10.0)
+                .with_exec_cv(0.0)
+                .with_cold_start(10.0, 0.0),
+        );
         let dag = WorkflowDag::fan_out_in("f", s, w, 8, a);
         let configs = StageConfigs::uniform(&dag, ResourceConfig::new(1.0, 512.0, 1));
         let mut sim = FaasSim::builder()
@@ -848,8 +1021,12 @@ mod tests {
             .registry(registry)
             .noise(NoiseModel::quiet())
             .build();
-        let report =
-            sim.run_workflow_trace(&dag, &configs, &[SimTime::from_secs(1)], SimTime::from_secs(120));
+        let report = sim.run_workflow_trace(
+            &dag,
+            &configs,
+            &[SimTime::from_secs(1)],
+            SimTime::from_secs(120),
+        );
         assert_eq!(report.invocations.len(), 10);
         // Parallel workers: total latency far below 8 sequential seconds.
         let lat = report.workflows[0].latency().as_secs_f64();
@@ -906,7 +1083,10 @@ mod tests {
         // Without pinning, the first call is cold; later ones reuse, so
         // compare the max (the cold one).
         let cold_max = cold.iter().map(|s| s.0).fold(0.0, f64::max);
-        assert!(cold_max > warm_mean * 2.0, "cold {cold_max} vs warm {warm_mean}");
+        assert!(
+            cold_max > warm_mean * 2.0,
+            "cold {cold_max} vs warm {warm_mean}"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct ResourceConfig {
 impl Default for ResourceConfig {
     /// 1 core, 1 GiB, single-invocation containers.
     fn default() -> Self {
-        ResourceConfig { cpu: 1.0, memory_mb: 1024.0, concurrency: 1 }
+        ResourceConfig {
+            cpu: 1.0,
+            memory_mb: 1024.0,
+            concurrency: 1,
+        }
     }
 }
 
@@ -44,9 +48,16 @@ impl ResourceConfig {
     /// Panics unless `cpu > 0`, `memory_mb > 0`, and `concurrency >= 1`.
     pub fn new(cpu: f64, memory_mb: f64, concurrency: u32) -> Self {
         assert!(cpu.is_finite() && cpu > 0.0, "cpu must be positive");
-        assert!(memory_mb.is_finite() && memory_mb > 0.0, "memory must be positive");
+        assert!(
+            memory_mb.is_finite() && memory_mb > 0.0,
+            "memory must be positive"
+        );
         assert!(concurrency >= 1, "concurrency must be at least 1");
-        ResourceConfig { cpu, memory_mb, concurrency }
+        ResourceConfig {
+            cpu,
+            memory_mb,
+            concurrency,
+        }
     }
 
     /// CPU share each invocation receives when the container runs at its
@@ -142,7 +153,9 @@ impl StageConfigs {
 
     /// The same configuration for every stage of `dag`.
     pub fn uniform(dag: &WorkflowDag, config: ResourceConfig) -> Self {
-        StageConfigs { configs: vec![config; dag.num_stages()] }
+        StageConfigs {
+            configs: vec![config; dag.num_stages()],
+        }
     }
 
     /// Configuration of stage `i`.
@@ -175,7 +188,10 @@ impl StageConfigs {
     ///
     /// Panics if `u.len() != 3 * stages`.
     pub fn decode(space: &ConfigSpace, u: &[f64]) -> Self {
-        assert!(u.len() % 3 == 0 && !u.is_empty(), "need 3 coords per stage");
+        assert!(
+            u.len().is_multiple_of(3) && !u.is_empty(),
+            "need 3 coords per stage"
+        );
         let configs = u.chunks(3).map(|c| space.decode(c)).collect();
         StageConfigs { configs }
     }

@@ -29,7 +29,11 @@ impl Stage {
     /// Panics if `tasks == 0`.
     pub fn new(function: FunctionId, tasks: u32, deps: Vec<usize>) -> Self {
         assert!(tasks >= 1, "a stage needs at least one task");
-        Stage { function, tasks, deps }
+        Stage {
+            function,
+            tasks,
+            deps,
+        }
     }
 }
 
@@ -71,7 +75,10 @@ impl WorkflowDag {
                 assert!(d < i, "stage {i} depends on non-earlier stage {d}");
             }
         }
-        WorkflowDag { name: name.into(), stages }
+        WorkflowDag {
+            name: name.into(),
+            stages,
+        }
     }
 
     /// A linear chain: each function depends on the previous one.

@@ -85,13 +85,17 @@ impl Arima {
         // Design matrix: rows t = p..n, predictors [1, z_{t-1}, ..., z_{t-p}].
         let rows = n - self.p;
         let cols = self.p + 1;
-        let x = Matrix::from_fn(rows, cols, |r, c| {
-            if c == 0 {
-                1.0
-            } else {
-                z[self.p + r - c]
-            }
-        });
+        let x = Matrix::from_fn(
+            rows,
+            cols,
+            |r, c| {
+                if c == 0 {
+                    1.0
+                } else {
+                    z[self.p + r - c]
+                }
+            },
+        );
         let y: Vec<f64> = (self.p..n).map(|t| z[t]).collect();
         // Ridge-regularized normal equations for numerical robustness.
         let xt = x.transpose();
@@ -103,14 +107,9 @@ impl Arima {
 
         // Residual spread for the (Gaussian) forecast uncertainty.
         let mut sse = 0.0;
-        for r in 0..rows {
-            let pred: f64 = self
-                .coeffs
-                .iter()
-                .zip(x.row(r))
-                .map(|(b, v)| b * v)
-                .sum();
-            sse += (y[r] - pred).powi(2);
+        for (r, yr) in y.iter().enumerate().take(rows) {
+            let pred: f64 = self.coeffs.iter().zip(x.row(r)).map(|(b, v)| b * v).sum();
+            sse += (yr - pred).powi(2);
         }
         self.residual_std = (sse / rows.max(1) as f64).sqrt();
     }
@@ -196,7 +195,11 @@ mod tests {
         // phi_1 ≈ 0.8, intercept ≈ 2 (up to collinearity near the fixed point).
         let f = m.forecast(&pts(&series));
         let expect = 0.8 * series.last().unwrap() + 2.0;
-        assert!((f.mean - expect).abs() < 0.2, "forecast {} expect {expect}", f.mean);
+        assert!(
+            (f.mean - expect).abs() < 0.2,
+            "forecast {} expect {expect}",
+            f.mean
+        );
     }
 
     #[test]
@@ -221,7 +224,10 @@ mod tests {
             err_arima += (f.mean - series[t]).abs();
             err_naive += (series[t - 1] - series[t]).abs();
         }
-        assert!(err_arima < err_naive * 0.5, "ARIMA {err_arima} naive {err_naive}");
+        assert!(
+            err_arima < err_naive * 0.5,
+            "ARIMA {err_arima} naive {err_naive}"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn smape_eval(
     series: &[SeriesPoint],
     train_len: usize,
 ) -> EvalReport {
-    assert!(train_len > 0 && train_len < series.len(), "bad train/test split");
+    assert!(
+        train_len > 0 && train_len < series.len(),
+        "bad train/test split"
+    );
     model.fit(&series[..train_len]);
     let mut actual = Vec::new();
     let mut forecast = Vec::new();
@@ -101,15 +104,25 @@ mod tests {
 
     #[test]
     fn naive_on_alternating_series_scores_high() {
-        let xs: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 2.0 } else { 6.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 2.0 } else { 6.0 })
+            .collect();
         let mut m = NaiveLast::new();
         let report = smape_eval(&mut m, &pts(&xs), 20);
-        assert!(report.smape > 0.5, "expected large error, got {}", report.smape);
+        assert!(
+            report.smape > 0.5,
+            "expected large error, got {}",
+            report.smape
+        );
     }
 
     #[test]
     fn report_formats_as_percentage() {
-        let r = EvalReport { model: "X".into(), smape: 0.057, steps: 10 };
+        let r = EvalReport {
+            model: "X".into(),
+            smape: 0.057,
+            steps: 10,
+        };
         assert!(r.to_string().contains("5.7%"));
     }
 

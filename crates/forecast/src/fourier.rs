@@ -84,7 +84,11 @@ impl FourierPredictor {
             let (re, im) = spectrum[k];
             let ang = std::f64::consts::TAU * k as f64 * t / n as f64;
             // Real-signal inverse with conjugate symmetry folded in.
-            let scale = if k == 0 || (n % 2 == 0 && k == half) { 1.0 } else { 2.0 };
+            let scale = if k == 0 || (n.is_multiple_of(2) && k == half) {
+                1.0
+            } else {
+                2.0
+            };
             value += scale * (re * ang.cos() - im * ang.sin()) / n as f64;
         }
         value
@@ -128,7 +132,10 @@ impl Predictor for FourierPredictor {
         assert!(xs.len() >= 4, "Fourier model needs at least 4 windows");
         let hist = self.tail(&xs);
         let mean = self.extrapolate(hist, hist.len() as f64).max(0.0);
-        Forecast { mean, std: self.residual_std }
+        Forecast {
+            mean,
+            std: self.residual_std,
+        }
     }
 
     fn min_history(&self) -> usize {
@@ -193,7 +200,9 @@ mod tests {
 
     #[test]
     fn clamps_negative() {
-        let series: Vec<f64> = (0..64).map(|t| if t % 2 == 0 { 0.0 } else { 0.1 }).collect();
+        let series: Vec<f64> = (0..64)
+            .map(|t| if t % 2 == 0 { 0.0 } else { 0.1 })
+            .collect();
         let mut m = FourierPredictor::new(2, 64);
         m.fit(&pts(&series));
         assert!(m.forecast(&pts(&series)).mean >= 0.0);

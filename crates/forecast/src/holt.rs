@@ -36,15 +36,26 @@ impl HoltWinters {
     ///
     /// Panics unless both smoothing factors are in `(0, 1]`.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha in (0,1]"
+        );
         assert!((0.0..=1.0).contains(&beta) && beta > 0.0, "beta in (0,1]");
-        HoltWinters { alpha, beta, residual_std: 0.0 }
+        HoltWinters {
+            alpha,
+            beta,
+            residual_std: 0.0,
+        }
     }
 
     fn run(&self, series: &[f64]) -> (f64, f64, f64) {
         // Returns (level, trend, residual std) after smoothing the series.
         let mut level = series[0];
-        let mut trend = if series.len() > 1 { series[1] - series[0] } else { 0.0 };
+        let mut trend = if series.len() > 1 {
+            series[1] - series[0]
+        } else {
+            0.0
+        };
         let mut sse = 0.0;
         let mut n = 0usize;
         for &x in &series[1..] {

@@ -60,7 +60,7 @@ impl Default for HybridConfig {
             pretrain_epochs: 10,
             train_epochs: 12,
             mc_passes: 40,
-            seed: 0xA0_0A,
+            seed: 0xA00A,
         }
     }
 }
@@ -213,7 +213,6 @@ impl HybridBayesian {
         let last = window.last().expect("non-empty window")[0];
         ((last + self.mlp.forward(&input)[0]) * self.scale).max(0.0)
     }
-
 }
 
 impl Predictor for HybridBayesian {
@@ -236,8 +235,7 @@ impl Predictor for HybridBayesian {
         let mut pretrain = Vec::new();
         for s in 0..norm.len() - w - h {
             let input: Vec<Vec<f64>> = norm[s..s + w].iter().map(|v| vec![*v]).collect();
-            let target: Vec<Vec<f64>> =
-                norm[s + w..s + w + h].iter().map(|v| vec![*v]).collect();
+            let target: Vec<Vec<f64>> = norm[s + w..s + w + h].iter().map(|v| vec![*v]).collect();
             pretrain.push((input, target));
         }
         let mut rng = self.rng.fork("pretrain");

@@ -47,8 +47,8 @@ pub use fourier::FourierPredictor;
 pub use holt::HoltWinters;
 pub use hybrid::{HybridBayesian, HybridConfig};
 pub use naive::NaiveLast;
-pub use theta::Theta;
 pub use point::{Forecast, SeriesPoint, TriggerKind};
+pub use theta::Theta;
 pub use vanilla_lstm::VanillaLstm;
 
 /// A model that forecasts the next window's container count from history.

@@ -43,7 +43,11 @@ pub struct SeriesPoint {
 impl SeriesPoint {
     /// Creates a point.
     pub fn new(count: f64, minute: u64, trigger: TriggerKind) -> Self {
-        SeriesPoint { count, minute, trigger }
+        SeriesPoint {
+            count,
+            minute,
+            trigger,
+        }
     }
 
     /// Minute within the (simulated) day, assuming 1-minute windows.
@@ -62,8 +66,7 @@ impl SeriesPoint {
     /// plus the trigger one-hot (10 dims).
     pub fn external_features(&self) -> Vec<f64> {
         let day_frac = self.minute_of_day() as f64 / (24.0 * 60.0);
-        let week_frac =
-            (self.minute % (7 * 24 * 60)) as f64 / (7.0 * 24.0 * 60.0);
+        let week_frac = (self.minute % (7 * 24 * 60)) as f64 / (7.0 * 24.0 * 60.0);
         let hour_frac = (self.minute % 60) as f64 / 60.0;
         let tau = std::f64::consts::TAU;
         let mut v = vec![
@@ -149,7 +152,10 @@ mod tests {
 
     #[test]
     fn ucb_floors_at_zero() {
-        let f = Forecast { mean: 1.0, std: 2.0 };
+        let f = Forecast {
+            mean: 1.0,
+            std: 2.0,
+        };
         assert_eq!(f.ucb(-10.0), 0.0);
         assert!((f.ucb(1.0) - 3.0).abs() < 1e-12);
     }

@@ -56,7 +56,10 @@ impl Theta {
     /// Panics unless `alpha` lies in `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        Theta { alpha, residual_std: 0.0 }
+        Theta {
+            alpha,
+            residual_std: 0.0,
+        }
     }
 
     /// One-step forecast of a raw series.

@@ -110,8 +110,7 @@ impl Predictor for VanillaLstm {
                     let top = cache.outputs.last().expect("non-empty").clone();
                     let pred = self.head.forward(&top);
                     let (_, d_pred) = mse(&pred, &target);
-                    let scaled: Vec<f64> =
-                        d_pred.iter().map(|g| g / chunk.len() as f64).collect();
+                    let scaled: Vec<f64> = d_pred.iter().map(|g| g / chunk.len() as f64).collect();
                     let d_top = self.head.backward(&top, &scaled);
                     let mut d_outputs = vec![vec![0.0; self.lstm.top_hidden()]; input.len()];
                     *d_outputs.last_mut().expect("non-empty") = d_top;
@@ -125,8 +124,7 @@ impl Predictor for VanillaLstm {
         let mut sse = 0.0;
         let mut n = 0;
         for s in 0..norm.len() - self.window {
-            let input: Vec<Vec<f64>> =
-                norm[s..s + self.window].iter().map(|v| vec![*v]).collect();
+            let input: Vec<Vec<f64>> = norm[s..s + self.window].iter().map(|v| vec![*v]).collect();
             let pred = self.predict_norm(&input);
             sse += (pred - norm[s + self.window]).powi(2);
             n += 1;
@@ -139,7 +137,10 @@ impl Predictor for VanillaLstm {
         assert!(xs.len() >= 2, "history too short");
         let input = self.window_of(&xs);
         let mean = (self.predict_norm(&input) * self.scale).max(0.0);
-        Forecast { mean, std: self.residual_std }
+        Forecast {
+            mean,
+            std: self.residual_std,
+        }
     }
 
     fn min_history(&self) -> usize {

@@ -34,7 +34,10 @@ impl Default for GpConfig {
 impl GpConfig {
     /// Same grids with a different fixed noise variance.
     pub fn with_noise(noise: f64) -> Self {
-        GpConfig { noise, ..Self::default() }
+        GpConfig {
+            noise,
+            ..Self::default()
+        }
     }
 }
 
@@ -100,7 +103,7 @@ impl Gp {
                 if let Some((lml, chol, alpha)) =
                     Self::evaluate(&x, &y_std_units, &kernel, config.noise)
                 {
-                    if best.as_ref().map_or(true, |(b, ..)| lml > *b) {
+                    if best.as_ref().is_none_or(|(b, ..)| lml > *b) {
                         best = Some((lml, kernel, chol, alpha));
                     }
                 }
@@ -263,9 +266,8 @@ impl Gp {
         let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
         let y_scale = var.sqrt().max(1e-9);
         let y_std_units: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
-        let (lml, chol, alpha) =
-            Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
-                .ok_or(GpError::SingularKernel)?;
+        let (lml, chol, alpha) = Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
+            .ok_or(GpError::SingularKernel)?;
         let _ = &y_std_units;
         Ok(Gp {
             x: xs,
@@ -302,9 +304,8 @@ impl Gp {
         let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
         let y_scale = var.sqrt().max(1e-9);
         let y_std_units: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
-        let (lml, chol, alpha) =
-            Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
-                .ok_or(GpError::SingularKernel)?;
+        let (lml, chol, alpha) = Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
+            .ok_or(GpError::SingularKernel)?;
         let _ = &y_std_units;
         Ok(Gp {
             x: xs,
@@ -399,7 +400,10 @@ mod tests {
         let gp2 = gp.with_observation(vec![0.5], 5.0).unwrap();
         let (mean_after, var_after) = gp2.predict(&[0.5]);
         assert!(var_after < var_before);
-        assert!(mean_after > 1.0, "conditioning should pull the mean up: {mean_after}");
+        assert!(
+            mean_after > 1.0,
+            "conditioning should pull the mean up: {mean_after}"
+        );
         assert_eq!(gp2.len(), 3);
     }
 
@@ -434,13 +438,21 @@ mod tests {
     #[test]
     fn noise_config_controls_fit_tightness() {
         let xs = grid_1d(10);
-        let ys: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let ys: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let tight = Gp::fit(xs.clone(), ys.clone(), GpConfig::with_noise(1e-6)).unwrap();
         let loose = Gp::fit(xs.clone(), ys, GpConfig::with_noise(1.0)).unwrap();
         // High noise smooths toward the mean; low noise interpolates.
         let (m_tight, _) = tight.predict(&xs[1]);
         let (m_loose, _) = loose.predict(&xs[1]);
-        assert!((m_tight - 1.0).abs() < 0.15, "tight fit should interpolate: {m_tight}");
-        assert!((m_loose - 0.5).abs() < 0.4, "loose fit should shrink: {m_loose}");
+        assert!(
+            (m_tight - 1.0).abs() < 0.15,
+            "tight fit should interpolate: {m_tight}"
+        );
+        assert!(
+            (m_loose - 0.5).abs() < 0.4,
+            "loose fit should shrink: {m_loose}"
+        );
     }
 }

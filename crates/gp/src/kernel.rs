@@ -36,7 +36,10 @@ impl Matern52 {
             outputscale.is_finite() && outputscale > 0.0,
             "outputscale must be positive"
         );
-        Matern52 { lengthscale, outputscale }
+        Matern52 {
+            lengthscale,
+            outputscale,
+        }
     }
 
     /// The lengthscale ℓ.

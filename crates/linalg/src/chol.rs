@@ -93,9 +93,8 @@ impl Cholesky {
     /// Returns the final [`NotPositiveDefiniteError`] if even the largest
     /// jitter fails.
     pub fn new_with_jitter(a: &Matrix) -> Result<Self, NotPositiveDefiniteError> {
-        match Cholesky::new(a) {
-            Ok(c) => return Ok(c),
-            Err(_) => {}
+        if let Ok(c) = Cholesky::new(a) {
+            return Ok(c);
         }
         let scale = a.max_abs().max(1.0);
         let mut jitter = 1e-10 * scale;
@@ -153,8 +152,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -203,7 +202,13 @@ impl Cholesky {
         let n = self.dim();
         assert_eq!(z.len(), n, "dimension mismatch");
         (0..n)
-            .map(|i| self.l.row(i)[..=i].iter().zip(z).map(|(l, zz)| l * zz).sum())
+            .map(|i| {
+                self.l.row(i)[..=i]
+                    .iter()
+                    .zip(z)
+                    .map(|(l, zz)| l * zz)
+                    .sum()
+            })
             .collect()
     }
 }

@@ -102,8 +102,14 @@ impl Adam {
         let t = self.t as f64;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        let (lr, beta1, beta2, eps, clip, wd) =
-            (self.lr, self.beta1, self.beta2, self.eps, self.clip, self.weight_decay);
+        let (lr, beta1, beta2, eps, clip, wd) = (
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.clip,
+            self.weight_decay,
+        );
         let mut idx = 0;
         let m = &mut self.m;
         let v = &mut self.v;
@@ -112,7 +118,11 @@ impl Adam {
                 m.push(vec![0.0; w.len()]);
                 v.push(vec![0.0; w.len()]);
             }
-            assert_eq!(m[idx].len(), w.len(), "model structure changed between steps");
+            assert_eq!(
+                m[idx].len(),
+                w.len(),
+                "model structure changed between steps"
+            );
             for k in 0..w.len() {
                 let mut grad = g[k];
                 if let Some(c) = clip {
@@ -147,7 +157,10 @@ mod tests {
 
     #[test]
     fn minimizes_quadratic() {
-        let mut q = Quad { x: vec![5.0, -3.0], g: vec![0.0; 2] };
+        let mut q = Quad {
+            x: vec![5.0, -3.0],
+            g: vec![0.0; 2],
+        };
         let mut adam = Adam::new(0.1);
         for _ in 0..500 {
             // f(x) = sum (x - target)^2 with target (1, 2).
@@ -161,7 +174,10 @@ mod tests {
 
     #[test]
     fn clipping_limits_update_magnitude() {
-        let mut q = Quad { x: vec![0.0], g: vec![1e9] };
+        let mut q = Quad {
+            x: vec![0.0],
+            g: vec![1e9],
+        };
         let mut adam = Adam::new(0.1).with_clip(1.0);
         adam.step(&mut q);
         // First Adam step magnitude is ~lr regardless, but the huge raw

@@ -46,9 +46,9 @@ pub mod seq2seq;
 pub use adam::Adam;
 pub use dropout::Dropout;
 pub use linear::Linear;
-pub use lstm::{Lstm, LstmLayer};
+pub use lstm::{LayerStates, Lstm, LstmLayer};
 pub use mlp::Mlp;
-pub use seq2seq::{EncoderDecoder, Seq2SeqConfig};
+pub use seq2seq::{EncoderDecoder, Seq2SeqConfig, SeqPair};
 
 /// Types whose trainable parameters can be visited as `(weights, grads)`
 /// flat blocks, in a deterministic order, by an optimizer.
@@ -94,7 +94,11 @@ pub trait Parameterized {
             w.copy_from_slice(&weights[offset..offset + w.len()]);
             offset += w.len();
         });
-        assert_eq!(offset, weights.len(), "weight vector longer than this model");
+        assert_eq!(
+            offset,
+            weights.len(),
+            "weight vector longer than this model"
+        );
     }
 }
 
@@ -158,7 +162,11 @@ mod tests {
         let mut a = Mlp::new(3, &[8, 4], 2, 0.0, &mut rng);
         let mut b = Mlp::new(3, &[8, 4], 2, 0.0, &mut rng);
         let x = [0.2, -0.4, 0.9];
-        assert_ne!(a.forward(&x), b.forward(&x), "different inits should differ");
+        assert_ne!(
+            a.forward(&x),
+            b.forward(&x),
+            "different inits should differ"
+        );
         let w = a.export_weights();
         assert_eq!(w.len(), a.param_count());
         b.import_weights(&w);

@@ -64,9 +64,9 @@ impl Linear {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
         let mut y = self.b.clone();
-        for o in 0..self.out_dim {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            y[o] += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+            *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
         }
         y
     }
@@ -81,8 +81,7 @@ impl Linear {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
         assert_eq!(dy.len(), self.out_dim, "gradient dimension mismatch");
         let mut dx = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = dy[o];
+        for (o, &g) in dy.iter().enumerate() {
             self.gb[o] += g;
             let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
             let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];

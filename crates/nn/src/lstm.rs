@@ -8,6 +8,9 @@ use aqua_sim::SimRng;
 use crate::dropout::Dropout;
 use crate::{sigmoid, Parameterized};
 
+/// Borrowed per-layer `(h, c)` states handed into sequence calls.
+pub type LayerStates<'a> = (&'a [Vec<f64>], &'a [Vec<f64>]);
+
 /// One LSTM layer: `4H × I` input weights, `4H × H` recurrent weights, and
 /// `4H` biases (forget-gate bias initialized to 1, the standard trick).
 #[derive(Debug, Clone)]
@@ -98,10 +101,10 @@ impl LstmLayer {
 
         // z = Wx x + Wh h_prev + b
         let mut z = self.b.clone();
-        for r in 0..4 * hdim {
+        for (r, zr) in z.iter_mut().enumerate() {
             let wxr = &self.wx[r * self.input_dim..(r + 1) * self.input_dim];
             let whr = &self.wh[r * hdim..(r + 1) * hdim];
-            z[r] += wxr.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+            *zr += wxr.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
                 + whr.iter().zip(h_prev).map(|(w, v)| w * v).sum::<f64>();
         }
 
@@ -166,8 +169,7 @@ impl LstmLayer {
 
         let mut dx = vec![0.0; self.input_dim];
         let mut dh_prev = vec![0.0; hdim];
-        for r in 0..4 * hdim {
-            let grad = dz[r];
+        for (r, &grad) in dz.iter().enumerate() {
             self.gb[r] += grad;
             let wxr = &self.wx[r * self.input_dim..(r + 1) * self.input_dim];
             let gxr = &mut self.gwx[r * self.input_dim..(r + 1) * self.input_dim];
@@ -259,7 +261,7 @@ impl Lstm {
     pub fn forward_seq(
         &self,
         xs: &[Vec<f64>],
-        init: Option<(&[Vec<f64>], &[Vec<f64>])>,
+        init: Option<LayerStates<'_>>,
         train: bool,
         rng: &mut SimRng,
     ) -> SeqCache {
@@ -326,7 +328,7 @@ impl Lstm {
         &mut self,
         cache: &SeqCache,
         d_outputs: &[Vec<f64>],
-        d_final: Option<(&[Vec<f64>], &[Vec<f64>])>,
+        d_final: Option<LayerStates<'_>>,
     ) -> SeqGrads {
         let steps = cache.outputs.len();
         assert_eq!(d_outputs.len(), steps, "gradient/step count mismatch");
@@ -477,7 +479,10 @@ mod tests {
         let xs = vec![vec![1.0]; 3];
         let a = lstm.forward_seq(&xs, None, true, &mut rng);
         let b = lstm.forward_seq(&xs, None, true, &mut rng);
-        assert_ne!(a.outputs, b.outputs, "MC dropout should produce stochastic outputs");
+        assert_ne!(
+            a.outputs, b.outputs,
+            "MC dropout should produce stochastic outputs"
+        );
     }
 
     #[test]

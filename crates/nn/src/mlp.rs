@@ -222,6 +222,9 @@ mod tests {
             .collect();
         let mean = outs.iter().sum::<f64>() / outs.len() as f64;
         let var = outs.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / outs.len() as f64;
-        assert!(var > 0.0, "MC dropout must produce nonzero predictive variance");
+        assert!(
+            var > 0.0,
+            "MC dropout must produce nonzero predictive variance"
+        );
     }
 }

@@ -14,6 +14,10 @@ use crate::linear::Linear;
 use crate::lstm::Lstm;
 use crate::{mse, Parameterized};
 
+/// One training example: an input window and its target horizon, both as
+/// step-major sequences of feature vectors.
+pub type SeqPair = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+
 /// Hyperparameters for [`EncoderDecoder`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Seq2SeqConfig {
@@ -82,7 +86,11 @@ impl EncoderDecoder {
         let mut dec_dims = vec![config.input_dim];
         dec_dims.extend_from_slice(&config.dec_hidden);
         let decoder = Lstm::new(&dec_dims, 0.0, rng);
-        let out = Linear::new(*config.dec_hidden.last().expect("decoder layers"), config.input_dim, rng);
+        let out = Linear::new(
+            *config.dec_hidden.last().expect("decoder layers"),
+            config.input_dim,
+            rng,
+        );
 
         EncoderDecoder {
             config,
@@ -128,9 +136,9 @@ impl EncoderDecoder {
         let mut h = h0;
         let mut c = c0;
         for _ in 0..k {
-            let step = self
-                .decoder
-                .forward_seq(&[zero.clone()], Some((&h, &c)), false, rng);
+            let step =
+                self.decoder
+                    .forward_seq(std::slice::from_ref(&zero), Some((&h, &c)), false, rng);
             h = step.final_h.clone();
             c = step.final_c.clone();
             let y = self.out.forward(step.outputs.last().expect("one step"));
@@ -263,7 +271,7 @@ impl EncoderDecoder {
     /// of epochs, returning the mean loss per epoch.
     pub fn train(
         &mut self,
-        dataset: &[(Vec<Vec<f64>>, Vec<Vec<f64>>)],
+        dataset: &[SeqPair],
         epochs: usize,
         lr: f64,
         rng: &mut SimRng,
@@ -315,7 +323,7 @@ mod tests {
         }
     }
 
-    fn sine_dataset(n: usize, window: usize, horizon: usize) -> Vec<(Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+    fn sine_dataset(n: usize, window: usize, horizon: usize) -> Vec<SeqPair> {
         let series: Vec<f64> = (0..n + window + horizon)
             .map(|i| (i as f64 * 0.4).sin() * 0.5)
             .collect();
@@ -415,7 +423,9 @@ mod tests {
             let z = enc.final_h.last().unwrap().clone();
             let (h0, c0) = m.bridge(&z);
             let dec_inputs = vec![vec![0.0; 1]; ys.len()];
-            let dec = m.decoder.forward_seq(&dec_inputs, Some((&h0, &c0)), false, rng);
+            let dec = m
+                .decoder
+                .forward_seq(&dec_inputs, Some((&h0, &c0)), false, rng);
             let mut loss = 0.0;
             for (t, target) in ys.iter().enumerate() {
                 let pred = m.out.forward(&dec.outputs[t]);

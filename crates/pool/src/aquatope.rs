@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use aqua_faas::{FunctionId, PoolDecision, PoolObservation, PrewarmController, WorkflowDag};
 use aqua_forecast::{HybridBayesian, HybridConfig, Predictor};
 use aqua_sim::SimDuration;
+use aqua_telemetry::{SimEvent, Telemetry};
 
 use crate::to_series;
 
@@ -58,7 +59,7 @@ impl Default for AquatopePoolConfig {
                 pretrain_epochs: 6,
                 train_epochs: 14,
                 mc_passes: 25,
-                seed: 0xA0_0A,
+                seed: 0xA00A,
             },
         }
     }
@@ -83,6 +84,19 @@ pub struct AquatopePool {
     state: HashMap<FunctionId, FnState>,
     /// Upstream functions per downstream function (with task-ratio scale).
     upstream: HashMap<FunctionId, Vec<(FunctionId, f64)>>,
+    telemetry: Telemetry,
+}
+
+/// What one [`AquatopePool::predict_target`] call decided for a function.
+struct TargetPrediction {
+    target: usize,
+    /// False during reactive warm-up (no trained model yet).
+    trained: bool,
+    /// Predicted demand for the next window (containers).
+    mean: f64,
+    /// Predictive standard deviation behind the UCB head-room (0 when
+    /// uncertainty is disabled or the policy is still reactive).
+    std: f64,
 }
 
 impl AquatopePool {
@@ -102,7 +116,19 @@ impl AquatopePool {
                 }
             }
         }
-        AquatopePool { config, state: HashMap::new(), upstream }
+        AquatopePool {
+            config,
+            state: HashMap::new(),
+            upstream,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Routes pool-resize decisions (with predicted demand + uncertainty)
+    /// to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The AquaLite ablation: same model, no uncertainty estimation.
@@ -125,8 +151,9 @@ impl AquatopePool {
         st.history.extend_from_slice(history);
     }
 
-    /// Returns `(target, model_trained)` for one function.
-    fn predict_target(&mut self, function: FunctionId, fallback_peak: u32) -> (usize, bool) {
+    /// Computes the pool target (plus the prediction behind it) for one
+    /// function.
+    fn predict_target(&mut self, function: FunctionId, fallback_peak: u32) -> TargetPrediction {
         let config = self.config.clone();
         let st = self.state.get_mut(&function).expect("state exists");
         let n = st.history.len();
@@ -153,16 +180,30 @@ impl AquatopePool {
                 // rounded *up* from the upper confidence bound, so the
                 // uncertainty margin sizes the head-room without pinning
                 // insurance containers through provably quiet periods.
-                let raw = if config.uncertainty {
-                    model.forecast(&series).ucb(config.uncertainty_z)
+                let forecast = if config.uncertainty {
+                    model.forecast(&series)
                 } else {
-                    model.forecast_point(&series)
+                    aqua_forecast::Forecast::point(model.forecast_point(&series))
                 };
+                let raw = forecast.ucb(config.uncertainty_z);
                 let target = if raw < 0.45 { 0 } else { raw.ceil() as usize };
-                (target, true)
+                TargetPrediction {
+                    target,
+                    trained: true,
+                    mean: forecast.mean,
+                    std: forecast.std,
+                }
             }
             // Reactive fallback during warm-up.
-            None => ((fallback_peak as f64 * 1.25).ceil() as usize, false),
+            None => {
+                let mean = fallback_peak as f64 * 1.25;
+                TargetPrediction {
+                    target: mean.ceil() as usize,
+                    trained: false,
+                    mean,
+                    std: 0.0,
+                }
+            }
         }
     }
 }
@@ -188,12 +229,13 @@ impl PrewarmController for AquatopePool {
         obs.stats
             .iter()
             .map(|s| {
-                let (mut target, trained) = self.predict_target(s.function, s.peak_concurrency);
+                let p = self.predict_target(s.function, s.peak_concurrency);
+                let mut target = p.target;
                 // Dependency-aware boost: active upstream stages imply
                 // imminent downstream invocations. Once the function's own
                 // model is trained, its history already reflects the
                 // dependency, so the boost only bridges the warm-up phase.
-                if !trained {
+                if !p.trained {
                     if let Some(ups) = self.upstream.get(&s.function) {
                         for (u, ratio) in ups {
                             let up_peak = peaks.get(u).copied().unwrap_or(0) as f64;
@@ -201,6 +243,16 @@ impl PrewarmController for AquatopePool {
                         }
                     }
                 }
+                self.telemetry.emit_with(|| SimEvent::PoolResize {
+                    at: obs.now,
+                    function: s.function.0,
+                    target,
+                    predicted_mean: p.mean,
+                    predicted_std: p.std,
+                    booting: s.booting,
+                    idle: s.idle,
+                    busy: s.busy,
+                });
                 PoolDecision {
                     function: s.function,
                     prewarm_target: Some(target),

@@ -18,7 +18,9 @@ pub struct KeepAlivePolicy {
 impl KeepAlivePolicy {
     /// The usual 10-minute keep-alive.
     pub fn provider_default() -> Self {
-        KeepAlivePolicy { keep_alive: SimDuration::from_secs(600) }
+        KeepAlivePolicy {
+            keep_alive: SimDuration::from_secs(600),
+        }
     }
 
     /// A custom keep-alive duration.
@@ -82,7 +84,11 @@ impl PrewarmController for ReactiveAutoscale {
                 // target is a creation floor only — reactive autoscalers do
                 // not evict early; reclamation is left to the keep-alive,
                 // which is why they hold over-provisioned memory for long.
-                let target = if demand >= prev { demand } else { prev.saturating_sub(1) };
+                let target = if demand >= prev {
+                    demand
+                } else {
+                    prev.saturating_sub(1)
+                };
                 self.targets.insert(s.function, target);
                 PoolDecision {
                     function: s.function,
@@ -109,7 +115,9 @@ pub struct FaasCachePolicy {
 impl FaasCachePolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        FaasCachePolicy { keep_alive: SimDuration::from_secs(900) }
+        FaasCachePolicy {
+            keep_alive: SimDuration::from_secs(900),
+        }
     }
 }
 
@@ -168,7 +176,10 @@ impl IceBreakerPolicy {
     /// Pre-loads historical per-window concurrency (IceBreaker fits its
     /// Fourier model on stored invocation histories).
     pub fn preload_history(&mut self, function: FunctionId, history: &[f64]) {
-        self.history.entry(function).or_default().extend_from_slice(history);
+        self.history
+            .entry(function)
+            .or_default()
+            .extend_from_slice(history);
     }
 }
 
@@ -245,7 +256,7 @@ mod tests {
         let mut p = ReactiveAutoscale::new();
         let up = p.tick(&obs(&[8]));
         assert_eq!(up[0].prewarm_target, Some(10)); // 8 × 1.25
-        // Demand drops to zero: target shrinks one per tick.
+                                                    // Demand drops to zero: target shrinks one per tick.
         let down1 = p.tick(&obs(&[0]));
         assert_eq!(down1[0].prewarm_target, Some(9));
         let down2 = p.tick(&obs(&[0]));

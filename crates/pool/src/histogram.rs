@@ -148,12 +148,18 @@ mod tests {
         let mut decisions = Vec::new();
         for round in 0..100 {
             let active = round % 5 == 0;
-            decisions = p.tick(&obs_one(if active { 3 } else { 0 }, if active { 2 } else { 0 }));
+            decisions = p.tick(&obs_one(
+                if active { 3 } else { 0 },
+                if active { 2 } else { 0 },
+            ));
         }
         // Keep-alive should have converged to roughly the observed gap, not
         // the 10-minute default or the 60-minute cap.
         let ka_minutes = decisions[0].keep_alive.as_secs_f64() / 60.0;
-        assert!((2.0..=10.0).contains(&ka_minutes), "keep-alive {ka_minutes} min");
+        assert!(
+            (2.0..=10.0).contains(&ka_minutes),
+            "keep-alive {ka_minutes} min"
+        );
     }
 
     #[test]
@@ -163,7 +169,10 @@ mod tests {
         let mut target_before_arrival = 0;
         for round in 0..80 {
             let active = round % 4 == 0;
-            let d = p.tick(&obs_one(if active { 4 } else { 0 }, if active { 3 } else { 0 }));
+            let d = p.tick(&obs_one(
+                if active { 4 } else { 0 },
+                if active { 3 } else { 0 },
+            ));
             // One window before the next arrival (round % 4 == 3).
             if round > 40 && round % 4 == 3 {
                 target_before_arrival = d[0].prewarm_target.unwrap();

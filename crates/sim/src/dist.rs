@@ -79,7 +79,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid parameters");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid parameters"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -94,7 +97,10 @@ impl LogNormal {
         assert!(cv.is_finite() && cv >= 0.0, "cv must be non-negative");
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        LogNormal { mu, sigma: sigma2.sqrt() }
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 
     /// Arithmetic mean of the distribution.
@@ -200,9 +206,7 @@ impl Gamma {
                 continue;
             }
             let u = rng.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * self.scale;
             }
         }
@@ -317,7 +321,9 @@ impl PoissonProcess {
             rates.iter().all(|r| r.is_finite() && *r >= 0.0),
             "rates must be finite and non-negative"
         );
-        PoissonProcess { rates: rates.to_vec() }
+        PoissonProcess {
+            rates: rates.to_vec(),
+        }
     }
 
     /// The per-minute rates backing this process.
@@ -435,7 +441,10 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
             let mean = xs.iter().sum::<f64>() / n as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-            assert!((mean - shape * scale).abs() < 0.03 * shape * scale + 0.01, "k={shape} mean={mean}");
+            assert!(
+                (mean - shape * scale).abs() < 0.03 * shape * scale + 0.01,
+                "k={shape} mean={mean}"
+            );
             assert!(
                 (var - shape * scale * scale).abs() < 0.06 * shape * scale * scale + 0.02,
                 "k={shape} var={var}"
@@ -454,7 +463,10 @@ mod tests {
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
             let got_cv = var.sqrt() / mean;
             assert!((mean - 10.0).abs() < 0.3, "cv={cv} mean={mean}");
-            assert!((got_cv - cv).abs() < 0.1 * cv, "target cv={cv} got {got_cv}");
+            assert!(
+                (got_cv - cv).abs() < 0.1 * cv,
+                "target cv={cv} got {got_cv}"
+            );
         }
     }
 
@@ -473,7 +485,10 @@ mod tests {
             let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
             let got = var.sqrt() / mean;
             assert!((mean - 2.0).abs() < 0.25, "cv={cv} mean gap {mean}");
-            assert!((got - cv).abs() < 0.15 * cv.max(0.5), "target {cv} got {got}");
+            assert!(
+                (got - cv).abs() < 0.15 * cv.max(0.5),
+                "target {cv} got {got}"
+            );
         }
     }
 

@@ -69,10 +69,7 @@ impl SimRng {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -95,7 +92,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -142,7 +142,10 @@ impl SimRng {
     ///
     /// Panics if `lambda` is negative or not finite.
     pub fn poisson(&mut self, lambda: f64) -> u64 {
-        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be non-negative"
+        );
         if lambda == 0.0 {
             return 0;
         }

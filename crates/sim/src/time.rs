@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
 /// assert_eq!(t.as_millis(), 1_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in integer microseconds.
@@ -33,7 +35,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(250) * 4;
 /// assert_eq!(d.as_secs_f64(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -64,7 +68,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "time must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((s * 1e6).round() as u64)
     }
 
@@ -125,7 +132,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 
@@ -176,7 +186,10 @@ impl Sub<SimTime> for SimTime {
     ///
     /// Panics in debug builds if `rhs` is later than `self`.
     fn sub(self, rhs: SimTime) -> SimDuration {
-        debug_assert!(self.0 >= rhs.0, "subtracting a later time from an earlier one");
+        debug_assert!(
+            self.0 >= rhs.0,
+            "subtracting a later time from an earlier one"
+        );
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
@@ -263,8 +276,14 @@ mod tests {
     #[test]
     fn ordering_and_extremes() {
         assert!(SimTime::ZERO < SimTime::MAX);
-        assert_eq!(SimTime::from_secs(3).max(SimTime::from_secs(5)), SimTime::from_secs(5));
-        assert_eq!(SimTime::from_secs(3).min(SimTime::from_secs(5)), SimTime::from_secs(3));
+        assert_eq!(
+            SimTime::from_secs(3).max(SimTime::from_secs(5)),
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            SimTime::from_secs(3).min(SimTime::from_secs(5)),
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]

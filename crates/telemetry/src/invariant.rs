@@ -1,0 +1,553 @@
+//! Online invariant checking over the event stream.
+//!
+//! [`InvariantChecker`] is an [`EventSink`] that replays the simulator's
+//! accounting from events alone and records a violation whenever the
+//! stream is inconsistent with the simulator's contracts:
+//!
+//! 1. **Container conservation per worker** — a container id is booted at
+//!    most once, lives on exactly one worker, is evicted at most once,
+//!    and is never used after eviction.
+//! 2. **No memory oversubscription** — the memory reserved by live
+//!    containers on a worker never exceeds the worker's capacity from the
+//!    cluster spec.
+//! 3. **Monotone event time** — timestamps never decrease along the
+//!    stream (QoS-violation events are exempt: they are synthesized from
+//!    the run report after the event loop ends).
+//! 4. **Warm-hit ⇔ no cold-start accounting** — a warm hit lands only on
+//!    a container whose boot already completed, boot completion happens
+//!    exactly once per boot, and tasks that attach to a boot begin
+//!    executing exactly at the boot-completion instant (a cold-start
+//!    charge for a container that was already warm is a bug).
+//!
+//! Violations are collected, not panicked, so a test can assert on the
+//! whole run via [`InvariantChecker::assert_ok`].
+
+use std::collections::HashMap;
+
+use aqua_sim::SimTime;
+
+use crate::event::SimEvent;
+use crate::sink::EventSink;
+
+/// Tolerance for floating-point memory accounting, in MB.
+const MEM_EPS: f64 = 1e-6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ContainerPhase {
+    Booting,
+    Warm,
+    Evicted,
+}
+
+#[derive(Debug, Clone)]
+struct ContainerState {
+    worker: usize,
+    memory_mb: f64,
+    slots: u32,
+    busy: u32,
+    phase: ContainerPhase,
+    boot_done_at: Option<SimTime>,
+}
+
+/// The online checker; see the module docs for the invariants enforced.
+#[derive(Debug, Clone)]
+pub struct InvariantChecker {
+    workers: usize,
+    memory_mb_per_worker: f64,
+    /// Reserved memory per worker, rebuilt from boot/evict events.
+    reserved_mb: Vec<f64>,
+    containers: HashMap<u64, ContainerState>,
+    last_time: SimTime,
+    events_seen: u64,
+    violations: Vec<String>,
+}
+
+impl InvariantChecker {
+    /// A checker for a cluster of `workers` workers with
+    /// `memory_mb_per_worker` MB each (the `ClusterSpec` the run used).
+    pub fn new(workers: usize, memory_mb_per_worker: f64) -> Self {
+        InvariantChecker {
+            workers,
+            memory_mb_per_worker,
+            reserved_mb: vec![0.0; workers],
+            containers: HashMap::new(),
+            last_time: SimTime::ZERO,
+            events_seen: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// All violations observed so far, in stream order.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// True when no invariant has been violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of events checked.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Panics with every recorded violation if any invariant failed.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "{} invariant violation(s) over {} events:\n{}",
+            self.violations.len(),
+            self.events_seen,
+            self.violations.join("\n")
+        );
+    }
+
+    fn violate(&mut self, at: SimTime, message: String) {
+        self.violations.push(format!("[{at}] {message}"));
+    }
+
+    fn check_monotone(&mut self, event: &SimEvent) {
+        // QoS violations are synthesized post-run from the report, stamped
+        // with each workflow's finish time, so they may step backwards.
+        if matches!(event, SimEvent::QosViolation { .. }) {
+            return;
+        }
+        let at = event.at();
+        if at < self.last_time {
+            self.violate(
+                at,
+                format!("time moved backwards: {at} after {}", self.last_time),
+            );
+        } else {
+            self.last_time = at;
+        }
+    }
+
+    fn on_boot_begin(
+        &mut self,
+        at: SimTime,
+        container: u64,
+        worker: usize,
+        memory_mb: f64,
+        slots: u32,
+    ) {
+        if self.containers.contains_key(&container) {
+            self.violate(at, format!("container {container} booted twice"));
+            return;
+        }
+        if worker >= self.workers {
+            self.violate(
+                at,
+                format!("container {container} booted on unknown worker {worker}"),
+            );
+            return;
+        }
+        self.reserved_mb[worker] += memory_mb;
+        if self.reserved_mb[worker] > self.memory_mb_per_worker + MEM_EPS {
+            self.violate(
+                at,
+                format!(
+                    "worker {worker} oversubscribed: {:.1} MB reserved of {:.1} MB",
+                    self.reserved_mb[worker], self.memory_mb_per_worker
+                ),
+            );
+        }
+        self.containers.insert(
+            container,
+            ContainerState {
+                worker,
+                memory_mb,
+                slots: slots.max(1),
+                busy: 0,
+                phase: ContainerPhase::Booting,
+                boot_done_at: None,
+            },
+        );
+    }
+
+    fn on_boot_end(&mut self, at: SimTime, container: u64, worker: usize, tasks: u32) {
+        let mut msgs: Vec<String> = Vec::new();
+        match self.containers.get_mut(&container) {
+            None => msgs.push(format!("boot completed for unknown container {container}")),
+            Some(state) if state.phase != ContainerPhase::Booting => {
+                let phase = state.phase;
+                msgs.push(format!(
+                    "boot completed for container {container} in phase {phase:?}"
+                ));
+            }
+            Some(state) => {
+                if state.worker != worker {
+                    let expect = state.worker;
+                    msgs.push(format!(
+                        "container {container} completed boot on worker {worker}, booted on {expect}"
+                    ));
+                }
+                state.phase = ContainerPhase::Warm;
+                state.boot_done_at = Some(at);
+                state.busy = state.busy.saturating_add(tasks);
+                if state.busy > state.slots {
+                    let (busy, slots) = (state.busy, state.slots);
+                    msgs.push(format!(
+                        "container {container} over-committed at boot: {busy} tasks for {slots} slots"
+                    ));
+                }
+            }
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+    }
+
+    fn on_warm_hit(&mut self, at: SimTime, container: u64) {
+        let mut msgs: Vec<String> = Vec::new();
+        match self.containers.get_mut(&container) {
+            None => msgs.push(format!("warm hit on unknown container {container}")),
+            Some(state) => match state.phase {
+                // Serving before boot completion would mean the hit dodged
+                // cold-start accounting.
+                ContainerPhase::Booting => {
+                    msgs.push(format!(
+                        "warm hit on container {container} that is still booting"
+                    ));
+                }
+                ContainerPhase::Evicted => {
+                    msgs.push(format!("warm hit on evicted container {container}"));
+                }
+                ContainerPhase::Warm => {
+                    state.busy += 1;
+                    if state.busy > state.slots {
+                        let (busy, slots) = (state.busy, state.slots);
+                        msgs.push(format!(
+                            "container {container} over-committed: {busy} tasks for {slots} slots"
+                        ));
+                    }
+                }
+            },
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+    }
+
+    fn on_task_complete(&mut self, at: SimTime, container: u64) {
+        let mut msgs: Vec<String> = Vec::new();
+        match self.containers.get_mut(&container) {
+            None => msgs.push(format!("task completed on unknown container {container}")),
+            Some(state) => {
+                if state.phase != ContainerPhase::Warm {
+                    let phase = state.phase;
+                    msgs.push(format!(
+                        "task completed on container {container} in phase {phase:?}"
+                    ));
+                }
+                if state.busy == 0 {
+                    msgs.push(format!(
+                        "task completed on idle container {container} (slot underflow)"
+                    ));
+                } else {
+                    state.busy -= 1;
+                }
+            }
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+    }
+
+    fn on_eviction(&mut self, at: SimTime, container: u64, worker: usize, memory_mb: f64) {
+        let mut msgs: Vec<String> = Vec::new();
+        // `Some((worker, memory))` when the container's reservation must be
+        // released from its worker after the state borrow ends.
+        let mut release: Option<(usize, f64)> = None;
+        match self.containers.get_mut(&container) {
+            None => msgs.push(format!("eviction of unknown container {container}")),
+            Some(state) if state.phase == ContainerPhase::Evicted => {
+                msgs.push(format!("container {container} evicted twice"));
+            }
+            Some(state) => {
+                if state.phase == ContainerPhase::Booting {
+                    msgs.push(format!("container {container} evicted while booting"));
+                }
+                if state.busy > 0 {
+                    let busy = state.busy;
+                    msgs.push(format!(
+                        "container {container} evicted with {busy} task(s) running"
+                    ));
+                }
+                if state.worker != worker {
+                    let expect = state.worker;
+                    msgs.push(format!(
+                        "container {container} evicted from worker {worker}, lives on {expect}"
+                    ));
+                }
+                if (state.memory_mb - memory_mb).abs() > MEM_EPS {
+                    let expect = state.memory_mb;
+                    msgs.push(format!(
+                        "container {container} eviction released {memory_mb} MB, reserved {expect} MB"
+                    ));
+                }
+                state.phase = ContainerPhase::Evicted;
+                release = Some((state.worker, state.memory_mb));
+            }
+        }
+        if let Some((w, mem)) = release {
+            if w < self.workers {
+                self.reserved_mb[w] -= mem;
+                if self.reserved_mb[w] < -MEM_EPS {
+                    msgs.push(format!("worker {w} released more memory than it reserved"));
+                }
+            }
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+    }
+}
+
+impl EventSink for InvariantChecker {
+    fn record(&mut self, event: &SimEvent) {
+        self.events_seen += 1;
+        self.check_monotone(event);
+        match *event {
+            SimEvent::ColdStartBegin {
+                at,
+                container,
+                worker,
+                memory_mb,
+                slots,
+                ..
+            } => {
+                self.on_boot_begin(at, container, worker, memory_mb, slots);
+            }
+            SimEvent::ColdStartEnd {
+                at,
+                container,
+                worker,
+                tasks_attached,
+                ..
+            } => {
+                self.on_boot_end(at, container, worker, tasks_attached);
+            }
+            SimEvent::WarmHit { at, container, .. } => self.on_warm_hit(at, container),
+            SimEvent::TaskComplete { at, container, .. } => {
+                self.on_task_complete(at, container);
+            }
+            SimEvent::Eviction {
+                at,
+                container,
+                worker,
+                memory_mb,
+                ..
+            } => {
+                self.on_eviction(at, container, worker, memory_mb);
+            }
+            SimEvent::PoolResize {
+                at, predicted_std, ..
+            } => {
+                if predicted_std < 0.0 {
+                    self.violate(at, "pool resize with negative uncertainty".to_string());
+                }
+            }
+            SimEvent::StageDispatch { .. }
+            | SimEvent::StageQueued { .. }
+            | SimEvent::StageComplete { .. }
+            | SimEvent::BoIteration { .. }
+            | SimEvent::QosViolation { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EvictionReason;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn boot_begin(at: u64, container: u64, worker: usize, mb: f64) -> SimEvent {
+        SimEvent::ColdStartBegin {
+            at: t(at),
+            function: 0,
+            container,
+            worker,
+            memory_mb: mb,
+            slots: 1,
+            prewarmed: false,
+        }
+    }
+
+    fn boot_end(at: u64, container: u64, worker: usize, tasks: u32) -> SimEvent {
+        SimEvent::ColdStartEnd {
+            at: t(at),
+            function: 0,
+            container,
+            worker,
+            tasks_attached: tasks,
+        }
+    }
+
+    fn evict(at: u64, container: u64, worker: usize, mb: f64) -> SimEvent {
+        SimEvent::Eviction {
+            at: t(at),
+            function: 0,
+            container,
+            worker,
+            memory_mb: mb,
+            reason: EvictionReason::KeepAlive,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let mut c = InvariantChecker::new(2, 1024.0);
+        c.record(&boot_begin(1, 1, 0, 512.0));
+        c.record(&boot_end(2, 1, 0, 1));
+        c.record(&SimEvent::TaskComplete {
+            at: t(3),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            container: 1,
+        });
+        c.record(&SimEvent::WarmHit {
+            at: t(4),
+            function: 0,
+            container: 1,
+        });
+        c.record(&SimEvent::TaskComplete {
+            at: t(5),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            container: 1,
+        });
+        c.record(&evict(700, 1, 0, 512.0));
+        c.assert_ok();
+        assert_eq!(c.events_seen(), 6);
+    }
+
+    #[test]
+    fn detects_time_regression() {
+        let mut c = InvariantChecker::new(1, 1024.0);
+        c.record(&boot_begin(5, 1, 0, 100.0));
+        c.record(&boot_end(3, 1, 0, 0));
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("time moved backwards"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn qos_violation_is_exempt_from_monotonicity() {
+        let mut c = InvariantChecker::new(1, 1024.0);
+        c.record(&boot_begin(5, 1, 0, 100.0));
+        c.record(&SimEvent::QosViolation {
+            at: t(2),
+            workflow: 0,
+            instance: 0,
+            latency_secs: 9.0,
+            qos_secs: 1.0,
+        });
+        c.assert_ok();
+    }
+
+    #[test]
+    fn detects_oversubscription() {
+        let mut c = InvariantChecker::new(1, 1000.0);
+        c.record(&boot_begin(1, 1, 0, 600.0));
+        c.record(&boot_begin(2, 2, 0, 600.0));
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("oversubscribed"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_double_boot_and_double_evict() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 7, 0, 100.0));
+        c.record(&boot_begin(2, 7, 0, 100.0));
+        c.record(&boot_end(3, 7, 0, 0));
+        c.record(&evict(4, 7, 0, 100.0));
+        c.record(&evict(5, 7, 0, 100.0));
+        let v = c.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("booted twice"));
+        assert!(v[1].contains("evicted twice"));
+    }
+
+    #[test]
+    fn warm_hit_on_booting_container_is_cold_start_evasion() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&SimEvent::WarmHit {
+            at: t(1),
+            function: 0,
+            container: 3,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("still booting"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_use_after_eviction() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 0));
+        c.record(&evict(3, 3, 0, 100.0));
+        c.record(&SimEvent::WarmHit {
+            at: t(4),
+            function: 0,
+            container: 3,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("evicted container"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_slot_overcommit() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 1));
+        c.record(&SimEvent::WarmHit {
+            at: t(3),
+            function: 0,
+            container: 3,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("over-committed"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_eviction_of_busy_container() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 1));
+        c.record(&evict(3, 3, 0, 100.0));
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("task(s) running"),
+            "{:?}",
+            c.violations()
+        );
+    }
+}

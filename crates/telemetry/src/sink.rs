@@ -1,0 +1,371 @@
+//! Pluggable event sinks and the cheap [`Telemetry`] handle the simulator
+//! threads through its hot path.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::SimEvent;
+
+/// A consumer of simulator events.
+///
+/// Implementations must be cheap per call: `record` runs inline in the
+/// simulator's event loop.
+pub trait EventSink {
+    /// Consumes one event.
+    fn record(&mut self, event: &SimEvent);
+
+    /// Flushes any buffered output. Called at the end of a run; the
+    /// default does nothing.
+    fn flush(&mut self) {}
+}
+
+/// A shared, interiorly-mutable sink handle.
+pub type SharedSink = Rc<RefCell<dyn EventSink>>;
+
+/// The handle the simulator and controllers emit through.
+///
+/// `Telemetry::default()` is the **null sink**: the `Option` is `None`,
+/// [`Telemetry::emit_with`] never runs its closure, and the hot path pays
+/// a single branch — no event construction, no allocation, no dynamic
+/// dispatch.
+///
+/// Cloning is shallow: all clones feed the same sink, which is how one
+/// recorder observes the simulator, the cluster, and the controllers at
+/// once.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<SharedSink>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The null sink: every emit is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// A telemetry handle feeding `sink`.
+    pub fn new(sink: SharedSink) -> Self {
+        Telemetry { sink: Some(sink) }
+    }
+
+    /// Wraps a concrete sink, returning the emit handle plus a typed
+    /// handle for inspecting the sink afterwards.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqua_telemetry::{Recorder, Telemetry};
+    ///
+    /// let (tel, rec) = Telemetry::attach(Recorder::unbounded());
+    /// assert!(tel.is_enabled());
+    /// assert!(rec.borrow().events().is_empty());
+    /// ```
+    pub fn attach<S: EventSink + 'static>(sink: S) -> (Telemetry, Rc<RefCell<S>>) {
+        let shared = Rc::new(RefCell::new(sink));
+        (
+            Telemetry {
+                sink: Some(shared.clone()),
+            },
+            shared,
+        )
+    }
+
+    /// Shorthand for [`Telemetry::attach`] with an unbounded [`Recorder`].
+    pub fn recording() -> (Telemetry, Rc<RefCell<Recorder>>) {
+        Telemetry::attach(Recorder::unbounded())
+    }
+
+    /// True when events reach a sink.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an already-built event.
+    pub fn emit(&self, event: &SimEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(event);
+        }
+    }
+
+    /// Emits the event produced by `build`, constructing it only when a
+    /// sink is attached. Use this on hot paths so the disabled case pays
+    /// nothing beyond the branch.
+    #[inline]
+    pub fn emit_with<F: FnOnce() -> SimEvent>(&self, build: F) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(&build());
+        }
+    }
+
+    /// Flushes the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
+/// An in-memory trace recorder.
+///
+/// With a capacity it behaves as a ring buffer keeping the **latest**
+/// `capacity` events; unbounded it keeps everything.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    events: Vec<SimEvent>,
+    capacity: Option<usize>,
+    /// Ring start index when the buffer has wrapped.
+    head: usize,
+    /// Total events ever recorded (≥ `events.len()`).
+    seen: u64,
+}
+
+impl Recorder {
+    /// A recorder that keeps every event.
+    pub fn unbounded() -> Self {
+        Recorder::default()
+    }
+
+    /// A ring-buffer recorder keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Recorder {
+            capacity: Some(capacity),
+            ..Recorder::default()
+        }
+    }
+
+    /// The recorded events in arrival order (oldest first).
+    pub fn events(&self) -> Vec<SimEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Total events observed, including any that fell out of the ring.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Encodes the recorded trace as JSONL (one event per line, trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for ev in self.events() {
+            s.push_str(&ev.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Clears the buffer (the `total_seen` counter keeps counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+    }
+}
+
+impl EventSink for Recorder {
+    fn record(&mut self, event: &SimEvent) {
+        self.seen += 1;
+        match self.capacity {
+            Some(cap) if self.events.len() == cap => {
+                // Overwrite the oldest slot.
+                self.events[self.head] = event.clone();
+                self.head = (self.head + 1) % cap;
+            }
+            _ => self.events.push(event.clone()),
+        }
+    }
+}
+
+/// Streams events as line-delimited JSON to any writer.
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    /// First I/O error observed, surfaced via [`JsonlWriter::error`].
+    error: Option<io::Error>,
+}
+
+impl JsonlWriter<BufWriter<File>> {
+    /// Creates a writer streaming to a fresh file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(JsonlWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlWriter { out, error: None }
+    }
+
+    /// The first I/O error hit while writing, if any. Write failures do
+    /// not panic the simulation; check this after the run.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the sink, flushing and returning the inner writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> EventSink for JsonlWriter<W> {
+    fn record(&mut self, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Broadcasts each event to several sinks in order — e.g. a [`Recorder`]
+/// plus an [`crate::InvariantChecker`] watching the same run.
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<SharedSink>,
+}
+
+impl Fanout {
+    /// A fan-out over `sinks`.
+    pub fn new(sinks: Vec<SharedSink>) -> Self {
+        Fanout { sinks }
+    }
+
+    /// Adds another downstream sink.
+    pub fn push(&mut self, sink: SharedSink) {
+        self.sinks.push(sink);
+    }
+}
+
+impl EventSink for Fanout {
+    fn record(&mut self, event: &SimEvent) {
+        for sink in &self.sinks {
+            sink.borrow_mut().record(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &self.sinks {
+            sink.borrow_mut().flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_sim::SimTime;
+
+    fn hit(us: u64) -> SimEvent {
+        SimEvent::WarmHit {
+            at: SimTime::from_micros(us),
+            function: 0,
+            container: us,
+        }
+    }
+
+    #[test]
+    fn null_sink_never_builds_the_event() {
+        let tel = Telemetry::disabled();
+        let mut built = false;
+        tel.emit_with(|| {
+            built = true;
+            hit(1)
+        });
+        assert!(!built, "disabled telemetry must not construct events");
+        assert!(!tel.is_enabled());
+    }
+
+    #[test]
+    fn recorder_keeps_arrival_order() {
+        let (tel, rec) = Telemetry::recording();
+        for i in 0..5 {
+            tel.emit(&hit(i));
+        }
+        let evs = rec.borrow().events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[0].at(), SimTime::from_micros(0));
+        assert_eq!(evs[4].at(), SimTime::from_micros(4));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_latest() {
+        let (tel, rec) = Telemetry::attach(Recorder::with_capacity(3));
+        for i in 0..7 {
+            tel.emit(&hit(i));
+        }
+        let rec = rec.borrow();
+        assert_eq!(rec.total_seen(), 7);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        let at: Vec<u64> = evs.iter().map(|e| e.at().as_micros()).collect();
+        assert_eq!(at, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let (tel, sink) = Telemetry::attach(JsonlWriter::new(Vec::new()));
+        tel.emit(&hit(1));
+        tel.emit(&hit(2));
+        tel.flush();
+        drop(tel);
+        let sink = Rc::try_unwrap(sink).ok().expect("sole owner");
+        let bytes = sink.into_inner().into_inner();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"warm_hit\""));
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Rc::new(RefCell::new(Recorder::unbounded()));
+        let b = Rc::new(RefCell::new(Recorder::unbounded()));
+        let tel = Telemetry::new(Rc::new(RefCell::new(Fanout::new(vec![
+            a.clone(),
+            b.clone(),
+        ]))));
+        tel.emit(&hit(9));
+        assert_eq!(a.borrow().events().len(), 1);
+        assert_eq!(b.borrow().events().len(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (tel, rec) = Telemetry::recording();
+        let tel2 = tel.clone();
+        tel.emit(&hit(1));
+        tel2.emit(&hit(2));
+        assert_eq!(rec.borrow().events().len(), 2);
+    }
+}

@@ -103,13 +103,12 @@ pub fn chain(registry: &mut FunctionRegistry, n: usize) -> App {
     assert!(n > 0, "chain length must be positive");
     let fns: Vec<_> = (0..n)
         .map(|i| {
-            let (work, mem) = if i % 2 == 0 { (220.0, 400.0) } else { (120.0, 900.0) };
-            registry.register(synthetic_function(
-                format!("chain-{i}"),
-                work,
-                mem,
-                2.0,
-            ))
+            let (work, mem) = if i % 2 == 0 {
+                (220.0, 400.0)
+            } else {
+                (120.0, 900.0)
+            };
+            registry.register(synthetic_function(format!("chain-{i}"), work, mem, 2.0))
         })
         .collect();
     let qos_ms = 400.0 * n as f64 + 300.0;
@@ -186,7 +185,11 @@ pub fn ml_pipeline(registry: &mut FunctionRegistry) -> App {
             Stage::new(human, 1, vec![1]),
         ],
     );
-    App { kind: AppKind::MlPipeline, dag, qos: SimDuration::from_millis(2_200) }
+    App {
+        kind: AppKind::MlPipeline,
+        dag,
+        qos: SimDuration::from_millis(2_200),
+    }
 }
 
 /// The Sprocket-style video pipeline of Fig. 7: decode → scene change →
@@ -257,7 +260,11 @@ pub fn video_processing(registry: &mut FunctionRegistry) -> App {
             Stage::new(encode, 1, vec![4]),
         ],
     );
-    App { kind: AppKind::VideoProcessing, dag, qos: SimDuration::from_millis(3_500) }
+    App {
+        kind: AppKind::VideoProcessing,
+        dag,
+        qos: SimDuration::from_millis(3_500),
+    }
 }
 
 /// The DeathStarBench-style social network of Fig. 8 with a synthetic
@@ -359,7 +366,11 @@ pub fn social_network_with_graph(registry: &mut FunctionRegistry, graph: &Social
             Stage::new(user_timeline, 1, vec![5]),
         ],
     );
-    App { kind: AppKind::SocialNetwork, dag, qos: SimDuration::from_millis(1_800) }
+    App {
+        kind: AppKind::SocialNetwork,
+        dag,
+        qos: SimDuration::from_millis(1_800),
+    }
 }
 
 #[cfg(test)]
@@ -369,7 +380,10 @@ mod tests {
     #[test]
     fn all_apps_build_into_one_registry() {
         let mut registry = FunctionRegistry::new();
-        let apps: Vec<App> = AppKind::ALL.iter().map(|k| k.build(&mut registry)).collect();
+        let apps: Vec<App> = AppKind::ALL
+            .iter()
+            .map(|k| k.build(&mut registry))
+            .collect();
         assert_eq!(apps.len(), 5);
         // No function id collisions: registry holds every stage's function.
         for app in &apps {

@@ -52,7 +52,10 @@ impl SocialGraph {
                 edge_count += 1;
             }
         }
-        SocialGraph { adj, edges: edge_count }
+        SocialGraph {
+            adj,
+            edges: edge_count,
+        }
     }
 
     /// A socfb-Reed98-scale graph: 962 users, ≈18.8K follow relationships.
@@ -110,7 +113,11 @@ mod tests {
         let e = g.num_edges() as f64;
         assert!((e - 18_812.0).abs() / 18_812.0 < 0.1, "edges {e}");
         // socfb-Reed98 mean degree ≈ 39.
-        assert!((g.mean_degree() - 39.0).abs() < 8.0, "mean degree {}", g.mean_degree());
+        assert!(
+            (g.mean_degree() - 39.0).abs() < 8.0,
+            "mean degree {}",
+            g.mean_degree()
+        );
     }
 
     #[test]

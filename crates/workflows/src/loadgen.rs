@@ -78,7 +78,11 @@ mod tests {
             .noise(NoiseModel::quiet())
             .seed(3)
             .build();
-        let job = make_job(&app, configs, vec![SimTime::from_secs(5), SimTime::from_secs(200)]);
+        let job = make_job(
+            &app,
+            configs,
+            vec![SimTime::from_secs(5), SimTime::from_secs(200)],
+        );
         let mut controller = FixedPrewarm::provider_default();
         let report = sim.run(&[job], &mut controller, SimTime::from_secs(600));
         assert_eq!(report.workflows.len(), 2);
@@ -90,7 +94,10 @@ mod tests {
             .iter()
             .filter(|r| r.workflow_instance == 1)
             .collect();
-        assert!(second.iter().all(|r| !r.cold), "second instance should be warm");
+        assert!(
+            second.iter().all(|r| !r.cold),
+            "second instance should be warm"
+        );
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl RateTraceConfig {
             }
             // Cron-like timer spikes.
             if let Some((period, amplitude)) = self.timer_spike {
-                if (m as u64) % period.max(1) == 0 {
+                if (m as u64).is_multiple_of(period.max(1)) {
                     rate *= 1.0 + amplitude;
                 }
             }

@@ -33,7 +33,10 @@ fn main() {
         ..RateTraceConfig::default()
     }
     .generate(&mut rng);
-    println!("trace: {} workflow invocations over 30 min", trace.arrivals.len());
+    println!(
+        "trace: {} workflow invocations over 30 min",
+        trace.arrivals.len()
+    );
 
     // 3. Plan resources with the customized-BO manager.
     let controller = Aquatope::new(AquatopeConfig::fast());
@@ -52,7 +55,10 @@ fn main() {
     }
 
     // 4. Replay the trace under the dynamic pre-warmed pool.
-    let workload = Workload { app, arrivals: trace.arrivals };
+    let workload = Workload {
+        app,
+        arrivals: trace.arrivals,
+    };
     let report = controller.execute(
         &registry,
         std::slice::from_ref(&workload),

@@ -39,7 +39,10 @@ fn main() {
         app.qos.as_secs_f64()
     );
 
-    let workloads = vec![Workload { app, arrivals: trace.arrivals }];
+    let workloads = vec![Workload {
+        app,
+        arrivals: trace.arrivals,
+    }];
     let cluster = ClusterSpec::default();
     let horizon = SimTime::from_secs(47 * 60);
     let cfg = AquatopeConfig::fast();
@@ -48,7 +51,11 @@ fn main() {
         "{:<18} {:>10} {:>10} {:>12} {:>12}",
         "framework", "QoS viol", "cold", "CPU core·s", "mem GB·s"
     );
-    for fw in [Framework::Autoscale, Framework::IceBreakerClite, Framework::Aquatope] {
+    for fw in [
+        Framework::Autoscale,
+        Framework::IceBreakerClite,
+        Framework::Aquatope,
+    ] {
         let report = run_framework(fw, &registry, &workloads, cluster, horizon, &cfg);
         println!(
             "{:<18} {:>9.1}% {:>9.1}% {:>12.1} {:>12.1}",

@@ -17,10 +17,12 @@ pub use aqua_linalg as linalg;
 pub use aqua_nn as nn;
 pub use aqua_pool as pool;
 pub use aqua_sim as sim;
+pub use aqua_telemetry as telemetry;
 pub use aqua_workflows as workflows;
 pub use aquatope_core as core;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use aqua_sim::{SimDuration, SimRng, SimTime};
+    pub use aqua_telemetry::{EventSink, SimEvent, Telemetry};
 }

@@ -2,8 +2,7 @@
 //! + anomaly pruning against the simulated evaluator.
 
 use aquatope::alloc::{
-    AquatopeRm, AquatopeRmConfig, Clite, OracleSearch, RandomSearch,
-    ResourceManager, SimEvaluator,
+    AquatopeRm, AquatopeRmConfig, Clite, OracleSearch, RandomSearch, ResourceManager, SimEvaluator,
 };
 use aquatope::faas::types::ConfigSpace;
 use aquatope::faas::{FaasSim, FunctionRegistry, NoiseModel};
@@ -19,7 +18,10 @@ fn ml_eval(noise: NoiseModel, samples: usize, seed: u64) -> (SimEvaluator, f64) 
         .seed(seed)
         .build();
     let qos = app.qos.as_secs_f64();
-    (SimEvaluator::new(sim, app.dag, ConfigSpace::default(), samples, true), qos)
+    (
+        SimEvaluator::new(sim, app.dag, ConfigSpace::default(), samples, true),
+        qos,
+    )
 }
 
 #[test]
@@ -68,7 +70,11 @@ fn aquatope_beats_clite_under_noise() {
 #[test]
 fn batch_sampling_respects_budget_exactly() {
     let (mut eval, qos) = ml_eval(NoiseModel::production(), 2, 7);
-    let cfg = AquatopeRmConfig { batch: 3, bootstrap: 5, ..AquatopeRmConfig::default() };
+    let cfg = AquatopeRmConfig {
+        batch: 3,
+        bootstrap: 5,
+        ..AquatopeRmConfig::default()
+    };
     let out = AquatopeRm::with_config(7, cfg).optimize(&mut eval, qos, 20);
     assert_eq!(out.evaluations(), 20);
     assert_eq!(eval.evaluations(), 20);

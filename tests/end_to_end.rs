@@ -8,7 +8,9 @@ use aquatope::workflows::{apps, RateTraceConfig};
 
 fn trace_arrivals(minutes: usize, rpm: f64, seed: u64) -> Vec<SimTime> {
     let mut rng = SimRng::seed(seed);
-    RateTraceConfig::steady(minutes, rpm).generate(&mut rng).arrivals
+    RateTraceConfig::steady(minutes, rpm)
+        .generate(&mut rng)
+        .arrivals
 }
 
 #[test]
@@ -40,8 +42,14 @@ fn mixed_workload_all_apps_complete() {
     let chain = apps::chain(&mut registry, 3);
     let fan = apps::fan_out_in(&mut registry, 4);
     let workloads = vec![
-        Workload { app: chain, arrivals: trace_arrivals(15, 4.0, 2) },
-        Workload { app: fan, arrivals: trace_arrivals(15, 3.0, 3) },
+        Workload {
+            app: chain,
+            arrivals: trace_arrivals(15, 4.0, 2),
+        },
+        Workload {
+            app: fan,
+            arrivals: trace_arrivals(15, 3.0, 3),
+        },
     ];
     let mut controller = Aquatope::new(AquatopeConfig::fast());
     let report = controller.run(
@@ -103,15 +111,31 @@ fn reports_are_deterministic_given_seeds() {
     let build = || {
         let mut registry = FunctionRegistry::new();
         let app = apps::chain(&mut registry, 2);
-        (registry, Workload { app, arrivals: trace_arrivals(10, 5.0, 9) })
+        (
+            registry,
+            Workload {
+                app,
+                arrivals: trace_arrivals(10, 5.0, 9),
+            },
+        )
     };
     let (r1, w1) = build();
     let (r2, w2) = build();
     let mut c1 = Aquatope::new(AquatopeConfig::fast());
     let mut c2 = Aquatope::new(AquatopeConfig::fast());
     let horizon = SimTime::from_secs(12 * 60);
-    let a = c1.run(&r1, std::slice::from_ref(&w1), ClusterSpec::default(), horizon);
-    let b = c2.run(&r2, std::slice::from_ref(&w2), ClusterSpec::default(), horizon);
+    let a = c1.run(
+        &r1,
+        std::slice::from_ref(&w1),
+        ClusterSpec::default(),
+        horizon,
+    );
+    let b = c2.run(
+        &r2,
+        std::slice::from_ref(&w2),
+        ClusterSpec::default(),
+        horizon,
+    );
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.cold_start_rate, b.cold_start_rate);
     assert_eq!(a.cpu_core_seconds, b.cpu_core_seconds);

@@ -36,8 +36,10 @@ fn obs(peaks: &[u32], minute: u64) -> PoolObservation {
 }
 
 fn all_policies() -> Vec<(&'static str, Box<dyn PrewarmController>)> {
-    let mut cfg = AquatopePoolConfig::default();
-    cfg.warmup_windows = 10_000; // stay in the reactive regime for speed
+    let cfg = AquatopePoolConfig {
+        warmup_windows: 10_000, // stay in the reactive regime for speed
+        ..AquatopePoolConfig::default()
+    };
     vec![
         ("keep", Box::new(KeepAlivePolicy::provider_default())),
         ("autoscale", Box::new(ReactiveAutoscale::new())),
@@ -97,7 +99,9 @@ fn preloaded_history_feeds_the_predictive_policies() {
     // A strongly periodic preloaded history should let IceBreaker predict
     // the busy phase with no live warm-up.
     let mut ice = IceBreakerPolicy::new();
-    let hist: Vec<f64> = (0..256).map(|m| if m % 8 == 0 { 6.0 } else { 0.0 }).collect();
+    let hist: Vec<f64> = (0..256)
+        .map(|m| if m % 8 == 0 { 6.0 } else { 0.0 })
+        .collect();
     ice.preload_history(FunctionId(0), &hist);
     // History ends at index 255 (phase 7); the first live window is phase 0
     // (busy). After observing it, the next prediction targets phase 1
@@ -121,9 +125,11 @@ fn preloaded_history_feeds_the_predictive_policies() {
 
 #[test]
 fn aquatope_pool_trains_from_preloaded_history_alone() {
-    let mut cfg = AquatopePoolConfig::default();
-    cfg.warmup_windows = 64;
-    cfg.training_window = 256;
+    let mut cfg = AquatopePoolConfig {
+        warmup_windows: 64,
+        training_window: 256,
+        ..AquatopePoolConfig::default()
+    };
     cfg.hybrid.window = 12;
     cfg.hybrid.enc_hidden = vec![8];
     cfg.hybrid.dec_hidden = vec![6];
@@ -132,7 +138,9 @@ fn aquatope_pool_trains_from_preloaded_history_alone() {
     cfg.hybrid.train_epochs = 2;
     cfg.hybrid.mc_passes = 6;
     let mut pool = AquatopePool::new(cfg, &[]);
-    let hist: Vec<f64> = (0..256).map(|m| if m % 8 < 2 { 4.0 } else { 0.0 }).collect();
+    let hist: Vec<f64> = (0..256)
+        .map(|m| if m % 8 < 2 { 4.0 } else { 0.0 })
+        .collect();
     pool.preload_history(FunctionId(0), &hist);
     // First live tick: with ≥ warmup history preloaded, the model trains
     // immediately and the decision is model-driven (not the 1.25× reactive

@@ -47,8 +47,10 @@ fn aquatope_pool_handles_periodic_load() {
     let app = apps::chain(&mut registry, 2);
     drop(registry);
     let dag = app.dag.clone();
-    let mut cfg = AquatopePoolConfig::default();
-    cfg.warmup_windows = 30;
+    let mut cfg = AquatopePoolConfig {
+        warmup_windows: 30,
+        ..AquatopePoolConfig::default()
+    };
     cfg.hybrid.window = 12;
     cfg.hybrid.enc_hidden = vec![8];
     cfg.hybrid.dec_hidden = vec![6];

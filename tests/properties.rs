@@ -25,7 +25,10 @@ fn run_chain(
         .collect();
     let dag = WorkflowDag::chain("prop", fns);
     let configs = StageConfigs::uniform(&dag, ResourceConfig::new(cpu, mem, 1));
-    let arrivals: Vec<SimTime> = arrivals_secs.iter().map(|s| SimTime::from_secs(*s)).collect();
+    let arrivals: Vec<SimTime> = arrivals_secs
+        .iter()
+        .map(|s| SimTime::from_secs(*s))
+        .collect();
     let n = arrivals.len();
     let mut sim = FaasSim::builder()
         .workers(3, 40.0, 65_536)

@@ -1,0 +1,173 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop: warm up briefly, then time batches until a
+//! fixed budget elapses and report mean ± spread. No plotting, no
+//! statistics beyond min/mean/max.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Total measurement budget per benchmark.
+    measurement_time: Duration,
+    /// Warm-up budget per benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Overrides the warm-up budget.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// No-op kept for generated-main compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    /// Mean nanoseconds per iteration for each measured batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly within the configured budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        // Batch size targeting ~20 batches within the budget.
+        let budget_secs = self.budget.as_secs_f64();
+        let batch = ((budget_secs / 20.0 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / batch as f64);
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<32} (no samples)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let fmt = |ns: f64| -> String {
+            if ns < 1e3 {
+                format!("{ns:.1} ns")
+            } else if ns < 1e6 {
+                format!("{:.2} µs", ns / 1e3)
+            } else if ns < 1e9 {
+                format!("{:.2} ms", ns / 1e6)
+            } else {
+                format!("{:.3} s", ns / 1e9)
+            }
+        };
+        println!("{name:<32} time: [{} {} {}]", fmt(min), fmt(mean), fmt(max));
+    }
+}
+
+/// Declares a benchmark group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

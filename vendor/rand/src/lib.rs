@@ -1,0 +1,107 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors
+//! the minimal subset of `rand`'s API that the repo actually uses: the
+//! [`RngCore`] and [`SeedableRng`] traits (implemented by
+//! `aqua_sim::SimRng`) and the [`Error`] type. Everything is
+//! signature-compatible with `rand` 0.8 so the real crate can be swapped
+//! back in without code changes.
+
+use std::fmt;
+
+/// Error type returned by fallible RNG operations.
+///
+/// The deterministic generators in this workspace never fail, so this is
+/// an empty shell kept only for signature compatibility.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible version of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator seedable from fixed-size byte state (mirrors
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed byte-array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, splat across the seed bytes.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (chunk, byte) in seed
+            .as_mut()
+            .iter_mut()
+            .zip(state.to_le_bytes().iter().cycle())
+        {
+            *chunk = *byte;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_roundtrips() {
+        let mut a = Counter::seed_from_u64(7);
+        let mut b = Counter::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn try_fill_bytes_defaults_to_fill() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 4];
+        c.try_fill_bytes(&mut buf).unwrap();
+        assert_ne!(buf, [0u8; 4]);
+    }
+}

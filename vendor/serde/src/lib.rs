@@ -1,0 +1,29 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no crates.io access. The workspace only uses
+//! serde as derive markers on plain data types (actual serialization is
+//! hand-rolled in `aqua-telemetry` and the `serde_json` shim), so this
+//! stub provides marker traits with blanket implementations plus inert
+//! derive macros. Swapping the real crate back in requires no source
+//! changes downstream.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` for code importing `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The shimmed `serde` crate gives `Serialize`/`Deserialize` blanket
+//! implementations, so the derive macros have nothing to generate — they
+//! exist only so `#[derive(Serialize, Deserialize)]` attributes in the
+//! workspace keep compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`: the blanket impl in the `serde` shim
+/// already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`: the blanket impl in the `serde` shim
+/// already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

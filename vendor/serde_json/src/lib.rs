@@ -1,0 +1,496 @@
+//! Offline stub of `serde_json`.
+//!
+//! Provides the subset the workspace uses: the [`Value`] tree, the
+//! [`json!`] literal macro, and [`to_string`] / [`to_string_pretty`] for
+//! `Value`s. Object keys preserve insertion order so experiment JSON files
+//! are byte-stable across runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as integer when lossless).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer when lossless, float otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{:.1}", v)
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Returns the float value of a JSON number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::UInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value, if this is a lossless integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v),
+            Value::Number(Number::UInt(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+/// Any sized convertible value can also convert by reference — this is
+/// what lets `json!` accept `&f64`, `&usize`, `&&str`, `&Vec<f64>`, and
+/// friends the way real serde_json's `Serialize`-based macro does.
+impl<T: Clone> From<&T> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: &T) -> Self {
+        Value::from(v.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                match i64::try_from(v) {
+                    Ok(i) => Value::Number(Number::Int(i)),
+                    Err(_) => Value::Number(Number::UInt(v as u64)),
+                }
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(map: BTreeMap<String, Value>) -> Self {
+        Value::Object(map.into_iter().collect())
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Error type for serialization (infallible here, kept for signature
+/// compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, out, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(item, out, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+/// Serializes a [`Value`] to a compact string.
+pub fn to_string<T: Borrowable>(value: T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(value.as_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a [`Value`] with two-space indentation.
+pub fn to_string_pretty<T: Borrowable>(value: T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(value.as_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Accepts `Value` or `&Value` in the serialization entry points, mirroring
+/// serde_json's `T: Serialize` flexibility for the one type this stub
+/// supports.
+pub trait Borrowable {
+    /// Borrows the underlying value.
+    fn as_value(&self) -> &Value;
+}
+
+impl Borrowable for Value {
+    fn as_value(&self) -> &Value {
+        self
+    }
+}
+
+impl Borrowable for &Value {
+    fn as_value(&self) -> &Value {
+        self
+    }
+}
+
+impl Borrowable for &mut Value {
+    fn as_value(&self) -> &Value {
+        self
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+// The json! literal macro: a tt-muncher in the style of serde_json's,
+// reduced to the forms used in this workspace (nested objects, arrays,
+// null/bool literals, and arbitrary expressions convertible to Value).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!([] () $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: accumulates array elements. `[done,*] rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // End of input.
+    ([ $($done:expr),* ]) => { $crate::Value::Array(vec![ $($done),* ]) };
+    // Next element is a nested array or object or literal: capture one tt
+    // then either a comma or end.
+    ([ $($done:expr),* ] $next:tt , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] $next:tt) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next) ])
+    };
+    // Multi-token expression up to the next top-level comma.
+    ([ $($done:expr),* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from($next) ] $($rest)*)
+    };
+    ([ $($done:expr),* ] $next:expr) => {
+        $crate::json_array!([ $($done,)* $crate::Value::from($next) ])
+    };
+}
+
+/// Internal: accumulates object entries. `[done,*] (key tokens) rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // End of input.
+    ([ $($done:expr),* ] ()) => { $crate::Value::Object(vec![ $($done),* ]) };
+    ([ $($done:expr),* ] () , ) => { $crate::Value::Object(vec![ $($done),* ]) };
+    // Key: value where value is a single tt (covers nested {...} / [...] /
+    // literals / single-token expressions).
+    ([ $($done:expr),* ] () $key:tt : $value:tt , $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ($crate::json_key!($key), $crate::json!($value)) ] () $($rest)*)
+    };
+    ([ $($done:expr),* ] () $key:tt : $value:tt) => {
+        $crate::json_object!([ $($done,)* ($crate::json_key!($key), $crate::json!($value)) ] ())
+    };
+    // Key: multi-token expression value up to the next top-level comma.
+    ([ $($done:expr),* ] () $key:tt : $value:expr , $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ($crate::json_key!($key), $crate::Value::from($value)) ] () $($rest)*)
+    };
+    ([ $($done:expr),* ] () $key:tt : $value:expr) => {
+        $crate::json_object!([ $($done,)* ($crate::json_key!($key), $crate::Value::from($value)) ] ())
+    };
+}
+
+/// Internal: converts a json! object key token to a `String`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        ($key).to_string()
+    };
+    ($key:ident) => {
+        stringify!($key).to_string()
+    };
+    ($key:expr) => {
+        ($key).to_string()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3), Value::Number(Number::Int(3)));
+        assert_eq!(json!(1.5), Value::Number(Number::Float(1.5)));
+        assert_eq!(json!("hi"), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn nested_object_and_array() {
+        let records = vec![json!({ "a": 1 }), json!({ "a": 2 })];
+        let v = json!({
+            "experiment": "fig10",
+            "nested": { "x": [1, 2, 3], "y": null },
+            "points": records,
+        });
+        assert_eq!(v["experiment"].as_str(), Some("fig10"));
+        assert_eq!(v["nested"]["x"].as_array().unwrap().len(), 3);
+        assert_eq!(v["points"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn expression_values() {
+        let cv = 2.0f64;
+        let name = format!("run-{}", 7);
+        let v = json!({ "cv": cv, "name": name, "sum": 1 + 2 });
+        assert_eq!(v["cv"].as_f64(), Some(2.0));
+        assert_eq!(v["name"].as_str(), Some("run-7"));
+        assert_eq!(v["sum"].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = json!({ "b": 1, "a": [true, null] });
+        let s = to_string_pretty(&v).unwrap();
+        // Insertion order preserved (b before a).
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert_eq!(to_string(&v).unwrap(), "{\"b\":1,\"a\":[true,null]}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!({ "k": "line\n\"q\"" });
+        assert_eq!(to_string(&v).unwrap(), "{\"k\":\"line\\n\\\"q\\\"\"}");
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        assert_eq!(to_string(json!(2.0f64)).unwrap(), "2.0");
+        assert_eq!(to_string(json!(0.25f64)).unwrap(), "0.25");
+    }
+}

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use aqua_faas::prelude::*;
 use aqua_faas::types::ResourceConfig;
-use aqua_gp::{constrained_nei, Gp, GpConfig, NeiConfig};
+use aqua_gp::{constrained_nei, propose_batch, Gp, GpConfig, Halton, NeiConfig};
 use aqua_nn::{EncoderDecoder, Seq2SeqConfig};
 use aqua_sim::{SimRng, SimTime};
 
@@ -28,6 +28,39 @@ fn bench_gp(c: &mut Criterion) {
     c.bench_function("constrained_nei", |b| {
         b.iter(|| constrained_nei(&gp, &lat_gp, 3.0, &[0.4; 6], NeiConfig { qmc_samples: 16 }))
     });
+}
+
+/// The fast-refit engine across training-set sizes: full fit (grid
+/// search + O(n³) factorization) vs rank-1 incremental append (O(n²))
+/// vs one batch acquisition round.
+fn bench_gp_scaling(c: &mut Criterion) {
+    for n in [16usize, 64, 256] {
+        let mut rng = SimRng::seed(n as u64);
+        let xs: Vec<Vec<f64>> = (0..n + 1)
+            .map(|_| (0..6).map(|_| rng.uniform()).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.05))
+            .collect();
+        let cfg = GpConfig {
+            refit_every: 0,
+            ..GpConfig::default()
+        };
+        c.bench_function(&format!("gp_fit_n{n}"), |b| {
+            b.iter(|| Gp::fit(xs.clone(), ys.clone(), cfg.clone()).unwrap())
+        });
+        let base = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
+        let (xn, yn) = (xs[n].clone(), ys[n]);
+        c.bench_function(&format!("gp_extend_n{n}"), |b| {
+            b.iter(|| base.with_observation(xn.clone(), yn).unwrap())
+        });
+        let lat_gp = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
+        let cands = Halton::new(6).points(24);
+        c.bench_function(&format!("propose_batch_n{n}"), |b| {
+            b.iter(|| propose_batch(&base, &lat_gp, 3.0, &cands, 3, NeiConfig { qmc_samples: 8 }))
+        });
+    }
 }
 
 fn bench_nn(c: &mut Criterion) {
@@ -66,5 +99,5 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gp, bench_nn, bench_sim);
+criterion_group!(benches, bench_gp, bench_gp_scaling, bench_nn, bench_sim);
 criterion_main!(benches);

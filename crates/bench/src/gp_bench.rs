@@ -1,0 +1,139 @@
+//! Machine-readable micro-benchmark of the BO engine's hot kernels —
+//! the record behind `BENCH_GP.json` (written by the `aqua-bench`
+//! binary, `cargo run -p aqua-bench --release`).
+//!
+//! Three operations at n ∈ {16, 64, 256} training points (6-d inputs):
+//!
+//! * `gp_fit` — full fit: grid-search hyperparameter selection plus an
+//!   O(n³) Cholesky factorization per candidate.
+//! * `gp_extend` — incremental append via [`Gp::with_observation`]:
+//!   rank-1 Cholesky bordering, O(n²), hyperparameters reused.
+//! * `propose_batch` — one q=3 Kriging-believer batch proposal over a
+//!   24-candidate pool (the per-iteration acquisition cost).
+//!
+//! The headline ratio `speedup_extend_vs_fit_n256` compares growing a
+//! 256-point GP by one observation on the incremental path against the
+//! full refit the pre-fast-path engine ran every iteration.
+
+use std::time::Instant;
+
+use aqua_gp::{propose_batch, Gp, GpConfig, Halton, NeiConfig};
+use aqua_sim::SimRng;
+use serde_json::json;
+
+use crate::common::print_table;
+
+/// Training-set sizes exercised by the benchmark.
+pub const SIZES: [usize; 3] = [16, 64, 256];
+const DIM: usize = 6;
+
+fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = SimRng::seed(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..DIM).map(|_| rng.uniform()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.05))
+        .collect();
+    (xs, ys)
+}
+
+/// Median wall-clock nanoseconds of `reps` timed runs of `f`.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as u64
+}
+
+/// Runs the benchmark and returns the `BENCH_GP.json` record.
+pub fn run() -> serde_json::Value {
+    let cfg = GpConfig {
+        // Freeze hyperparameters so gp_extend measures the pure rank-1
+        // path (cadence refits are amortized, not per-append).
+        refit_every: 0,
+        ..GpConfig::default()
+    };
+    let mut rows = Vec::new();
+    let mut fit_ns = Vec::new();
+    let mut extend_ns = Vec::new();
+    let mut propose_ns = Vec::new();
+    for (i, &n) in SIZES.iter().enumerate() {
+        // One extra point: the fit side of the speedup ratio refits all
+        // n+1 points, exactly what the pre-fast-path loop did per append.
+        let (xs, ys) = dataset(n + 1, 7 + i as u64);
+        let reps = if n >= 256 { 7 } else { 15 };
+
+        let fit = median_ns(reps, || {
+            Gp::fit(xs.clone(), ys.clone(), cfg.clone()).unwrap();
+        });
+
+        let base = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
+        let (xn, yn) = (xs[n].clone(), ys[n]);
+        let extend = median_ns(reps * 3, || {
+            base.with_observation(xn.clone(), yn).unwrap();
+        });
+
+        let cost_gp = base.clone();
+        let lat_gp = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
+        let cands = Halton::new(DIM).points(24);
+        let nei = NeiConfig { qmc_samples: 8 };
+        let qos = ys.iter().sum::<f64>() / ys.len() as f64;
+        let propose = median_ns(5, || {
+            propose_batch(&cost_gp, &lat_gp, qos, &cands, 3, nei);
+        });
+
+        rows.push(vec![
+            n.to_string(),
+            fit.to_string(),
+            extend.to_string(),
+            propose.to_string(),
+        ]);
+        fit_ns.push(fit);
+        extend_ns.push(extend);
+        propose_ns.push(propose);
+    }
+    print_table(
+        "GP micro-benchmark (median ns/op)",
+        &["n", "gp_fit", "gp_extend", "propose_batch"],
+        &rows,
+    );
+    let speedup = fit_ns[2] as f64 / extend_ns[2] as f64;
+    println!("\nspeedup extend vs full refit at n=256: {speedup:.1}x");
+    json!({
+        "dim": DIM,
+        "sizes": SIZES,
+        "unit": "median ns per op",
+        "gp_fit": { "16": fit_ns[0], "64": fit_ns[1], "256": fit_ns[2] },
+        "gp_extend": { "16": extend_ns[0], "64": extend_ns[1], "256": extend_ns[2] },
+        "propose_batch": { "16": propose_ns[0], "64": propose_ns[1], "256": propose_ns[2] },
+        "speedup_extend_vs_fit_n256": speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_constant_work_is_positive() {
+        let ns = median_ns(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        let (xs, ys) = dataset(10, 1);
+        assert_eq!(xs.len(), 10);
+        assert_eq!(ys.len(), 10);
+        assert!(xs.iter().all(|x| x.len() == DIM));
+    }
+}

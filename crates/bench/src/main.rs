@@ -1,0 +1,13 @@
+//! `aqua-bench` binary: runs the GP micro-benchmark and writes the
+//! machine-readable record to `BENCH_GP.json` at the workspace root.
+//!
+//! Run with `cargo run -p aqua-bench --release` (debug timings are not
+//! meaningful).
+
+fn main() {
+    let record = aqua_bench::gp_bench::run();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_GP.json");
+    let body = serde_json::to_string_pretty(&record).expect("record serializes") + "\n";
+    std::fs::write(path, body).expect("write BENCH_GP.json");
+    println!("[json] {path}");
+}

@@ -3,6 +3,7 @@
 //! function").
 
 use aqua_linalg::{normal_cdf, normal_pdf};
+use aqua_sim::par_map;
 
 use crate::gp::Gp;
 use crate::qmc::Halton;
@@ -97,26 +98,22 @@ pub fn constrained_nei(
     x: &[f64],
     config: NeiConfig,
 ) -> f64 {
+    let incumbents = nei_incumbents(cost_gp, constraint_gp, threshold, config);
+    nei_score(cost_gp, constraint_gp, threshold, x, &incumbents)
+}
+
+/// QMC incumbent samples of the noisy-EI integral — one per posterior
+/// draw, independent of the candidate being scored, so a whole candidate
+/// pool can share them.
+fn nei_incumbents(cost_gp: &Gp, constraint_gp: &Gp, threshold: f64, config: NeiConfig) -> Vec<f64> {
     let m = config.qmc_samples.max(1);
     // Quasi-random standard-normal draws per GP. The cost GP may carry
     // extra fantasy observations (batch selection), so each GP gets a
     // stream sized to its own training set; a 16-dim Halton stream is
     // chunked across coordinates.
     let mut h = Halton::new(16);
-    let mut gen = |count: usize, width: usize| -> Vec<Vec<f64>> {
-        (0..count)
-            .map(|_| {
-                let mut row = Vec::with_capacity(width);
-                while row.len() < width {
-                    let p = h.normal_points(1);
-                    row.extend(p[0].iter().take(width - row.len()).cloned());
-                }
-                row
-            })
-            .collect()
-    };
-    let z_cost = gen(m, cost_gp.len());
-    let z_con = gen(m, constraint_gp.len());
+    let z_cost = h.normal_rows(m, cost_gp.len());
+    let z_con = h.normal_rows(m, constraint_gp.len());
 
     let cost_samples = cost_gp.posterior_samples_at_train(&z_cost);
     let con_samples = constraint_gp.posterior_samples_at_train(&z_con);
@@ -124,25 +121,64 @@ pub fn constrained_nei(
     // constraint sample and are excluded from the incumbent.
     let paired = cost_gp.len().min(constraint_gp.len());
 
+    cost_samples
+        .iter()
+        .zip(&con_samples)
+        .map(|(cs, ks)| {
+            // Incumbent: best sampled cost among feasible points; if no
+            // sampled point is feasible, use the overall best (optimistic
+            // fallback that keeps exploration alive early on).
+            let feasible_best = cs[..paired]
+                .iter()
+                .zip(&ks[..paired])
+                .filter(|(_, k)| **k <= threshold)
+                .map(|(c, _)| *c)
+                .fold(f64::INFINITY, f64::min);
+            if feasible_best.is_finite() {
+                feasible_best
+            } else {
+                cs.iter().cloned().fold(f64::INFINITY, f64::min)
+            }
+        })
+        .collect()
+}
+
+/// EI against each incumbent, averaged and feasibility-weighted — the
+/// per-candidate half of [`constrained_nei`].
+fn nei_score(
+    cost_gp: &Gp,
+    constraint_gp: &Gp,
+    threshold: f64,
+    x: &[f64],
+    incumbents: &[f64],
+) -> f64 {
     let mut acc = 0.0;
-    for (cs, ks) in cost_samples.iter().zip(&con_samples) {
-        // Incumbent: best sampled cost among feasible points; if no sampled
-        // point is feasible, use the overall best (optimistic fallback that
-        // keeps exploration alive early on).
-        let feasible_best = cs[..paired]
-            .iter()
-            .zip(&ks[..paired])
-            .filter(|(_, k)| **k <= threshold)
-            .map(|(c, _)| *c)
-            .fold(f64::INFINITY, f64::min);
-        let incumbent = if feasible_best.is_finite() {
-            feasible_best
-        } else {
-            cs.iter().cloned().fold(f64::INFINITY, f64::min)
-        };
+    for &incumbent in incumbents {
         acc += expected_improvement(cost_gp, x, incumbent);
     }
-    (acc / m as f64) * probability_feasible(constraint_gp, x, threshold)
+    (acc / incumbents.len() as f64) * probability_feasible(constraint_gp, x, threshold)
+}
+
+/// Scores every candidate with one shared QMC incumbent draw instead of
+/// regenerating the stream (and re-sampling both posteriors) per call.
+/// Candidates are scored on a deterministic parallel map; each result is
+/// bit-identical to calling [`constrained_nei`] on that candidate alone,
+/// because a fresh 16-dim Halton stream produces the same draw sequence
+/// for every candidate index anyway.
+pub fn constrained_nei_batch(
+    cost_gp: &Gp,
+    constraint_gp: &Gp,
+    threshold: f64,
+    candidates: &[Vec<f64>],
+    config: NeiConfig,
+) -> Vec<f64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let incumbents = nei_incumbents(cost_gp, constraint_gp, threshold, config);
+    par_map(candidates, |_, c| {
+        nei_score(cost_gp, constraint_gp, threshold, c, &incumbents)
+    })
 }
 
 /// Selects a batch of `q` candidate indices (into `candidates`) by greedy
@@ -168,13 +204,16 @@ pub fn propose_batch(
     let mut picked = Vec::with_capacity(q);
     let mut fantasy = cost_gp.clone();
     for _ in 0..q.min(candidates.len()) {
+        // One shared incumbent draw per fantasy round; already-picked
+        // indices are scored too (the scorer is pure) but skipped below,
+        // preserving the sequential first-best tie-breaking exactly.
+        let scores = constrained_nei_batch(&fantasy, constraint_gp, threshold, candidates, config);
         let mut best_idx = None;
         let mut best_val = f64::NEG_INFINITY;
-        for (i, c) in candidates.iter().enumerate() {
+        for (i, &v) in scores.iter().enumerate() {
             if picked.contains(&i) {
                 continue;
             }
-            let v = constrained_nei(&fantasy, constraint_gp, threshold, c, config);
             if v > best_val {
                 best_val = v;
                 best_idx = Some(i);
@@ -271,6 +310,30 @@ mod tests {
         }
         // Improvement certain far below the observed range is ~0.
         assert!(probability_of_improvement(&cost_gp, &[0.0], -100.0) < 1e-6);
+    }
+
+    #[test]
+    fn batch_scoring_bit_identical_to_single_calls() {
+        let (cost_gp, lat_gp) = toy_gps();
+        let candidates: Vec<Vec<f64>> = (0..17).map(|i| vec![i as f64 / 16.0]).collect();
+        let cfg = NeiConfig { qmc_samples: 8 };
+        let batch = constrained_nei_batch(&cost_gp, &lat_gp, 1.5, &candidates, cfg);
+        for (i, c) in candidates.iter().enumerate() {
+            let single = constrained_nei(&cost_gp, &lat_gp, 1.5, c, cfg);
+            assert_eq!(
+                batch[i].to_bits(),
+                single.to_bits(),
+                "candidate {i}: {} vs {single}",
+                batch[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scoring_empty_candidates() {
+        let (cost_gp, lat_gp) = toy_gps();
+        let got = constrained_nei_batch(&cost_gp, &lat_gp, 1.5, &[], NeiConfig::default());
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -4,9 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 use aqua_linalg::{Cholesky, Matrix};
-use aqua_sim::SimRng;
+use aqua_sim::{par_map, SimRng};
 
-use crate::kernel::Matern52;
+use crate::kernel::{euclidean, unit_factors, Matern52};
 
 /// Configuration for [`Gp::fit`].
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +19,13 @@ pub struct GpConfig {
     pub lengthscale_grid: Vec<f64>,
     /// Candidate output scales (targets are standardized, so ≈ 1).
     pub outputscale_grid: Vec<f64>,
+    /// Hyperparameter re-selection cadence for [`Gp::extend`]: every
+    /// `refit_every`-th appended observation triggers a full grid search;
+    /// appends in between keep the selected kernel and update the
+    /// factorization in O(n²). `1` re-selects on every append (identical
+    /// to calling [`Gp::fit`] from scratch each time); `0` never
+    /// re-selects.
+    pub refit_every: usize,
 }
 
 impl Default for GpConfig {
@@ -27,6 +34,7 @@ impl Default for GpConfig {
             noise: 1e-4,
             lengthscale_grid: vec![0.05, 0.1, 0.2, 0.35, 0.5, 0.8, 1.2, 2.0],
             outputscale_grid: vec![0.5, 1.0, 2.0],
+            refit_every: 8,
         }
     }
 }
@@ -76,11 +84,50 @@ pub struct Gp {
     chol: Cholesky,
     alpha: Vec<f64>,
     lml: f64,
+    /// Pairwise Euclidean distances between training inputs. Cached so
+    /// subset refits, rank-1 extensions, and posterior sampling skip the
+    /// O(n²·d) distance pass; entries feed [`Matern52::eval_dist`], which
+    /// is bit-identical to pairwise [`Matern52::eval`].
+    dists: Matrix,
+    config: GpConfig,
+    /// Observations appended by [`Gp::extend`] since the last full
+    /// hyperparameter selection.
+    since_refit: usize,
+}
+
+/// Target standardization shared by every (re)fit path.
+fn standardize(ys: &[f64]) -> (f64, f64, Vec<f64>) {
+    let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
+    let y_scale = var.sqrt().max(1e-9);
+    let y_std: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
+    (y_mean, y_scale, y_std)
+}
+
+/// Pairwise Euclidean distance matrix with [`Matern52::eval`]'s summation
+/// order, mirrored across the diagonal.
+fn pairwise_dists(x: &[Vec<f64>]) -> Matrix {
+    let n = x.len();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..i {
+            let v = euclidean(&x[i], &x[j]);
+            d[(i, j)] = v;
+            d[(j, i)] = v;
+        }
+    }
+    d
 }
 
 impl Gp {
     /// Fits a GP, selecting kernel hyperparameters by log marginal
     /// likelihood over the configured grid.
+    ///
+    /// The distance matrix is computed once and shared by every
+    /// lengthscale candidate, outputscale candidates reduce to elementwise
+    /// scaling of per-lengthscale kernel factors, and candidates are
+    /// evaluated on a deterministic parallel map — all bit-identical to
+    /// the sequential one-kernel-build-per-candidate loop.
     ///
     /// # Errors
     ///
@@ -91,26 +138,10 @@ impl Gp {
         if x.len() < 2 || x.len() != y.len() {
             return Err(GpError::InsufficientData);
         }
-        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
-        let var = y.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / y.len() as f64;
-        let y_scale = var.sqrt().max(1e-9);
-        let y_std_units: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
-
-        let mut best: Option<(f64, Matern52, Cholesky, Vec<f64>)> = None;
-        for &ls in &config.lengthscale_grid {
-            for &os in &config.outputscale_grid {
-                let kernel = Matern52::new(ls, os);
-                if let Some((lml, chol, alpha)) =
-                    Self::evaluate(&x, &y_std_units, &kernel, config.noise)
-                {
-                    if best.as_ref().is_none_or(|(b, ..)| lml > *b) {
-                        best = Some((lml, kernel, chol, alpha));
-                    }
-                }
-            }
-        }
-        let (lml, kernel, chol, alpha) = best.ok_or(GpError::SingularKernel)?;
-        let _ = &y_std_units;
+        let (y_mean, y_scale, y_std_units) = standardize(&y);
+        let dists = pairwise_dists(&x);
+        let (lml, kernel, chol, alpha) = Self::select_hyperparams(&dists, &y_std_units, &config)
+            .ok_or(GpError::SingularKernel)?;
         Ok(Gp {
             x,
             y_raw: y,
@@ -121,9 +152,71 @@ impl Gp {
             chol,
             alpha,
             lml,
+            dists,
+            config,
+            since_refit: 0,
         })
     }
 
+    /// Grid search over (lengthscale, outputscale), parallel across
+    /// lengthscales. Ties resolve exactly as the sequential
+    /// lengthscale-outer / outputscale-inner loop with strict `>` did:
+    /// each lengthscale keeps its first-best outputscale, and the ordered
+    /// cross-lengthscale reduction keeps the first best overall.
+    fn select_hyperparams(
+        dists: &Matrix,
+        y: &[f64],
+        config: &GpConfig,
+    ) -> Option<(f64, Matern52, Cholesky, Vec<f64>)> {
+        let n = dists.rows();
+        let per_ls = par_map(&config.lengthscale_grid, |_, &ls| {
+            // One factor pass per lengthscale, shared by all outputscales.
+            let mut poly = Matrix::zeros(n, n);
+            let mut decay = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let (p, e) = unit_factors(dists[(i, j)], ls);
+                    poly[(i, j)] = p;
+                    decay[(i, j)] = e;
+                }
+            }
+            let mut best: Option<(f64, Matern52, Cholesky, Vec<f64>)> = None;
+            for &os in &config.outputscale_grid {
+                let mut k = Matrix::from_fn(n, n, |i, j| (os * poly[(i, j)]) * decay[(i, j)]);
+                k.add_diagonal(config.noise.max(1e-9));
+                let Ok(chol) = Cholesky::new_with_jitter(&k) else {
+                    continue;
+                };
+                let (lml, alpha) = Self::marginal_likelihood(&chol, y);
+                if best.as_ref().is_none_or(|(b, ..)| lml > *b) {
+                    best = Some((lml, Matern52::new(ls, os), chol, alpha));
+                }
+            }
+            best
+        });
+        let mut best: Option<(f64, Matern52, Cholesky, Vec<f64>)> = None;
+        for cand in per_ls.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(b, ..)| cand.0 > *b) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Log marginal likelihood and weight vector for a factored kernel.
+    fn marginal_likelihood(chol: &Cholesky, y: &[f64]) -> (f64, Vec<f64>) {
+        let alpha = chol.solve_vec(y);
+        let fit_term: f64 = y.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let lml = -0.5 * fit_term
+            - 0.5 * chol.log_det()
+            - 0.5 * y.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+        (lml, alpha)
+    }
+
+    /// Reference evaluation for a fixed kernel: full kernel build plus
+    /// from-scratch factorization. The incremental paths fall back to this
+    /// when a rank-1 extension hits a non-positive pivot, reproducing the
+    /// fresh jitter ladder a from-scratch refit would run.
     fn evaluate(
         x: &[Vec<f64>],
         y: &[f64],
@@ -134,11 +227,7 @@ impl Gp {
         let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
         k.add_diagonal(noise.max(1e-9));
         let chol = Cholesky::new_with_jitter(&k).ok()?;
-        let alpha = chol.solve_vec(y);
-        let fit_term: f64 = y.iter().zip(&alpha).map(|(a, b)| a * b).sum();
-        let lml = -0.5 * fit_term
-            - 0.5 * chol.log_det()
-            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        let (lml, alpha) = Self::marginal_likelihood(&chol, y);
         Some((lml, chol, alpha))
     }
 
@@ -207,7 +296,7 @@ impl Gp {
         let n = self.x.len();
         // Posterior over latent f at train points:
         //   mean = K alpha, cov = K - K (K + σ²I)^{-1} K.
-        let k = Matrix::from_fn(n, n, |i, j| self.kernel.eval(&self.x[i], &self.x[j]));
+        let k = Matrix::from_fn(n, n, |i, j| self.kernel.eval_dist(self.dists[(i, j)]));
         let mean_std = k.matvec(&self.alpha);
         let kinv_k = self.chol.solve_matrix(&k);
         let mut cov = k.add(&k.matmul(&kinv_k).scale(-1.0));
@@ -248,27 +337,45 @@ impl Gp {
             .collect()
     }
 
-    /// Returns a new GP conditioned on one extra (possibly fantasized)
-    /// observation, keeping the current kernel hyperparameters — the
-    /// Kriging-believer step used for batch selection.
-    ///
-    /// # Errors
-    ///
-    /// [`GpError::SingularKernel`] if the augmented kernel matrix cannot be
-    /// factored.
-    pub fn with_observation(&self, x: Vec<f64>, y: f64) -> Result<Gp, GpError> {
+    /// Distances from every training input to `x`, in training order.
+    fn dists_to(&self, x: &[f64]) -> Vec<f64> {
+        self.x.iter().map(|xi| euclidean(xi, x)).collect()
+    }
+
+    /// Core of the incremental path: a GP with `(x, y)` appended, keeping
+    /// the current kernel. The factorization grows by one rank-1 bordering
+    /// step (O(n²)); if the new pivot is not positive — the augmented
+    /// matrix needs a larger jitter than the cached factor carries — it
+    /// falls back to the from-scratch jitter ladder, which is what a
+    /// non-incremental refit would have run anyway.
+    fn append_observation(&self, x: Vec<f64>, y: f64) -> Result<Gp, GpError> {
+        let n = self.x.len();
+        let new_dists = self.dists_to(&x);
         let mut xs = self.x.clone();
         xs.push(x);
         let mut ys = self.y_raw.clone();
         ys.push(y);
         // Keep hyperparameters: re-standardize and re-factor only.
-        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
-        let y_scale = var.sqrt().max(1e-9);
-        let y_std_units: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
-        let (lml, chol, alpha) = Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
-            .ok_or(GpError::SingularKernel)?;
-        let _ = &y_std_units;
+        let (y_mean, y_scale, y_std_units) = standardize(&ys);
+        let kcol: Vec<f64> = new_dists
+            .iter()
+            .map(|&d| self.kernel.eval_dist(d))
+            .collect();
+        let kdiag = self.kernel.eval_dist(0.0) + self.noise.max(1e-9);
+        let (lml, chol, alpha) = match self.chol.extend(&kcol, kdiag) {
+            Ok(chol) => {
+                let (lml, alpha) = Self::marginal_likelihood(&chol, &y_std_units);
+                (lml, chol, alpha)
+            }
+            Err(_) => Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
+                .ok_or(GpError::SingularKernel)?,
+        };
+        let mut dists = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            dists.row_mut(i)[..n].copy_from_slice(self.dists.row(i));
+            dists[(i, n)] = new_dists[i];
+            dists[(n, i)] = new_dists[i];
+        }
         Ok(Gp {
             x: xs,
             y_raw: ys,
@@ -279,12 +386,75 @@ impl Gp {
             chol,
             alpha,
             lml,
+            dists,
+            config: self.config.clone(),
+            since_refit: self.since_refit + 1,
         })
+    }
+
+    /// Returns a new GP conditioned on one extra (possibly fantasized)
+    /// observation, keeping the current kernel hyperparameters — the
+    /// Kriging-believer step used for batch selection. O(n²) via a rank-1
+    /// extension of the cached Cholesky factor, bit-identical to a full
+    /// refactorization.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::SingularKernel`] if the augmented kernel matrix cannot be
+    /// factored.
+    pub fn with_observation(&self, x: Vec<f64>, y: f64) -> Result<Gp, GpError> {
+        self.append_observation(x, y)
+    }
+
+    /// Appends one real observation in O(n²), reusing the selected
+    /// hyperparameters and refreshing `alpha` — the paper's incremental
+    /// retraining step. Every [`GpConfig::refit_every`]-th append runs the
+    /// full grid search instead, so hyperparameters track the data at a
+    /// bounded cadence. On error the GP is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`GpError::SingularKernel`] if the augmented kernel matrix cannot be
+    /// factored for any hyperparameter choice.
+    pub fn extend(&mut self, x: Vec<f64>, y: f64) -> Result<(), GpError> {
+        let due = self.config.refit_every > 0 && self.since_refit + 1 >= self.config.refit_every;
+        if !due {
+            *self = self.append_observation(x, y)?;
+            return Ok(());
+        }
+        // Full re-selection: grow the cached distance matrix (skipping the
+        // O(n²·d) pairwise pass) and rerun the grid search.
+        let n = self.x.len();
+        let new_dists = self.dists_to(&x);
+        let mut dists = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            dists.row_mut(i)[..n].copy_from_slice(self.dists.row(i));
+            dists[(i, n)] = new_dists[i];
+            dists[(n, i)] = new_dists[i];
+        }
+        let mut ys = self.y_raw.clone();
+        ys.push(y);
+        let (y_mean, y_scale, y_std_units) = standardize(&ys);
+        let (lml, kernel, chol, alpha) =
+            Self::select_hyperparams(&dists, &y_std_units, &self.config)
+                .ok_or(GpError::SingularKernel)?;
+        self.x.push(x);
+        self.y_raw = ys;
+        self.y_mean = y_mean;
+        self.y_scale = y_scale;
+        self.kernel = kernel;
+        self.chol = chol;
+        self.alpha = alpha;
+        self.lml = lml;
+        self.dists = dists;
+        self.since_refit = 0;
+        Ok(())
     }
 
     /// Refits on a subset of the current data (used by leave-one-out
     /// anomaly detection and sliding-window retraining), keeping the
-    /// selected hyperparameters.
+    /// selected hyperparameters. The kernel matrix is gathered from the
+    /// cached distance matrix, so no pairwise distances are recomputed.
     ///
     /// # Errors
     ///
@@ -298,15 +468,15 @@ impl Gp {
         if keep.len() < 2 {
             return Err(GpError::InsufficientData);
         }
+        let m = keep.len();
         let xs: Vec<Vec<f64>> = keep.iter().map(|&i| self.x[i].clone()).collect();
         let ys: Vec<f64> = keep.iter().map(|&i| self.y_raw[i]).collect();
-        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
-        let y_scale = var.sqrt().max(1e-9);
-        let y_std_units: Vec<f64> = ys.iter().map(|v| (v - y_mean) / y_scale).collect();
-        let (lml, chol, alpha) = Self::evaluate(&xs, &y_std_units, &self.kernel, self.noise)
-            .ok_or(GpError::SingularKernel)?;
-        let _ = &y_std_units;
+        let (y_mean, y_scale, y_std_units) = standardize(&ys);
+        let dists = Matrix::from_fn(m, m, |i, j| self.dists[(keep[i], keep[j])]);
+        let mut k = Matrix::from_fn(m, m, |i, j| self.kernel.eval_dist(dists[(i, j)]));
+        k.add_diagonal(self.noise.max(1e-9));
+        let chol = Cholesky::new_with_jitter(&k).map_err(|_| GpError::SingularKernel)?;
+        let (lml, alpha) = Self::marginal_likelihood(&chol, &y_std_units);
         Ok(Gp {
             x: xs,
             y_raw: ys,
@@ -317,6 +487,9 @@ impl Gp {
             chol,
             alpha,
             lml,
+            dists,
+            config: self.config.clone(),
+            since_refit: 0,
         })
     }
 
@@ -433,6 +606,113 @@ mod tests {
             let (mean, _) = gp.predict(&gp.train_x()[i]);
             assert!((avg - mean).abs() < 0.15, "point {i}: {avg} vs {mean}");
         }
+    }
+
+    #[test]
+    fn extend_with_refit_matches_fit_bitwise() {
+        // refit_every = 1: every append reruns the grid search, so the
+        // incremental GP must equal a from-scratch fit exactly.
+        let mut rng = SimRng::seed(9);
+        let xs: Vec<Vec<f64>> = (0..14)
+            .map(|_| (0..3).map(|_| rng.uniform()).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.02))
+            .collect();
+        let cfg = GpConfig {
+            refit_every: 1,
+            ..GpConfig::with_noise(0.01)
+        };
+        let mut inc = Gp::fit(xs[..10].to_vec(), ys[..10].to_vec(), cfg.clone()).unwrap();
+        for i in 10..14 {
+            inc.extend(xs[i].clone(), ys[i]).unwrap();
+        }
+        let full = Gp::fit(xs.clone(), ys.clone(), cfg).unwrap();
+        assert_eq!(inc.kernel(), full.kernel());
+        assert_eq!(
+            inc.log_marginal_likelihood().to_bits(),
+            full.log_marginal_likelihood().to_bits()
+        );
+        for _ in 0..5 {
+            let probe: Vec<f64> = (0..3).map(|_| rng.uniform()).collect();
+            let (mi, vi) = inc.predict(&probe);
+            let (mf, vf) = full.predict(&probe);
+            assert_eq!(mi.to_bits(), mf.to_bits());
+            assert_eq!(vi.to_bits(), vf.to_bits());
+        }
+    }
+
+    #[test]
+    fn extend_posterior_tracks_fit_within_tolerance() {
+        // refit_every = 0: hyperparameters are frozen at the initial
+        // selection, so the posterior may drift from a full refit — but
+        // only within a small tolerance on smooth data.
+        let mut rng = SimRng::seed(12);
+        let xs: Vec<Vec<f64>> = (0..24).map(|i| vec![i as f64 / 23.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (2.5 * x[0]).sin()).collect();
+        let cfg = GpConfig {
+            refit_every: 0,
+            ..GpConfig::with_noise(0.01)
+        };
+        let mut inc = Gp::fit(xs[..16].to_vec(), ys[..16].to_vec(), cfg.clone()).unwrap();
+        for i in 16..24 {
+            inc.extend(xs[i].clone(), ys[i]).unwrap();
+        }
+        let full = Gp::fit(xs.clone(), ys.clone(), cfg).unwrap();
+        assert_eq!(inc.len(), full.len());
+        for _ in 0..10 {
+            let t = rng.uniform();
+            let (mi, vi) = inc.predict(&[t]);
+            let (mf, vf) = full.predict(&[t]);
+            assert!((mi - mf).abs() < 0.05, "mean drift at {t}: {mi} vs {mf}");
+            assert!(
+                (vi.sqrt() - vf.sqrt()).abs() < 0.05,
+                "std drift at {t}: {vi} vs {vf}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_observation_bit_identical_to_full_refactorization() {
+        // The rank-1 path must reproduce the exact (from-scratch) kernel
+        // rebuild + refactorization the pre-fast-path code ran.
+        let mut rng = SimRng::seed(21);
+        let xs: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..4).map(|_| rng.uniform()).collect())
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - x[2]).collect();
+        let gp = Gp::fit(xs, ys, GpConfig::with_noise(0.02)).unwrap();
+        let xnew: Vec<f64> = (0..4).map(|_| rng.uniform()).collect();
+        let fast = gp.with_observation(xnew.clone(), 0.7).unwrap();
+
+        let mut xs2 = gp.train_x().to_vec();
+        xs2.push(xnew);
+        let mut ys2 = gp.train_y().to_vec();
+        ys2.push(0.7);
+        let (_, _, y_std) = standardize(&ys2);
+        let (lml, chol, alpha) =
+            Gp::evaluate(&xs2, &y_std, gp.kernel(), 0.02).expect("reference refit");
+        assert_eq!(fast.log_marginal_likelihood().to_bits(), lml.to_bits());
+        assert_eq!(fast.chol.factor(), chol.factor());
+        for (a, b) in fast.alpha.iter().zip(&alpha) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn extend_chains_many_points() {
+        // Long extend chains (crossing several refit boundaries) stay
+        // numerically sane and keep interpolating.
+        let xs = grid_1d(30);
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).cos()).collect();
+        let mut gp = Gp::fit(xs[..4].to_vec(), ys[..4].to_vec(), GpConfig::default()).unwrap();
+        for i in 4..30 {
+            gp.extend(xs[i].clone(), ys[i]).unwrap();
+        }
+        assert_eq!(gp.len(), 30);
+        let (mean, _) = gp.predict(&[0.5]);
+        assert!((mean - (4.0f64 * 0.5).cos()).abs() < 0.05, "{mean}");
     }
 
     #[test]

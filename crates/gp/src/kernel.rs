@@ -58,12 +58,41 @@ impl Matern52 {
     ///
     /// Panics if the points have different dimensionality.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "dimension mismatch");
-        let dist2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
-        let r = dist2.sqrt() / self.lengthscale;
-        let s5r = 5.0f64.sqrt() * r;
-        self.outputscale * (1.0 + s5r + 5.0 * r * r / 3.0) * (-s5r).exp()
+        self.eval_dist(euclidean(a, b))
     }
+
+    /// Evaluates the kernel from a precomputed Euclidean distance.
+    ///
+    /// Performs exactly the arithmetic [`Matern52::eval`] performs after
+    /// its distance pass, so kernel matrices built from a cached distance
+    /// matrix are bit-identical to ones built pairwise from the points.
+    pub fn eval_dist(&self, d: f64) -> f64 {
+        let (poly, decay) = unit_factors(d, self.lengthscale);
+        (self.outputscale * poly) * decay
+    }
+}
+
+/// Euclidean distance with [`Matern52::eval`]'s exact summation order.
+///
+/// # Panics
+///
+/// Panics if the points have different dimensionality.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let dist2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    dist2.sqrt()
+}
+
+/// The outputscale-independent factors of the Matérn 5/2 kernel at
+/// distance `d`: a polynomial term and an exponential decay with
+/// `k = (outputscale · poly) · decay` in exactly [`Matern52::eval`]'s
+/// operation order. Lets a hyperparameter grid search share one factor
+/// pass per lengthscale and reduce outputscale candidates to elementwise
+/// scaling without changing a single bit.
+pub fn unit_factors(d: f64, lengthscale: f64) -> (f64, f64) {
+    let r = d / lengthscale;
+    let s5r = 5.0f64.sqrt() * r;
+    (1.0 + s5r + 5.0 * r * r / 3.0, (-s5r).exp())
 }
 
 #[cfg(test)]
@@ -104,6 +133,21 @@ mod tests {
             let kba = k.eval(&b, &a);
             prop_assert!((kab - kba).abs() < 1e-12);
             prop_assert!(kab > 0.0 && kab <= os + 1e-12);
+        }
+
+        /// Distance-cached evaluation and the factored form are
+        /// bit-identical to the direct pairwise evaluation — the contract
+        /// the shared grid-search precompute relies on.
+        #[test]
+        fn prop_eval_dist_bit_identical(a in prop::collection::vec(-3.0f64..3.0, 4),
+                                        b in prop::collection::vec(-3.0f64..3.0, 4),
+                                        ls in 0.1f64..3.0, os in 0.1f64..3.0) {
+            let k = Matern52::new(ls, os);
+            let direct = k.eval(&a, &b);
+            let d = euclidean(&a, &b);
+            prop_assert!(k.eval_dist(d).to_bits() == direct.to_bits());
+            let (poly, decay) = unit_factors(d, ls);
+            prop_assert!(((os * poly) * decay).to_bits() == direct.to_bits());
         }
     }
 }

@@ -39,10 +39,10 @@ pub mod kernel;
 pub mod qmc;
 
 pub use acquisition::{
-    constrained_nei, expected_improvement, lower_confidence_bound, probability_feasible,
-    probability_of_improvement, propose_batch, NeiConfig,
+    constrained_nei, constrained_nei_batch, expected_improvement, lower_confidence_bound,
+    probability_feasible, probability_of_improvement, propose_batch, NeiConfig,
 };
 pub use anomaly::detect_anomalies;
 pub use gp::{Gp, GpConfig, GpError};
-pub use kernel::Matern52;
+pub use kernel::{euclidean, unit_factors, Matern52};
 pub use qmc::Halton;

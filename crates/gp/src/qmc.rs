@@ -90,6 +90,27 @@ impl Halton {
             })
             .collect()
     }
+
+    /// Generates `count` rows of `width` standard-normal draws by chunking
+    /// the stream's `dim`-dimensional points across row coordinates
+    /// (surplus coordinates of the last chunk are discarded per row).
+    ///
+    /// This is the draw layout the noisy-EI integral uses for posterior
+    /// samples whose width (the GP's training-set size) differs from the
+    /// stream dimension; hoisting it here lets a whole batch of candidate
+    /// evaluations share one stream instead of regenerating it per call.
+    pub fn normal_rows(&mut self, count: usize, width: usize) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|_| {
+                let mut row = Vec::with_capacity(width);
+                while row.len() < width {
+                    let p = self.normal_points(1);
+                    row.extend(p[0].iter().take(width - row.len()).cloned());
+                }
+                row
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

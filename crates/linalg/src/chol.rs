@@ -48,6 +48,11 @@ impl Error for NotPositiveDefiniteError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cholesky {
     l: Matrix,
+    /// Diagonal jitter that was added to the factored matrix (0 when the
+    /// plain factorization succeeded). [`Cholesky::extend`] adds the same
+    /// jitter to the new diagonal entry so an extended factor is
+    /// bit-identical to refactoring the augmented matrix from scratch.
+    jitter: f64,
 }
 
 impl Cholesky {
@@ -81,7 +86,7 @@ impl Cholesky {
                 }
             }
         }
-        Ok(Cholesky { l })
+        Ok(Cholesky { l, jitter: 0.0 })
     }
 
     /// Factors `a` after adding progressively larger diagonal jitter until it
@@ -103,12 +108,79 @@ impl Cholesky {
             let mut aj = a.clone();
             aj.add_diagonal(jitter);
             match Cholesky::new(&aj) {
-                Ok(c) => return Ok(c),
+                Ok(mut c) => {
+                    c.jitter = jitter;
+                    return Ok(c);
+                }
                 Err(e) => last_err = e,
             }
             jitter *= 10.0;
         }
         Err(last_err)
+    }
+
+    /// The diagonal jitter added before the factorization succeeded (0 for
+    /// a plain [`Cholesky::new`]).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Rank-1 extension: the factor of the `(n+1)×(n+1)` matrix obtained by
+    /// bordering the factored matrix with column `col` and diagonal entry
+    /// `diag` (to which the recorded jitter is re-applied).
+    ///
+    /// Runs in O(n²) — one forward solve plus a row append — and performs
+    /// *exactly* the arithmetic [`Cholesky::new`] would perform for the new
+    /// row, so the result is bit-identical to refactoring the augmented
+    /// matrix from scratch (the leading `n×n` block of that factorization
+    /// only depends on the already-factored block).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if the new pivot is
+    /// non-positive; callers should fall back to a full factorization with
+    /// a fresh jitter ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.len() != dim()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqua_linalg::{Cholesky, Matrix};
+    ///
+    /// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+    /// let base = Cholesky::new(&a).unwrap();
+    /// let ext = base.extend(&[0.5, 0.2], 2.0).unwrap();
+    /// let full = Matrix::from_rows(&[
+    ///     &[4.0, 1.0, 0.5],
+    ///     &[1.0, 3.0, 0.2],
+    ///     &[0.5, 0.2, 2.0],
+    /// ]);
+    /// assert_eq!(ext, Cholesky::new(&full).unwrap());
+    /// ```
+    pub fn extend(&self, col: &[f64], diag: f64) -> Result<Cholesky, NotPositiveDefiniteError> {
+        let n = self.dim();
+        assert_eq!(col.len(), n, "dimension mismatch");
+        let w = self.forward_solve(col);
+        let mut pivot = diag + self.jitter;
+        for wk in &w {
+            pivot -= wk * wk;
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(NotPositiveDefiniteError { pivot: n });
+        }
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            l.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        l.row_mut(n)[..n].copy_from_slice(&w);
+        l[(n, n)] = pivot.sqrt();
+        Ok(Cholesky {
+            l,
+            jitter: self.jitter,
+        })
     }
 
     /// The lower-triangular factor.
@@ -317,5 +389,62 @@ mod tests {
             let c = Cholesky::new(&a).unwrap();
             prop_assert!(c.log_det().is_finite());
         }
+
+        /// Extending the factor of the leading block with the last
+        /// column reproduces the full factorization — bit for bit, and in
+        /// particular within the 1e-8 the GP layer relies on.
+        #[test]
+        fn prop_extend_matches_scratch(a in arb_spd(5)) {
+            let lead = Matrix::from_fn(4, 4, |i, j| a[(i, j)]);
+            let base = Cholesky::new(&lead).unwrap();
+            let col: Vec<f64> = (0..4).map(|i| a[(i, 4)]).collect();
+            let ext = base.extend(&col, a[(4, 4)]).unwrap();
+            let full = Cholesky::new(&a).unwrap();
+            for i in 0..5 {
+                for j in 0..=i {
+                    let (e, f) = (ext.factor()[(i, j)], full.factor()[(i, j)]);
+                    prop_assert!((e - f).abs() < 1e-8, "({i},{j}): {e} vs {f}");
+                    prop_assert!(e.to_bits() == f.to_bits(), "({i},{j}) not bit-identical");
+                }
+            }
+        }
+
+        /// Extension under a jittered base matches refactoring the
+        /// jitter-augmented matrix, keeping the recorded jitter.
+        #[test]
+        fn prop_extend_respects_jitter(b in arb_matrix_vec(5)) {
+            // Rank-deficient Gram matrix: plain Cholesky fails, the jitter
+            // ladder kicks in.
+            let m = Matrix::from_vec(5, 1, b);
+            let gram = m.matmul(&m.transpose());
+            let lead = Matrix::from_fn(4, 4, |i, j| gram[(i, j)]);
+            if let Ok(base) = Cholesky::new_with_jitter(&lead) {
+                let col: Vec<f64> = (0..4).map(|i| gram[(i, 4)]).collect();
+                if let Ok(ext) = base.extend(&col, gram[(4, 4)]) {
+                    prop_assert!(ext.jitter() == base.jitter());
+                    let mut aug = gram.clone();
+                    aug.add_diagonal(base.jitter());
+                    let full = Cholesky::new(&aug).unwrap();
+                    for i in 0..5 {
+                        for j in 0..=i {
+                            prop_assert!(ext.factor()[(i, j)].to_bits() == full.factor()[(i, j)].to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn arb_matrix_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.1f64..2.0, n)
+    }
+
+    #[test]
+    fn extend_rejects_indefinite_border() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        // Bordering with a huge column makes the Schur complement negative.
+        let err = c.extend(&[10.0, 10.0], 1.0).unwrap_err();
+        assert_eq!(err.pivot, 2);
     }
 }

@@ -19,11 +19,13 @@
 //! ```
 
 pub mod dist;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use dist::{arrivals_with_cv, Exponential, Gamma, HyperExp, LogNormal, Pareto, PoissonProcess};
+pub use parallel::par_map;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,126 @@
+//! Deterministic, order-preserving parallel map.
+//!
+//! The BO hot paths (hyperparameter grid search, acquisition scoring over
+//! candidate pools) are embarrassingly parallel, but the repository's
+//! golden-trace tests demand *bit-identical* replays. This helper keeps
+//! that contract by construction:
+//!
+//! * the closure receives the item **index** and must be pure (no shared
+//!   mutable state, no RNG of its own);
+//! * items are split into contiguous chunks, one `std::thread::scope`
+//!   worker per chunk — no work stealing, no reordering;
+//! * results are collected back **in input order**, so the output is the
+//!   same `Vec` a sequential `map` would produce regardless of how many
+//!   threads actually ran.
+//!
+//! Thread count adapts to `std::thread::available_parallelism`, can be
+//! pinned with the `AQUA_THREADS` environment variable (`AQUA_THREADS=1`
+//! forces the sequential path), and never affects results — only wall
+//! clock.
+
+use std::thread;
+
+/// Number of worker threads to use for `len` items.
+fn worker_threads(len: usize) -> usize {
+    let hw = thread::available_parallelism().map_or(1, |n| n.get());
+    let cap = std::env::var("AQUA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw);
+    cap.min(len).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`
+/// for any pure `f`, bit for bit. Falls back to the sequential loop for
+/// single-item inputs or single-threaded machines.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_sim::par_map;
+///
+/// let squares = par_map(&[1, 2, 3, 4], |i, x| (i, x * x));
+/// assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16)]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = worker_threads(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("par_map worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..103).collect();
+        let seq: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 + x * 3)
+            .collect();
+        assert_eq!(par_map(&items, |i, x| i as u64 + x * 3), seq);
+    }
+
+    #[test]
+    fn preserves_order_for_uneven_chunks() {
+        // Lengths that don't divide evenly across typical core counts.
+        for len in [1usize, 2, 5, 7, 17, 33, 100] {
+            let items: Vec<usize> = (0..len).collect();
+            let out = par_map(&items, |i, _| i);
+            assert_eq!(out, items, "len {len}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = par_map(&[] as &[i32], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let out = par_map(&items, |i, x| (i, *x));
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*val, i as f64);
+        }
+    }
+}

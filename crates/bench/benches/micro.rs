@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use aqua_faas::prelude::*;
 use aqua_faas::types::ResourceConfig;
 use aqua_gp::{constrained_nei, propose_batch, Gp, GpConfig, Halton, NeiConfig};
+use aqua_linalg::gemm;
 use aqua_nn::{EncoderDecoder, Seq2SeqConfig};
 use aqua_sim::{SimRng, SimTime};
 
@@ -79,6 +80,23 @@ fn bench_nn(c: &mut Criterion) {
     c.bench_function("lstm_encode_24x32x32", |b| {
         b.iter(|| ed.encode(&xs, false, &mut rng))
     });
+    c.bench_function("predict_mc_25_24x32x32", |b| {
+        b.iter(|| ed.predict_mc(&xs, 2, 25, &mut rng))
+    });
+}
+
+/// The strict-order GEMM kernel across a size sweep, including the
+/// batch-25 pool-model shape the MC-dropout hot path hits.
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = SimRng::seed(3);
+    for (m, n, p) in [(8, 8, 8), (25, 48, 46), (64, 64, 64), (128, 128, 128)] {
+        let a: Vec<f64> = (0..m * p).map(|_| rng.uniform()).collect();
+        let bm: Vec<f64> = (0..p * n).map(|_| rng.uniform()).collect();
+        let mut out = vec![0.0; m * n];
+        c.bench_function(&format!("gemm_{m}x{n}x{p}"), |bch| {
+            bch.iter(|| gemm(m, n, p, &a, &bm, &mut out))
+        });
+    }
 }
 
 fn bench_sim(c: &mut Criterion) {
@@ -99,5 +117,12 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gp, bench_gp_scaling, bench_nn, bench_sim);
+criterion_group!(
+    benches,
+    bench_gp,
+    bench_gp_scaling,
+    bench_gemm,
+    bench_nn,
+    bench_sim
+);
 criterion_main!(benches);

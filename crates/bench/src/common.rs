@@ -35,6 +35,19 @@ impl Scale {
     }
 }
 
+/// Median wall-clock nanoseconds of `reps` timed runs of `f`.
+pub fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2] as u64
+}
+
 /// Prints a fixed-width table with a title.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

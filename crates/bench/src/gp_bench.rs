@@ -15,13 +15,11 @@
 //! 256-point GP by one observation on the incremental path against the
 //! full refit the pre-fast-path engine ran every iteration.
 
-use std::time::Instant;
-
 use aqua_gp::{propose_batch, Gp, GpConfig, Halton, NeiConfig};
 use aqua_sim::SimRng;
 use serde_json::json;
 
-use crate::common::print_table;
+use crate::common::{median_ns, print_table};
 
 /// Training-set sizes exercised by the benchmark.
 pub const SIZES: [usize; 3] = [16, 64, 256];
@@ -37,19 +35,6 @@ fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         .map(|x| x.iter().sum::<f64>() + rng.normal(0.0, 0.05))
         .collect();
     (xs, ys)
-}
-
-/// Median wall-clock nanoseconds of `reps` timed runs of `f`.
-fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
-    let mut times: Vec<u128> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2] as u64
 }
 
 /// Runs the benchmark and returns the `BENCH_GP.json` record.

@@ -26,6 +26,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod gp_bench;
+pub mod nn_bench;
 pub mod table1;
 
 pub use common::{write_json, Scale};

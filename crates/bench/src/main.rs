@@ -1,13 +1,45 @@
-//! `aqua-bench` binary: runs the GP micro-benchmark and writes the
-//! machine-readable record to `BENCH_GP.json` at the workspace root.
+//! `aqua-bench` binary: machine-readable micro-benchmarks written to the
+//! workspace root.
 //!
-//! Run with `cargo run -p aqua-bench --release` (debug timings are not
-//! meaningful).
+//! * `cargo run -p aqua-bench --release` (or `-- gp`) — BO engine hot
+//!   kernels → `BENCH_GP.json`.
+//! * `cargo run -p aqua-bench --release -- nn` — batched BNN engine
+//!   (sequential vs batched, bit-identical paths) → `BENCH_NN.json`.
+//!   Add `--smoke` for a seconds-long CI sanity run (written to
+//!   `target/BENCH_NN_SMOKE.json`, leaving the committed record alone).
+//!
+//! Debug timings are not meaningful; always run with `--release`.
+
+fn write_record(name: &str, record: &serde_json::Value) {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let body = serde_json::to_string_pretty(record).expect("record serializes") + "\n";
+    std::fs::write(&path, body).expect("write benchmark record");
+    println!("[json] {path}");
+}
 
 fn main() {
-    let record = aqua_bench::gp_bench::run();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_GP.json");
-    let body = serde_json::to_string_pretty(&record).expect("record serializes") + "\n";
-    std::fs::write(path, body).expect("write BENCH_GP.json");
-    println!("[json] {path}");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("gp");
+    match which {
+        "gp" => write_record("BENCH_GP.json", &aqua_bench::gp_bench::run()),
+        "nn" => {
+            // Smoke runs use too few reps to be a reference record; keep
+            // them out of the committed root-level file.
+            let name = if smoke {
+                "target/BENCH_NN_SMOKE.json"
+            } else {
+                "BENCH_NN.json"
+            };
+            write_record(name, &aqua_bench::nn_bench::run(smoke));
+        }
+        other => {
+            eprintln!("unknown benchmark '{other}' (expected 'gp' or 'nn')");
+            std::process::exit(2);
+        }
+    }
 }

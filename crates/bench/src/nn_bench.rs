@@ -1,0 +1,245 @@
+//! Machine-readable micro-benchmark of the batched BNN engine — the
+//! record behind `BENCH_NN.json` (written by the `aqua-bench` binary,
+//! `cargo run -p aqua-bench --release -- nn`).
+//!
+//! Every pair below times the **same computation twice**: the sequential
+//! scalar path and the GEMM-backed batched path that replaced it on the
+//! hot loops. The two are bit-identical (enforced by the `batched_equiv`
+//! proptests in `aqua-nn`), so the ratio is pure wall-clock speedup, at
+//! the default pool model size (`AquatopePoolConfig::default().hybrid`):
+//!
+//! * `mlp_mc25_prediction` — the pool forecast's stochastic part: 25
+//!   MC-dropout passes through the 46→48→24→1 prediction network, as 25
+//!   sequential `forward_train` calls vs one batch-25
+//!   `forward_train_batch`.
+//! * `seq2seq_mc25_rollout` — 25 MC posterior rollouts of the LSTM
+//!   encoder-decoder (window 24), as 25 `mc_sample` calls vs one batch-25
+//!   `predict_mc`.
+//! * `train_chunk16_bptt` — one 16-example gradient accumulation, as 16
+//!   `accumulate_example` calls vs one `accumulate_batch`.
+//! * `train_epoch64` — one full training epoch over 64 windows:
+//!   per-example `train` vs mini-batch `train_batched` (chunk 16). The
+//!   optimizer cadence differs (that is the API's point), so this entry
+//!   reports epoch wall time, not an identical-work ratio.
+
+use aqua_forecast::{SeriesPoint, TriggerKind};
+use aqua_linalg::Matrix;
+use aqua_nn::seq2seq::SeqPair;
+use aqua_nn::{EncoderDecoder, Mlp, Parameterized, Seq2SeqConfig};
+use aqua_pool::AquatopePoolConfig;
+use aqua_sim::SimRng;
+use serde_json::json;
+
+use crate::common::{median_ns, print_table};
+
+/// Recent raw counts the hybrid model appends to the MLP input (mirrors
+/// `HybridBayesian`'s private `RECENT_TAIL`).
+const RECENT_TAIL: usize = 4;
+
+fn sine_window(len: usize) -> Vec<Vec<f64>> {
+    (0..len)
+        .map(|t| vec![(t as f64 * 0.26).sin() * 0.4 + 0.5])
+        .collect()
+}
+
+fn sine_dataset(n: usize, window: usize, horizon: usize) -> Vec<SeqPair> {
+    let series: Vec<f64> = (0..n + window + horizon)
+        .map(|i| (i as f64 * 0.31).sin() * 0.4 + 0.5)
+        .collect();
+    (0..n)
+        .map(|s| {
+            let xs = series[s..s + window].iter().map(|v| vec![*v]).collect();
+            let ys = series[s + window..s + window + horizon]
+                .iter()
+                .map(|v| vec![*v])
+                .collect();
+            (xs, ys)
+        })
+        .collect()
+}
+
+/// Runs the benchmark and returns the `BENCH_NN.json` record. `smoke`
+/// shrinks repeat counts and skips the epoch benchmark so CI can verify
+/// the harness in seconds (the committed record comes from a full run).
+pub fn run(smoke: bool) -> serde_json::Value {
+    let hybrid = AquatopePoolConfig::default().hybrid;
+    let mc = hybrid.mc_passes;
+    let mut rng = SimRng::seed(hybrid.seed);
+    let seq_cfg = Seq2SeqConfig {
+        input_dim: 1,
+        enc_hidden: hybrid.enc_hidden.clone(),
+        dec_hidden: hybrid.dec_hidden.clone(),
+        horizon: hybrid.horizon,
+        dropout: hybrid.dropout,
+    };
+    let ed = EncoderDecoder::new(seq_cfg, &mut rng);
+    let feat_dim = SeriesPoint::new(0.0, 0, TriggerKind::Http)
+        .external_features()
+        .len();
+    let mlp_in = ed.latent_dim() + feat_dim + RECENT_TAIL;
+    let mlp = Mlp::new(mlp_in, &hybrid.mlp_hidden, 1, hybrid.dropout, &mut rng);
+    let window = sine_window(hybrid.window);
+
+    let reps = if smoke { 5 } else { 41 };
+
+    // 1. MLP MC-dropout prediction: mc sequential passes vs one batch.
+    let input: Vec<f64> = (0..mlp_in).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut r = SimRng::seed(1);
+    let mlp_seq = median_ns(reps, || {
+        for _ in 0..mc {
+            std::hint::black_box(mlp.forward_train(&input, &mut r));
+        }
+    });
+    let mut x = Matrix::zeros(mc, mlp_in);
+    for b in 0..mc {
+        x.row_mut(b).copy_from_slice(&input);
+    }
+    let mut r = SimRng::seed(1);
+    let mlp_bat = median_ns(reps, || {
+        std::hint::black_box(mlp.forward_train_batch(&x, &mut r));
+    });
+
+    // 2. Encoder-decoder MC rollout: mc sequential samples vs one batch.
+    let mut r = SimRng::seed(2);
+    let ed_seq = median_ns(reps, || {
+        for _ in 0..mc {
+            std::hint::black_box(ed.mc_sample(&window, hybrid.horizon, &mut r));
+        }
+    });
+    let mut r = SimRng::seed(2);
+    let ed_bat = median_ns(reps, || {
+        std::hint::black_box(ed.predict_mc(&window, hybrid.horizon, mc, &mut r));
+    });
+
+    // 3. One 16-example gradient accumulation (training inner loop).
+    let chunk = sine_dataset(16, hybrid.window, hybrid.horizon);
+    let refs: Vec<&SeqPair> = chunk.iter().collect();
+    let mut m = ed.clone();
+    let mut r = SimRng::seed(3);
+    let train_seq = median_ns(reps, || {
+        m.zero_grad();
+        for (xs, ys) in &chunk {
+            std::hint::black_box(m.accumulate_example(xs, ys, &mut r));
+        }
+    });
+    let mut m = ed.clone();
+    let mut r = SimRng::seed(3);
+    let train_bat = median_ns(reps, || {
+        m.zero_grad();
+        std::hint::black_box(m.accumulate_batch(&refs, &mut r));
+    });
+
+    // 4. Full-epoch wall time (different optimizer cadence by design).
+    let (epoch_seq, epoch_bat) = if smoke {
+        (0u64, 0u64)
+    } else {
+        let data = sine_dataset(64, hybrid.window, hybrid.horizon);
+        let mut ma = ed.clone();
+        let mut r = SimRng::seed(4);
+        let s = median_ns(3, || {
+            std::hint::black_box(ma.train(&data, 1, 1.5e-3, &mut r));
+        });
+        let mut mb = ed.clone();
+        let mut r = SimRng::seed(4);
+        let b = median_ns(3, || {
+            std::hint::black_box(mb.train_batched(&data, 1, 1.5e-3, 16, &mut r));
+        });
+        (s, b)
+    };
+
+    let ratio = |s: u64, b: u64| s as f64 / b.max(1) as f64;
+    let rows = vec![
+        vec![
+            "mlp_mc25_prediction".into(),
+            mlp_seq.to_string(),
+            mlp_bat.to_string(),
+            format!("{:.1}x", ratio(mlp_seq, mlp_bat)),
+        ],
+        vec![
+            "seq2seq_mc25_rollout".into(),
+            ed_seq.to_string(),
+            ed_bat.to_string(),
+            format!("{:.1}x", ratio(ed_seq, ed_bat)),
+        ],
+        vec![
+            "train_chunk16_bptt".into(),
+            train_seq.to_string(),
+            train_bat.to_string(),
+            format!("{:.1}x", ratio(train_seq, train_bat)),
+        ],
+        vec![
+            "train_epoch64".into(),
+            epoch_seq.to_string(),
+            epoch_bat.to_string(),
+            format!("{:.1}x", ratio(epoch_seq, epoch_bat)),
+        ],
+    ];
+    print_table(
+        "Batched BNN engine (median ns/op, sequential vs batched)",
+        &["op", "sequential", "batched", "speedup"],
+        &rows,
+    );
+
+    json!({
+        "unit": "median ns per op",
+        "smoke": smoke,
+        "model": {
+            "window": hybrid.window,
+            "enc_hidden": hybrid.enc_hidden,
+            "dec_hidden": hybrid.dec_hidden,
+            "mlp_hidden": hybrid.mlp_hidden,
+            "mlp_in_dim": mlp_in,
+            "dropout": hybrid.dropout,
+            "mc_passes": mc,
+        },
+        "mlp_mc25_prediction": {
+            "sequential_ns": mlp_seq,
+            "batched_ns": mlp_bat,
+            "speedup": ratio(mlp_seq, mlp_bat),
+        },
+        "seq2seq_mc25_rollout": {
+            "sequential_ns": ed_seq,
+            "batched_ns": ed_bat,
+            "speedup": ratio(ed_seq, ed_bat),
+        },
+        "train_chunk16_bptt": {
+            "sequential_ns": train_seq,
+            "batched_ns": train_bat,
+            "speedup": ratio(train_seq, train_bat),
+        },
+        "train_epoch64": {
+            "sequential_ns": epoch_seq,
+            "batched_ns": epoch_bat,
+            "speedup": ratio(epoch_seq, epoch_bat),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_complete_record() {
+        let record = run(true);
+        assert_eq!(record["smoke"], serde_json::Value::Bool(true));
+        for key in [
+            "mlp_mc25_prediction",
+            "seq2seq_mc25_rollout",
+            "train_chunk16_bptt",
+        ] {
+            assert!(
+                record[key]["sequential_ns"].as_f64().unwrap() > 0.0,
+                "{key}"
+            );
+            assert!(record[key]["batched_ns"].as_f64().unwrap() > 0.0, "{key}");
+        }
+    }
+
+    #[test]
+    fn dataset_shapes_match_model() {
+        let data = sine_dataset(4, 24, 2);
+        assert_eq!(data.len(), 4);
+        assert!(data.iter().all(|(xs, ys)| xs.len() == 24 && ys.len() == 2));
+    }
+}

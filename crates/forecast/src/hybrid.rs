@@ -13,6 +13,7 @@
 //! in the encoder, regular dropout in the MLP, `T` stochastic forward
 //! passes → predictive mean and variance.
 
+use aqua_linalg::Matrix;
 use aqua_nn::{mse, Adam, EncoderDecoder, Mlp, Parameterized, Seq2SeqConfig};
 use aqua_sim::SimRng;
 
@@ -295,7 +296,10 @@ impl Predictor for HybridBayesian {
         }
 
         // Mini-batched AdamW: averaging gradients over small batches tames
-        // the label noise of Poisson-count targets.
+        // the label noise of Poisson-count targets. Each chunk runs as one
+        // batched forward/backward; masks are pre-drawn lane-major, so the
+        // gradients (and RNG stream) are bit-identical to the sequential
+        // per-example loop this replaces.
         let batch = 16;
         let mut adam = Adam::new(4e-3).with_clip(1.0).with_weight_decay(1e-4);
         let mut order: Vec<usize> = (0..inputs.len()).collect();
@@ -303,12 +307,17 @@ impl Predictor for HybridBayesian {
             rng.shuffle(&mut order);
             for chunk in order.chunks(batch) {
                 self.mlp.zero_grad();
-                for &i in chunk {
-                    let cache = self.mlp.forward_train(&inputs[i], &mut rng);
-                    let (_, d) = mse(&cache.output, &[targets[i]]);
-                    let scaled: Vec<f64> = d.iter().map(|g| g / chunk.len() as f64).collect();
-                    self.mlp.backward(&cache, &scaled);
+                let mut x = Matrix::zeros(chunk.len(), dim);
+                for (r, &i) in chunk.iter().enumerate() {
+                    x.row_mut(r).copy_from_slice(&inputs[i]);
                 }
+                let cache = self.mlp.forward_train_batch(&x, &mut rng);
+                let mut d = Matrix::zeros(chunk.len(), 1);
+                for (r, &i) in chunk.iter().enumerate() {
+                    let (_, g) = mse(cache.output.row(r), &[targets[i]]);
+                    d[(r, 0)] = g[0] / chunk.len() as f64;
+                }
+                self.mlp.backward_batch(&cache, &d);
                 adam.step(&mut self.mlp);
             }
         }
@@ -358,12 +367,18 @@ impl Predictor for HybridBayesian {
         base_input.extend_from_slice(&features);
         base_input.extend_from_slice(&Self::recent_tail(&window));
         self.standardize(&mut base_input);
+        // All T MC-dropout passes share the input and the weights, so they
+        // run as ONE batched forward over T broadcast rows; masks are
+        // pre-drawn pass-major, making sample `p` bit-identical to the
+        // `p`-th sequential `forward_train` call this replaces.
         let t = self.config.mc_passes.max(2);
+        let mut mc_in = Matrix::zeros(t, base_input.len());
+        for r in 0..t {
+            mc_in.row_mut(r).copy_from_slice(&base_input);
+        }
+        let mc_out = self.mlp.forward_train_batch(&mc_in, &mut self.rng);
         let samples: Vec<f64> = (0..t)
-            .map(|_| {
-                let out = self.mlp.forward_train(&base_input, &mut self.rng);
-                (last + out.output[0]) * self.scale
-            })
+            .map(|r| (last + mc_out.output.row(r)[0]) * self.scale)
             .collect();
         // Deterministic forward for the point estimate (the MC average of a
         // tanh network under dropout is biased upward near zero); the MC

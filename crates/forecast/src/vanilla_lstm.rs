@@ -66,8 +66,11 @@ impl VanillaLstm {
     }
 
     fn predict_norm(&mut self, input: &[Vec<f64>]) -> f64 {
-        let cache = self.lstm.forward_seq(input, None, false, &mut self.rng);
-        self.head.forward(cache.outputs.last().expect("non-empty"))[0]
+        // Arena-based inference step: no per-step caches, no RNG (inference
+        // mode never draws masks), bit-identical to the training-path
+        // forward with dropout off.
+        let res = self.lstm.forward_infer(input, None);
+        self.head.forward(&res.last_output)[0]
     }
 }
 

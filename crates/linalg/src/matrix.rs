@@ -122,9 +122,17 @@ impl Matrix {
         &self.data
     }
 
-    /// Matrix transpose.
+    /// The flat row-major data, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix transpose via the cache-blocked tile swap in
+    /// [`crate::gemm::pack_transpose`].
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        crate::gemm::pack_transpose(self.rows, self.cols, &self.data, &mut out.data);
+        out
     }
 
     /// Matrix product `self * rhs`.

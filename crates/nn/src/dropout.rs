@@ -48,13 +48,27 @@ impl Dropout {
     ///
     /// A rate of zero produces the all-ones mask (dropout disabled).
     pub fn sample_mask(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        let mut mask = vec![0.0; n];
+        self.sample_mask_into(&mut mask, rng);
+        mask
+    }
+
+    /// Fills a caller-owned buffer with a fresh mask — the allocation-free
+    /// form of [`Dropout::sample_mask`], used by the batched engine's
+    /// pre-drawn mask arenas.
+    ///
+    /// A rate of zero writes all-ones **without consuming any randomness**,
+    /// exactly like [`Dropout::sample_mask`]; callers replicating the
+    /// sequential RNG stream rely on that.
+    pub fn sample_mask_into(&self, out: &mut [f64], rng: &mut SimRng) {
         if self.p == 0.0 {
-            return vec![1.0; n];
+            out.fill(1.0);
+            return;
         }
         let keep = 1.0 / (1.0 - self.p);
-        (0..n)
-            .map(|_| if rng.chance(self.p) { 0.0 } else { keep })
-            .collect()
+        for v in out {
+            *v = if rng.chance(self.p) { 0.0 } else { keep };
+        }
     }
 
     /// Applies a previously sampled mask (elementwise product).
@@ -63,8 +77,22 @@ impl Dropout {
     ///
     /// Panics if lengths differ.
     pub fn apply(x: &[f64], mask: &[f64]) -> Vec<f64> {
+        let mut y = x.to_vec();
+        Self::apply_in_place(&mut y, mask);
+        y
+    }
+
+    /// Applies a mask in place — no allocation, same elementwise product as
+    /// [`Dropout::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn apply_in_place(x: &mut [f64], mask: &[f64]) {
         assert_eq!(x.len(), mask.len(), "mask length mismatch");
-        x.iter().zip(mask).map(|(a, m)| a * m).collect()
+        for (a, m) in x.iter_mut().zip(mask) {
+            *a *= m;
+        }
     }
 
     /// Backpropagates through a masked application: `dx = dy ⊙ mask`.
@@ -112,6 +140,29 @@ mod tests {
     #[should_panic(expected = "dropout rate")]
     fn rejects_rate_one() {
         let _ = Dropout::new(1.0);
+    }
+
+    #[test]
+    fn zero_rate_mask_consumes_no_randomness() {
+        let d = Dropout::new(0.0);
+        let mut rng = SimRng::seed(3);
+        let before = rng.clone();
+        let mut buf = vec![0.0; 16];
+        d.sample_mask_into(&mut buf, &mut rng);
+        assert_eq!(rng, before, "p = 0 must not draw from the RNG");
+        assert_eq!(buf, vec![1.0; 16]);
+    }
+
+    #[test]
+    fn mask_into_matches_sample_mask_stream() {
+        let d = Dropout::new(0.35);
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        let owned = d.sample_mask(33, &mut a);
+        let mut buf = vec![0.0; 33];
+        d.sample_mask_into(&mut buf, &mut b);
+        assert_eq!(owned, buf);
+        assert_eq!(a, b, "identical RNG consumption");
     }
 
     proptest! {

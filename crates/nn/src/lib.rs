@@ -38,6 +38,7 @@
 
 pub mod adam;
 pub mod dropout;
+pub mod fastmath;
 pub mod linear;
 pub mod lstm;
 pub mod mlp;
@@ -46,8 +47,11 @@ pub mod seq2seq;
 pub use adam::Adam;
 pub use dropout::Dropout;
 pub use linear::Linear;
-pub use lstm::{LayerStates, Lstm, LstmLayer};
-pub use mlp::Mlp;
+pub use lstm::{
+    BatchInput, BatchLayerStates, BatchSeqCache, BatchSeqGrads, InferResult, LayerStates, Lstm,
+    LstmLayer, PackedLstm,
+};
+pub use mlp::{Mlp, MlpBatchCache};
 pub use seq2seq::{EncoderDecoder, Seq2SeqConfig, SeqPair};
 
 /// Types whose trainable parameters can be visited as `(weights, grads)`
@@ -102,14 +106,10 @@ pub trait Parameterized {
     }
 }
 
-/// Numerically stable logistic sigmoid.
+/// Numerically stable logistic sigmoid — the shared [`fastmath`]
+/// implementation, so scalar and batched paths agree bit for bit.
 pub fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+    fastmath::sigmoid(x)
 }
 
 /// Mean-squared-error loss and its gradient w.r.t. the prediction.

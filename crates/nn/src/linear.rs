@@ -1,5 +1,6 @@
 //! Fully connected layer with manual backpropagation.
 
+use aqua_linalg::{col_sum_acc, gemm, gemm_tn, pack_transpose, Matrix};
 use aqua_sim::SimRng;
 
 use crate::Parameterized;
@@ -69,6 +70,71 @@ impl Linear {
             *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
         }
         y
+    }
+
+    /// Batched forward pass over `B` rows: `Y = X Wᵀ + b` for row-major
+    /// `x (B×in)`. Row `r` of the result is bit-identical to
+    /// `self.forward(x.row(r))` — the GEMM keeps the per-element
+    /// contraction in input-index order and adds the bias to the completed
+    /// dot product, exactly like the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "input dimension mismatch");
+        let bsz = x.rows();
+        let mut wt = vec![0.0; self.w.len()];
+        pack_transpose(self.out_dim, self.in_dim, &self.w, &mut wt);
+        let mut y = Matrix::zeros(bsz, self.out_dim);
+        gemm(
+            bsz,
+            self.out_dim,
+            self.in_dim,
+            x.as_slice(),
+            &wt,
+            y.as_mut_slice(),
+        );
+        for r in 0..bsz {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Batched backward pass: accumulates weight/bias gradients for all `B`
+    /// rows at once and returns `dL/dX (B×in)`. Gradient accumulation order
+    /// per weight element is row-major over the batch — identical to `B`
+    /// sequential [`Linear::backward`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward_batch(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "input dimension mismatch");
+        assert_eq!(dy.cols(), self.out_dim, "gradient dimension mismatch");
+        assert_eq!(x.rows(), dy.rows(), "batch size mismatch");
+        let bsz = x.rows();
+        col_sum_acc(bsz, self.out_dim, dy.as_slice(), &mut self.gb);
+        gemm_tn(
+            bsz,
+            self.out_dim,
+            self.in_dim,
+            dy.as_slice(),
+            x.as_slice(),
+            &mut self.gw,
+        );
+        let mut dx = Matrix::zeros(bsz, self.in_dim);
+        gemm(
+            bsz,
+            self.in_dim,
+            self.out_dim,
+            dy.as_slice(),
+            &self.w,
+            dx.as_mut_slice(),
+        );
+        dx
     }
 
     /// Backward pass: accumulates weight/bias gradients for the recorded
@@ -197,5 +263,41 @@ mod tests {
         let mut rng = SimRng::seed(6);
         let mut layer = Linear::new(7, 3, &mut rng);
         assert_eq!(layer.param_count(), 7 * 3 + 3);
+    }
+
+    #[test]
+    fn batch_paths_bitwise_match_sequential() {
+        let mut rng = SimRng::seed(7);
+        let layer = Linear::new(5, 3, &mut rng);
+        let bsz = 4;
+        let x = Matrix::from_fn(bsz, 5, |i, j| ((i * 5 + j) as f64 * 0.7).sin());
+        let yb = layer.forward_batch(&x);
+        for r in 0..bsz {
+            let ys = layer.forward(x.row(r));
+            for (a, b) in yb.row(r).iter().zip(&ys) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        let dy = Matrix::from_fn(bsz, 3, |i, j| ((i + 2 * j) as f64 * 0.37).cos());
+        let mut l_batch = layer.clone();
+        let mut l_seq = layer;
+        l_batch.zero_grad();
+        l_seq.zero_grad();
+        let dxb = l_batch.backward_batch(&x, &dy);
+        for r in 0..bsz {
+            let dxs = l_seq.backward(x.row(r), dy.row(r));
+            for (a, b) in dxb.row(r).iter().zip(&dxs) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let mut ga = Vec::new();
+        l_batch.visit_params(&mut |_, g| ga.extend_from_slice(g));
+        let mut gs = Vec::new();
+        l_seq.visit_params(&mut |_, g| gs.extend_from_slice(g));
+        assert_eq!(ga.len(), gs.len());
+        for (a, b) in ga.iter().zip(&gs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -2,14 +2,39 @@
 //! (per-sequence) recurrent dropout.
 //!
 //! Gate layout in all `4H`-sized buffers is `[i | f | g | o]`.
+//!
+//! Two execution engines share the same weights: the original scalar
+//! per-vector path ([`Lstm::forward_seq`] / [`Lstm::backward_seq`]) and a
+//! batched path ([`Lstm::forward_seq_batch`] / [`Lstm::backward_seq_batch`])
+//! that advances `B` lanes per step through GEMM kernels. The batched path
+//! is **bit-identical** to `B` sequential passes: the GEMMs keep every
+//! output element's contraction in scalar dot-product order, dropout masks
+//! are pre-drawn lane-major so the RNG stream matches, and weight gradients
+//! are accumulated lane-major/timestep-descending — the exact order `B`
+//! sequential backward passes produce.
 
+use aqua_linalg::{col_sum_acc, gemm, gemm_tn, pack_transpose, Matrix};
 use aqua_sim::SimRng;
 
 use crate::dropout::Dropout;
-use crate::{sigmoid, Parameterized};
+use crate::fastmath::{self, sigmoid};
+use crate::Parameterized;
 
 /// Borrowed per-layer `(h, c)` states handed into sequence calls.
 pub type LayerStates<'a> = (&'a [Vec<f64>], &'a [Vec<f64>]);
+
+/// Borrowed per-layer batched `(h, c)` states, one `B×H` matrix per layer.
+pub type BatchLayerStates<'a> = (&'a [Matrix], &'a [Matrix]);
+
+/// Input presentation for a batched sequence rollout.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchInput<'a> {
+    /// One sequence shared by (broadcast across) every batch lane — the
+    /// MC-dropout case: same window, different masks per lane.
+    Shared(&'a [Vec<f64>]),
+    /// Step-major `B×I` matrices, one row per lane — the mini-batch case.
+    PerLane(&'a [Matrix]),
+}
 
 /// One LSTM layer: `4H × I` input weights, `4H × H` recurrent weights, and
 /// `4H` biases (forget-gate bias initialized to 1, the standard trick).
@@ -118,10 +143,10 @@ impl LstmLayer {
         for k in 0..hdim {
             i[k] = sigmoid(z[k]);
             f[k] = sigmoid(z[hdim + k]);
-            g[k] = z[2 * hdim + k].tanh();
+            g[k] = fastmath::tanh(z[2 * hdim + k]);
             o[k] = sigmoid(z[3 * hdim + k]);
             c[k] = f[k] * c_prev[k] + i[k] * g[k];
-            tanh_c[k] = c[k].tanh();
+            tanh_c[k] = fastmath::tanh(c[k]);
             h_out[k] = o[k] * tanh_c[k] * h_mask[k];
         }
 
@@ -375,6 +400,700 @@ impl Lstm {
             d_inputs: dxs,
             d_init_h: dh,
             d_init_c: dc,
+        }
+    }
+}
+
+/// Packed transposed weights (`Wxᵀ: I×4H`, `Whᵀ: H×4H` per layer) for the
+/// batched kernels: forward products `X · Wᵀ` run as plain [`gemm`] calls
+/// with unit-stride inner loops.
+#[derive(Debug, Clone)]
+pub struct PackedLstm {
+    per_layer: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+/// Per-step element-wise inputs for [`lstm_gates`], bundled so the dispatch
+/// wrappers stay within a sane argument count.
+struct GateCtx<'a> {
+    batch: usize,
+    hdim: usize,
+    /// Input contribution `zx` (`B×4H` lane-major); with `shared0` only the
+    /// first `4H` entries are valid and broadcast to every lane.
+    zx: &'a [f64],
+    shared0: bool,
+    bias: &'a [f64],
+    /// Variational masks (`B×H`, row = lane); `None` means all-ones.
+    masks: Option<&'a [f64]>,
+}
+
+/// Fused element-wise stage of one batched LSTM step: bias add, gate
+/// activations, cell update, `tanh(c)` and the (masked) hidden output for
+/// every lane — one dispatched call per (step, layer) instead of four small
+/// slice calls per lane. Per element this is the exact scalar
+/// [`LstmLayer::forward_step`] expression tree, so fusing cannot change a
+/// bit; `tc` (when given) receives `tanh(c)` per lane for recording.
+fn lstm_gates(
+    ctx: &GateCtx<'_>,
+    zh: &mut [f64],
+    c: &mut [f64],
+    h: &mut [f64],
+    tc: Option<&mut [f64]>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F availability was just checked.
+            unsafe { lstm_gates_avx512(ctx, zh, c, h, tc) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just checked.
+            unsafe { lstm_gates_avx2(ctx, zh, c, h, tc) };
+            return;
+        }
+    }
+    lstm_gates_impl(ctx, zh, c, h, tc);
+}
+
+/// AVX-512 re-instantiation of [`lstm_gates_impl`]: wider IEEE lanes,
+/// identical bits (FMA stays off).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lstm_gates_avx512(
+    ctx: &GateCtx<'_>,
+    zh: &mut [f64],
+    c: &mut [f64],
+    h: &mut [f64],
+    tc: Option<&mut [f64]>,
+) {
+    lstm_gates_impl(ctx, zh, c, h, tc);
+}
+
+/// AVX2 re-instantiation of [`lstm_gates_impl`]; see [`lstm_gates_avx512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lstm_gates_avx2(
+    ctx: &GateCtx<'_>,
+    zh: &mut [f64],
+    c: &mut [f64],
+    h: &mut [f64],
+    tc: Option<&mut [f64]>,
+) {
+    lstm_gates_impl(ctx, zh, c, h, tc);
+}
+
+#[inline(always)]
+fn lstm_gates_impl(
+    ctx: &GateCtx<'_>,
+    zh: &mut [f64],
+    c: &mut [f64],
+    h: &mut [f64],
+    mut tc: Option<&mut [f64]>,
+) {
+    let hdim = ctx.hdim;
+    let h4 = 4 * hdim;
+    for b in 0..ctx.batch {
+        {
+            let zx_row = if ctx.shared0 {
+                &ctx.zx[..h4]
+            } else {
+                &ctx.zx[b * h4..(b + 1) * h4]
+            };
+            let z_row = &mut zh[b * h4..(b + 1) * h4];
+            // z = b + (zx + zh), the scalar summation tree.
+            for ((zv, &xv), &bv) in z_row.iter_mut().zip(zx_row).zip(ctx.bias) {
+                *zv = bv + (xv + *zv);
+            }
+            for v in z_row[..2 * hdim].iter_mut() {
+                *v = fastmath::sigmoid(*v);
+            }
+            for v in z_row[2 * hdim..3 * hdim].iter_mut() {
+                *v = fastmath::tanh(*v);
+            }
+            for v in z_row[3 * hdim..].iter_mut() {
+                *v = fastmath::sigmoid(*v);
+            }
+        }
+        // Re-borrow the activated gates immutably and split per gate, so
+        // the update loops below are pure zips the vectorizer can chew.
+        let z_row = &zh[b * h4..(b + 1) * h4];
+        let (zi, zrest) = z_row.split_at(hdim);
+        let (zf, zrest) = zrest.split_at(hdim);
+        let (zg, zo) = zrest.split_at(hdim);
+        let c_row = &mut c[b * hdim..(b + 1) * hdim];
+        let h_row = &mut h[b * hdim..(b + 1) * hdim];
+        for (((cv, &iv), &fv), &gv) in c_row.iter_mut().zip(zi).zip(zf).zip(zg) {
+            // cv = fv * c_prev + iv * gv, the scalar tree.
+            *cv = fv * *cv + iv * gv;
+        }
+        // h = o * tanh(c) (* mask); an absent mask is the all-ones case,
+        // where the dropped `* 1.0` is exact.
+        match (tc.as_deref_mut(), ctx.masks) {
+            (Some(tcb), Some(m)) => {
+                let tc_row = &mut tcb[b * hdim..(b + 1) * hdim];
+                let m_row = &m[b * hdim..(b + 1) * hdim];
+                for ((((hv, &ov), &cv), tv), &mv) in h_row
+                    .iter_mut()
+                    .zip(zo)
+                    .zip(&*c_row)
+                    .zip(tc_row.iter_mut())
+                    .zip(m_row)
+                {
+                    let t = fastmath::tanh(cv);
+                    *tv = t;
+                    *hv = ov * t * mv;
+                }
+            }
+            (Some(tcb), None) => {
+                let tc_row = &mut tcb[b * hdim..(b + 1) * hdim];
+                for (((hv, &ov), &cv), tv) in
+                    h_row.iter_mut().zip(zo).zip(&*c_row).zip(tc_row.iter_mut())
+                {
+                    let t = fastmath::tanh(cv);
+                    *tv = t;
+                    *hv = ov * t;
+                }
+            }
+            (None, Some(m)) => {
+                let m_row = &m[b * hdim..(b + 1) * hdim];
+                for (((hv, &ov), &cv), &mv) in h_row.iter_mut().zip(zo).zip(&*c_row).zip(m_row) {
+                    *hv = ov * fastmath::tanh(cv) * mv;
+                }
+            }
+            (None, None) => {
+                for ((hv, &ov), &cv) in h_row.iter_mut().zip(zo).zip(&*c_row) {
+                    *hv = ov * fastmath::tanh(cv);
+                }
+            }
+        }
+    }
+}
+
+/// One layer's cached batched step activations (all `B×dim`).
+#[derive(Debug, Clone)]
+struct BatchStepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+/// Everything the batched backward pass needs from one batched rollout.
+#[derive(Debug, Clone)]
+pub struct BatchSeqCache {
+    batch: usize,
+    /// `caches[layer][step]`; empty when the rollout was not recorded.
+    caches: Vec<Vec<BatchStepCache>>,
+    /// Variational masks, one `B×H` matrix per layer (row = lane).
+    masks: Vec<Matrix>,
+    /// Final (masked) hidden state per layer, `B×H`.
+    pub final_h: Vec<Matrix>,
+    /// Final cell state per layer, `B×H`.
+    pub final_c: Vec<Matrix>,
+    /// Masked top-layer hidden state per step, `B×H_top`. When the rollout
+    /// was not recorded, only the final step's output is kept.
+    pub outputs: Vec<Matrix>,
+}
+
+impl BatchSeqCache {
+    /// Number of batch lanes in this rollout.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+/// Gradients returned by [`Lstm::backward_seq_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchSeqGrads {
+    /// Gradient w.r.t. each input step (`B×I`).
+    pub d_inputs: Vec<Matrix>,
+    /// Gradient w.r.t. the initial hidden state per layer (`B×H`).
+    pub d_init_h: Vec<Matrix>,
+    /// Gradient w.r.t. the initial cell state per layer (`B×H`).
+    pub d_init_c: Vec<Matrix>,
+}
+
+/// Result of an inference-only rollout ([`Lstm::forward_infer`]).
+#[derive(Debug, Clone)]
+pub struct InferResult {
+    /// Final (masked) hidden state per layer.
+    pub final_h: Vec<Vec<f64>>,
+    /// Final cell state per layer.
+    pub final_c: Vec<Vec<f64>>,
+    /// Top-layer output of the last step.
+    pub last_output: Vec<f64>,
+}
+
+impl Lstm {
+    /// Packs every layer's weights for the batched kernels. The packing is
+    /// a pure data-layout transform; repack after any optimizer step.
+    pub fn pack(&self) -> PackedLstm {
+        let per_layer = self
+            .layers
+            .iter()
+            .map(|l| {
+                let mut wxt = vec![0.0; l.wx.len()];
+                pack_transpose(4 * l.hidden, l.input_dim, &l.wx, &mut wxt);
+                let mut wht = vec![0.0; l.wh.len()];
+                pack_transpose(4 * l.hidden, l.hidden, &l.wh, &mut wht);
+                (wxt, wht)
+            })
+            .collect();
+        PackedLstm { per_layer }
+    }
+
+    /// `4 ×` the widest hidden layer — the per-lane scratch width the
+    /// batched step buffers need.
+    fn max_gate_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| 4 * l.hidden)
+            .max()
+            .expect("at least one layer")
+    }
+
+    /// Batched sequence rollout: advances `batch` lanes together, one GEMM
+    /// pair per (step, layer) instead of `batch` scalar matvec sweeps.
+    ///
+    /// Lane `b` of every output is bit-identical to the `b`-th of `batch`
+    /// sequential [`Lstm::forward_seq`] calls, and with `train = true` the
+    /// RNG stream is consumed identically: masks are pre-drawn lane-major
+    /// (lane `b`'s per-layer masks before lane `b+1`'s), the order the
+    /// sequential calls draw them.
+    ///
+    /// `record = true` keeps per-step activation caches for
+    /// [`Lstm::backward_seq_batch`]; inference callers pass `false` and
+    /// skip all cache allocation (only the final step's output is then
+    /// retained in `outputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch/sequence or any shape mismatch.
+    pub fn forward_seq_batch(
+        &self,
+        batch: usize,
+        xs: BatchInput<'_>,
+        init: Option<BatchLayerStates<'_>>,
+        train: bool,
+        record: bool,
+        rng: &mut SimRng,
+    ) -> BatchSeqCache {
+        assert!(batch > 0, "empty batch");
+        let steps = match xs {
+            BatchInput::Shared(seq) => seq.len(),
+            BatchInput::PerLane(ms) => ms.len(),
+        };
+        assert!(steps > 0, "empty sequence");
+        if let BatchInput::PerLane(ms) = xs {
+            assert!(
+                ms.iter().all(|m| m.rows() == batch),
+                "per-lane step batch mismatch"
+            );
+        }
+        let num_layers = self.layers.len();
+
+        // Masks pre-drawn lane-major: identical RNG consumption to `batch`
+        // sequential forward_seq calls (each draws layer 0, 1, ... in turn).
+        let mut masks: Vec<Matrix> = self
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.hidden))
+            .collect();
+        if train {
+            for b in 0..batch {
+                for m in &mut masks {
+                    self.dropout.sample_mask_into(m.row_mut(b), rng);
+                }
+            }
+        } else {
+            for m in &mut masks {
+                m.as_mut_slice().fill(1.0);
+            }
+        }
+
+        let mut h: Vec<Matrix> = Vec::with_capacity(num_layers);
+        let mut c: Vec<Matrix> = Vec::with_capacity(num_layers);
+        for (l, layer) in self.layers.iter().enumerate() {
+            match init {
+                Some((h0, c0)) => {
+                    h.push(h0[l].clone());
+                    c.push(c0[l].clone());
+                }
+                None => {
+                    h.push(Matrix::zeros(batch, layer.hidden));
+                    c.push(Matrix::zeros(batch, layer.hidden));
+                }
+            }
+        }
+
+        let packed = self.pack();
+        // Scratch arenas reused across every (step, layer) pair.
+        let mut zx = vec![0.0; batch * self.max_gate_width()];
+        let mut zh = vec![0.0; batch * self.max_gate_width()];
+        let mut tc_buf = vec![0.0; batch * self.max_gate_width() / 4];
+
+        let mut caches: Vec<Vec<BatchStepCache>> = vec![Vec::new(); num_layers];
+        if record {
+            for cv in &mut caches {
+                cv.reserve(steps);
+            }
+        }
+        let mut outputs = Vec::with_capacity(steps);
+
+        for t in 0..steps {
+            for l in 0..num_layers {
+                let layer = &self.layers[l];
+                let hdim = layer.hidden;
+                let idim = layer.input_dim;
+                let h4 = 4 * hdim;
+                let (wxt, wht) = &packed.per_layer[l];
+
+                // Input contribution zx = X · Wxᵀ. A shared layer-0 input
+                // yields one identical 4H row for every lane — compute it
+                // once and broadcast in the gate loop.
+                let shared0 = l == 0 && matches!(xs, BatchInput::Shared(_));
+                if l == 0 {
+                    match xs {
+                        BatchInput::Shared(seq) => {
+                            assert_eq!(seq[t].len(), idim, "input width mismatch");
+                            gemm(1, h4, idim, &seq[t], wxt, &mut zx[..h4]);
+                        }
+                        BatchInput::PerLane(ms) => {
+                            assert_eq!(ms[t].cols(), idim, "input width mismatch");
+                            gemm(
+                                batch,
+                                h4,
+                                idim,
+                                ms[t].as_slice(),
+                                wxt,
+                                &mut zx[..batch * h4],
+                            );
+                        }
+                    }
+                } else {
+                    // Previous layer's freshly updated (masked) hidden state.
+                    gemm(
+                        batch,
+                        h4,
+                        idim,
+                        h[l - 1].as_slice(),
+                        wxt,
+                        &mut zx[..batch * h4],
+                    );
+                }
+                // Recurrent contribution zh = H_prev · Whᵀ.
+                gemm(batch, h4, hdim, h[l].as_slice(), wht, &mut zh[..batch * h4]);
+
+                let rec = if record {
+                    let x_mat = if l == 0 {
+                        match xs {
+                            BatchInput::Shared(seq) => {
+                                let mut m = Matrix::zeros(batch, idim);
+                                for b in 0..batch {
+                                    m.row_mut(b).copy_from_slice(&seq[t]);
+                                }
+                                m
+                            }
+                            BatchInput::PerLane(ms) => ms[t].clone(),
+                        }
+                    } else {
+                        h[l - 1].clone()
+                    };
+                    Some(BatchStepCache {
+                        x: x_mat,
+                        h_prev: h[l].clone(),
+                        c_prev: c[l].clone(),
+                        i: Matrix::zeros(batch, hdim),
+                        f: Matrix::zeros(batch, hdim),
+                        g: Matrix::zeros(batch, hdim),
+                        o: Matrix::zeros(batch, hdim),
+                        tanh_c: Matrix::zeros(batch, hdim),
+                    })
+                } else {
+                    None
+                };
+
+                // Gate math — the fused element-wise stage, one dispatched
+                // call per (step, layer); per element it is the exact scalar
+                // `forward_step` expression tree.
+                lstm_gates(
+                    &GateCtx {
+                        batch,
+                        hdim,
+                        zx: &zx,
+                        shared0,
+                        bias: &layer.b,
+                        masks: Some(masks[l].as_slice()),
+                    },
+                    &mut zh[..batch * h4],
+                    c[l].as_mut_slice(),
+                    h[l].as_mut_slice(),
+                    Some(&mut tc_buf[..batch * hdim]),
+                );
+                if let Some(mut rc) = rec {
+                    for b in 0..batch {
+                        let z_row = &zh[b * h4..(b + 1) * h4];
+                        rc.i.row_mut(b).copy_from_slice(&z_row[..hdim]);
+                        rc.f.row_mut(b).copy_from_slice(&z_row[hdim..2 * hdim]);
+                        rc.g.row_mut(b).copy_from_slice(&z_row[2 * hdim..3 * hdim]);
+                        rc.o.row_mut(b).copy_from_slice(&z_row[3 * hdim..]);
+                        rc.tanh_c
+                            .row_mut(b)
+                            .copy_from_slice(&tc_buf[b * hdim..(b + 1) * hdim]);
+                    }
+                    caches[l].push(rc);
+                }
+            }
+            if record || t + 1 == steps {
+                outputs.push(h[num_layers - 1].clone());
+            }
+        }
+
+        BatchSeqCache {
+            batch,
+            caches,
+            masks,
+            final_h: h,
+            final_c: c,
+            outputs,
+        }
+    }
+
+    /// Batched BPTT over a recorded rollout.
+    ///
+    /// Weight gradients are accumulated **lane-major, timestep-descending**
+    /// — deferred until all per-step `dz` blocks exist, then contracted
+    /// with one in-order [`gemm_tn`] per layer. That reproduces, bit for
+    /// bit, the order in which `B` sequential [`Lstm::backward_seq`] calls
+    /// accumulate: example by example, each walking its steps backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rollout was not recorded or shapes disagree.
+    pub fn backward_seq_batch(
+        &mut self,
+        cache: &BatchSeqCache,
+        d_outputs: &[Matrix],
+        d_final: Option<BatchLayerStates<'_>>,
+    ) -> BatchSeqGrads {
+        let steps = cache.outputs.len();
+        assert_eq!(d_outputs.len(), steps, "gradient/step count mismatch");
+        assert!(
+            cache.caches.iter().all(|cv| cv.len() == steps),
+            "rollout was not recorded (forward_seq_batch record = false)"
+        );
+        let batch = cache.batch;
+        let num_layers = self.layers.len();
+
+        let mut dh: Vec<Matrix> = Vec::with_capacity(num_layers);
+        let mut dc: Vec<Matrix> = Vec::with_capacity(num_layers);
+        for (l, layer) in self.layers.iter().enumerate() {
+            match d_final {
+                Some((dhf, dcf)) => {
+                    dh.push(dhf[l].clone());
+                    dc.push(dcf[l].clone());
+                }
+                None => {
+                    dh.push(Matrix::zeros(batch, layer.hidden));
+                    dc.push(Matrix::zeros(batch, layer.hidden));
+                }
+            }
+        }
+
+        // dz per (layer, step), kept t-descending for the deferred weight
+        // accumulation below.
+        let mut dz_store: Vec<Vec<Matrix>> = vec![Vec::with_capacity(steps); num_layers];
+        let mut dxs_rev: Vec<Matrix> = Vec::with_capacity(steps);
+
+        for t in (0..steps).rev() {
+            let mut dnext = d_outputs[t].clone();
+            for l in (0..num_layers).rev() {
+                let layer = &self.layers[l];
+                let hdim = layer.hidden;
+                let idim = layer.input_dim;
+                let h4 = 4 * hdim;
+                for (a, b) in dh[l].as_mut_slice().iter_mut().zip(dnext.as_slice()) {
+                    *a += b;
+                }
+                let sc = &cache.caches[l][t];
+                let mask = &cache.masks[l];
+                let mut dz = Matrix::zeros(batch, h4);
+                let mut dc_prev = Matrix::zeros(batch, hdim);
+                for b in 0..batch {
+                    let dh_row = dh[l].row(b);
+                    let dc_row = dc[l].row(b);
+                    let m_row = mask.row(b);
+                    let tc = sc.tanh_c.row(b);
+                    let i_r = sc.i.row(b);
+                    let f_r = sc.f.row(b);
+                    let g_r = sc.g.row(b);
+                    let o_r = sc.o.row(b);
+                    let cp = sc.c_prev.row(b);
+                    let dz_row = dz.row_mut(b);
+                    let dcp_row = dc_prev.row_mut(b);
+                    for k in 0..hdim {
+                        // Identical expression tree to scalar backward_step.
+                        let dh_raw = dh_row[k] * m_row[k];
+                        let do_ = dh_raw * tc[k];
+                        let dct = dh_raw * o_r[k] * (1.0 - tc[k] * tc[k]) + dc_row[k];
+                        let di = dct * g_r[k];
+                        let df = dct * cp[k];
+                        let dg = dct * i_r[k];
+                        dcp_row[k] = dct * f_r[k];
+                        dz_row[k] = di * i_r[k] * (1.0 - i_r[k]);
+                        dz_row[hdim + k] = df * f_r[k] * (1.0 - f_r[k]);
+                        dz_row[2 * hdim + k] = dg * (1.0 - g_r[k] * g_r[k]);
+                        dz_row[3 * hdim + k] = do_ * o_r[k] * (1.0 - o_r[k]);
+                    }
+                }
+                // dX = dZ · Wx and dH_prev = dZ · Wh: the contraction runs
+                // over the 4H gate rows in order — the scalar r-loop order.
+                let mut dx = Matrix::zeros(batch, idim);
+                gemm(batch, idim, h4, dz.as_slice(), &layer.wx, dx.as_mut_slice());
+                let mut dh_prev = Matrix::zeros(batch, hdim);
+                gemm(
+                    batch,
+                    hdim,
+                    h4,
+                    dz.as_slice(),
+                    &layer.wh,
+                    dh_prev.as_mut_slice(),
+                );
+                dh[l] = dh_prev;
+                dc[l] = dc_prev;
+                dz_store[l].push(dz);
+                dnext = dx;
+            }
+            dxs_rev.push(dnext);
+        }
+        dxs_rev.reverse();
+
+        // Deferred weight gradients: flatten (lane-major, t-descending) and
+        // contract rows in order, so each gradient element accumulates its
+        // contributions exactly as B sequential backward passes would.
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            let hdim = layer.hidden;
+            let idim = layer.input_dim;
+            let h4 = 4 * hdim;
+            let rows = batch * steps;
+            let mut dzf = vec![0.0; rows * h4];
+            let mut xf = vec![0.0; rows * idim];
+            let mut hf = vec![0.0; rows * hdim];
+            let mut rr = 0;
+            for b in 0..batch {
+                for (ti, dz) in dz_store[l].iter().enumerate() {
+                    // dz_store[l][ti] holds step `steps - 1 - ti`.
+                    let t = steps - 1 - ti;
+                    dzf[rr * h4..(rr + 1) * h4].copy_from_slice(dz.row(b));
+                    let sc = &cache.caches[l][t];
+                    xf[rr * idim..(rr + 1) * idim].copy_from_slice(sc.x.row(b));
+                    hf[rr * hdim..(rr + 1) * hdim].copy_from_slice(sc.h_prev.row(b));
+                    rr += 1;
+                }
+            }
+            gemm_tn(rows, h4, idim, &dzf, &xf, &mut layer.gwx);
+            gemm_tn(rows, h4, hdim, &dzf, &hf, &mut layer.gwh);
+            col_sum_acc(rows, h4, &dzf, &mut layer.gb);
+        }
+
+        BatchSeqGrads {
+            d_inputs: dxs_rev,
+            d_init_h: dh,
+            d_init_c: dc,
+        }
+    }
+
+    /// Advances every layer one step for `batch` lanes **in place**, with
+    /// all-ones masks and no caches — the arena-backed inference step the
+    /// decoder rollout reuses across horizon steps. `zx`/`zh` must hold at
+    /// least `batch * max_gate_width` elements.
+    pub(crate) fn step_batch_infer(
+        &self,
+        x: &Matrix,
+        h: &mut [Matrix],
+        c: &mut [Matrix],
+        packed: &PackedLstm,
+        zx: &mut [f64],
+        zh: &mut [f64],
+    ) {
+        let batch = x.rows();
+        for l in 0..self.layers.len() {
+            let layer = &self.layers[l];
+            let hdim = layer.hidden;
+            let idim = layer.input_dim;
+            let h4 = 4 * hdim;
+            let (wxt, wht) = &packed.per_layer[l];
+            if l == 0 {
+                gemm(batch, h4, idim, x.as_slice(), wxt, &mut zx[..batch * h4]);
+            } else {
+                gemm(
+                    batch,
+                    h4,
+                    idim,
+                    h[l - 1].as_slice(),
+                    wxt,
+                    &mut zx[..batch * h4],
+                );
+            }
+            gemm(batch, h4, hdim, h[l].as_slice(), wht, &mut zh[..batch * h4]);
+            // No mask (all-ones is exact) and no tanh(c) recording needed.
+            lstm_gates(
+                &GateCtx {
+                    batch,
+                    hdim,
+                    zx: &zx[..batch * h4],
+                    shared0: false,
+                    bias: &layer.b,
+                    masks: None,
+                },
+                &mut zh[..batch * h4],
+                c[l].as_mut_slice(),
+                h[l].as_mut_slice(),
+                None,
+            );
+        }
+    }
+
+    /// Scratch width for [`Lstm::step_batch_infer`] buffers.
+    pub(crate) fn infer_scratch_len(&self, batch: usize) -> usize {
+        batch * self.max_gate_width()
+    }
+
+    /// Inference-only sequence rollout: no step caches, scratch arenas
+    /// instead of per-step `Vec` churn. Bit-identical to
+    /// `forward_seq(xs, init, false, ..)` without needing an RNG.
+    pub fn forward_infer(&self, xs: &[Vec<f64>], init: Option<LayerStates<'_>>) -> InferResult {
+        let init_m = init.map(|(h0, c0)| {
+            let wrap = |vs: &[Vec<f64>]| {
+                vs.iter()
+                    .map(|v| Matrix::from_vec(1, v.len(), v.clone()))
+                    .collect::<Vec<_>>()
+            };
+            (wrap(h0), wrap(c0))
+        });
+        // No randomness is consumed with train = false.
+        let mut rng = SimRng::seed(0);
+        let cache = self.forward_seq_batch(
+            1,
+            BatchInput::Shared(xs),
+            init_m.as_ref().map(|(h, c)| (h.as_slice(), c.as_slice())),
+            false,
+            false,
+            &mut rng,
+        );
+        InferResult {
+            final_h: cache.final_h.iter().map(|m| m.row(0).to_vec()).collect(),
+            final_c: cache.final_c.iter().map(|m| m.row(0).to_vec()).collect(),
+            last_output: cache
+                .outputs
+                .last()
+                .expect("non-empty sequence")
+                .row(0)
+                .to_vec(),
         }
     }
 }

@@ -2,9 +2,11 @@
 //! paper's prediction network (three fully connected layers, tanh, regular
 //! dropout on the hidden layers).
 
+use aqua_linalg::Matrix;
 use aqua_sim::SimRng;
 
 use crate::dropout::Dropout;
+use crate::fastmath;
 use crate::linear::Linear;
 use crate::Parameterized;
 
@@ -83,7 +85,7 @@ impl Mlp {
         for (l, layer) in self.layers.iter().enumerate() {
             cur = layer.forward(&cur);
             if l < last {
-                cur.iter_mut().for_each(|v| *v = v.tanh());
+                fastmath::tanh_mut(&mut cur);
             }
         }
         cur
@@ -102,9 +104,9 @@ impl Mlp {
             cur = layer.forward(&cur);
             if l < last {
                 pre_act.push(cur.clone());
-                cur.iter_mut().for_each(|v| *v = v.tanh());
+                fastmath::tanh_mut(&mut cur);
                 let mask = self.dropout.sample_mask(cur.len(), rng);
-                cur = Dropout::apply(&cur, &mask);
+                Dropout::apply_in_place(&mut cur, &mask);
                 masks.push(mask);
             }
         }
@@ -124,9 +126,9 @@ impl Mlp {
         for l in (0..self.layers.len()).rev() {
             if l < last {
                 // Through dropout, then tanh.
-                grad = Dropout::backward(&grad, &cache.masks[l]);
+                Dropout::apply_in_place(&mut grad, &cache.masks[l]);
                 for (gv, z) in grad.iter_mut().zip(&cache.pre_act[l]) {
-                    let t = z.tanh();
+                    let t = fastmath::tanh(*z);
                     *gv *= 1.0 - t * t;
                 }
             }
@@ -134,6 +136,110 @@ impl Mlp {
         }
         grad
     }
+
+    /// Deterministic batched forward pass over `B` input rows. Row `r` of
+    /// the result is bit-identical to `self.forward(x.row(r))`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut cur = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            cur = layer.forward_batch(&cur);
+            if l < last {
+                fastmath::tanh_mut(cur.as_mut_slice());
+            }
+        }
+        cur
+    }
+
+    /// Batched stochastic forward pass: `B` MC-dropout samples in one call.
+    ///
+    /// All masks are pre-drawn **pass-major** — lane `b`'s masks for every
+    /// hidden layer are drawn before lane `b+1` touches the RNG — which is
+    /// exactly the order `B` sequential [`Mlp::forward_train`] calls consume
+    /// the stream. Row `b` of the output (and every recorded activation) is
+    /// therefore bit-identical to the `b`-th sequential call.
+    pub fn forward_train_batch(&self, x: &Matrix, rng: &mut SimRng) -> MlpBatchCache {
+        let bsz = x.rows();
+        let last = self.layers.len() - 1;
+        let mut masks: Vec<Matrix> = self.layers[..last]
+            .iter()
+            .map(|l| Matrix::zeros(bsz, l.out_dim()))
+            .collect();
+        for b in 0..bsz {
+            for m in &mut masks {
+                self.dropout.sample_mask_into(m.row_mut(b), rng);
+            }
+        }
+
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_act = Vec::with_capacity(last);
+        let mut cur = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let next = layer.forward_batch(&cur);
+            inputs.push(std::mem::replace(&mut cur, next));
+            if l < last {
+                pre_act.push(cur.clone());
+                fastmath::tanh_mut(cur.as_mut_slice());
+                for (v, m) in cur.as_mut_slice().iter_mut().zip(masks[l].as_slice()) {
+                    *v *= m;
+                }
+            }
+        }
+        MlpBatchCache {
+            inputs,
+            pre_act,
+            masks,
+            output: cur,
+        }
+    }
+
+    /// Batched backward pass for a recorded [`Mlp::forward_train_batch`].
+    /// Accumulates parameter gradients (batch-row order, matching `B`
+    /// sequential [`Mlp::backward`] calls bit for bit) and returns `dL/dX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out`'s shape disagrees with the recorded output.
+    pub fn backward_batch(&mut self, cache: &MlpBatchCache, d_out: &Matrix) -> Matrix {
+        assert_eq!(d_out.rows(), cache.output.rows(), "batch size mismatch");
+        assert_eq!(d_out.cols(), cache.output.cols(), "output width mismatch");
+        let last = self.layers.len() - 1;
+        let mut grad = d_out.clone();
+        for l in (0..self.layers.len()).rev() {
+            if l < last {
+                for (gv, m) in grad
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.masks[l].as_slice())
+                {
+                    *gv *= m;
+                }
+                for (gv, z) in grad
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.pre_act[l].as_slice())
+                {
+                    let t = fastmath::tanh(*z);
+                    *gv *= 1.0 - t * t;
+                }
+            }
+            grad = self.layers[l].backward_batch(&cache.inputs[l], &grad);
+        }
+        grad
+    }
+}
+
+/// Batched forward-pass record: the `B×dim` analogue of [`MlpCache`].
+#[derive(Debug, Clone)]
+pub struct MlpBatchCache {
+    /// Input to each Linear layer (`B×in` each).
+    inputs: Vec<Matrix>,
+    /// Pre-activation output of each hidden Linear.
+    pre_act: Vec<Matrix>,
+    /// Dropout mask per hidden layer (`B×h`, one row per MC pass).
+    masks: Vec<Matrix>,
+    /// Final network output, one row per batch lane.
+    pub output: Matrix,
 }
 
 impl Parameterized for Mlp {

@@ -7,11 +7,13 @@
 //! windows. After pre-training, the encoder serves as a feature-extraction
 //! black box for the prediction network (see `aqua-forecast`).
 
+use aqua_linalg::Matrix;
 use aqua_sim::SimRng;
 
 use crate::adam::Adam;
+use crate::fastmath;
 use crate::linear::Linear;
-use crate::lstm::Lstm;
+use crate::lstm::{BatchInput, Lstm};
 use crate::{mse, Parameterized};
 
 /// One training example: an input window and its target horizon, both as
@@ -122,13 +124,53 @@ impl EncoderDecoder {
     ///
     /// Panics if `xs` is empty or any step has the wrong width.
     pub fn encode(&self, xs: &[Vec<f64>], stochastic: bool, rng: &mut SimRng) -> Vec<f64> {
-        let cache = self.encoder.forward_seq(xs, None, stochastic, rng);
-        cache.final_h.last().expect("encoder layers").clone()
+        let cache =
+            self.encoder
+                .forward_seq_batch(1, BatchInput::Shared(xs), None, stochastic, false, rng);
+        cache
+            .final_h
+            .last()
+            .expect("encoder layers")
+            .row(0)
+            .to_vec()
     }
 
-    /// Autoregressive multi-step forecast of the next `k` steps.
+    /// Autoregressive multi-step forecast of the next `k` steps
+    /// (deterministic: dropout disabled).
     pub fn predict(&self, xs: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
-        let enc = self.encoder.forward_seq(xs, None, false, rng);
+        self.rollout_batch(xs, k, 1, false, rng)
+            .pop()
+            .expect("one pass")
+    }
+
+    /// `passes` MC-dropout forecast samples of the next `k` steps as **one
+    /// batch-`passes` rollout**: the stochastic passes share every weight
+    /// and differ only in dropout masks, so they run as a single batched
+    /// matrix product per step instead of `passes` sequential rollouts.
+    ///
+    /// Returns `[pass][step][feature]`. Pass `p` is bit-identical to the
+    /// `p`-th of `passes` sequential [`EncoderDecoder::mc_sample`] calls,
+    /// and the RNG stream is consumed identically (masks are pre-drawn
+    /// pass-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passes == 0` or `xs` is empty/mis-shaped.
+    pub fn predict_mc(
+        &self,
+        xs: &[Vec<f64>],
+        k: usize,
+        passes: usize,
+        rng: &mut SimRng,
+    ) -> Vec<Vec<Vec<f64>>> {
+        assert!(passes > 0, "need at least one MC pass");
+        self.rollout_batch(xs, k, passes, true, rng)
+    }
+
+    /// One sequential stochastic rollout — the scalar MC-dropout reference
+    /// sample that [`EncoderDecoder::predict_mc`] batches.
+    pub fn mc_sample(&self, xs: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+        let enc = self.encoder.forward_seq(xs, None, true, rng);
         let z = enc.final_h.last().expect("encoder layers");
         let (h0, c0) = self.bridge(z);
         let mut preds = Vec::with_capacity(k);
@@ -141,8 +183,58 @@ impl EncoderDecoder {
                     .forward_seq(std::slice::from_ref(&zero), Some((&h, &c)), false, rng);
             h = step.final_h.clone();
             c = step.final_c.clone();
-            let y = self.out.forward(step.outputs.last().expect("one step"));
-            preds.push(y.clone());
+            preds.push(self.out.forward(step.outputs.last().expect("one step")));
+        }
+        preds
+    }
+
+    /// Shared batched rollout: encode all lanes at once, bridge, then run
+    /// the decoder horizon with arena scratch buffers and one reused
+    /// all-zero decoder-input matrix (no per-step `from_ref` re-wrapping).
+    fn rollout_batch(
+        &self,
+        xs: &[Vec<f64>],
+        k: usize,
+        passes: usize,
+        stochastic: bool,
+        rng: &mut SimRng,
+    ) -> Vec<Vec<Vec<f64>>> {
+        let enc = self.encoder.forward_seq_batch(
+            passes,
+            BatchInput::Shared(xs),
+            None,
+            stochastic,
+            false,
+            rng,
+        );
+        let z = enc.final_h.last().expect("encoder layers");
+        let bridge_all = |bridges: &[Linear]| -> Vec<Matrix> {
+            bridges
+                .iter()
+                .map(|b| {
+                    let mut m = b.forward_batch(z);
+                    fastmath::tanh_mut(m.as_mut_slice());
+                    m
+                })
+                .collect()
+        };
+        let mut h = bridge_all(&self.bridges_h);
+        let mut c = bridge_all(&self.bridges_c);
+
+        let packed = self.decoder.pack();
+        let mut zx = vec![0.0; self.decoder.infer_scratch_len(passes)];
+        let mut zh = vec![0.0; self.decoder.infer_scratch_len(passes)];
+        // Reused decoder-input buffer: the decoder consumes zeros at every
+        // horizon step, so one matrix serves the whole rollout.
+        let zero = Matrix::zeros(passes, self.config.input_dim);
+        let mut preds = vec![Vec::with_capacity(k); passes];
+        for _ in 0..k {
+            self.decoder
+                .step_batch_infer(&zero, &mut h, &mut c, &packed, &mut zx, &mut zh);
+            let y = self.out.forward_batch(h.last().expect("decoder layers"));
+            for (b, lane) in preds.iter_mut().enumerate() {
+                lane.push(y.row(b).to_vec());
+            }
         }
         preds
     }
@@ -151,12 +243,12 @@ impl EncoderDecoder {
         let h = self
             .bridges_h
             .iter()
-            .map(|b| b.forward(z).iter().map(|v| v.tanh()).collect())
+            .map(|b| b.forward(z).iter().map(|v| fastmath::tanh(*v)).collect())
             .collect();
         let c = self
             .bridges_c
             .iter()
-            .map(|b| b.forward(z).iter().map(|v| v.tanh()).collect())
+            .map(|b| b.forward(z).iter().map(|v| fastmath::tanh(*v)).collect())
             .collect();
         (h, c)
     }
@@ -183,11 +275,11 @@ impl EncoderDecoder {
         let pre_c: Vec<Vec<f64>> = self.bridges_c.iter().map(|b| b.forward(&z)).collect();
         let h0: Vec<Vec<f64>> = pre_h
             .iter()
-            .map(|v| v.iter().map(|x| x.tanh()).collect())
+            .map(|v| v.iter().map(|x| fastmath::tanh(*x)).collect())
             .collect();
         let c0: Vec<Vec<f64>> = pre_c
             .iter()
-            .map(|v| v.iter().map(|x| x.tanh()).collect())
+            .map(|v| v.iter().map(|x| fastmath::tanh(*x)).collect())
             .collect();
 
         // Decoder inputs are zeros: every bit of information must flow
@@ -231,7 +323,7 @@ impl EncoderDecoder {
                 .iter()
                 .zip(&pre_h[l])
                 .map(|(g, p)| {
-                    let t = p.tanh();
+                    let t = fastmath::tanh(*p);
                     g * (1.0 - t * t)
                 })
                 .collect();
@@ -244,7 +336,7 @@ impl EncoderDecoder {
                 .iter()
                 .zip(&pre_c[l])
                 .map(|(g, p)| {
-                    let t = p.tanh();
+                    let t = fastmath::tanh(*p);
                     g * (1.0 - t * t)
                 })
                 .collect();
@@ -287,6 +379,175 @@ impl EncoderDecoder {
                 self.zero_grad();
                 let (xs, ys) = &dataset[i];
                 epoch_loss += self.accumulate_example(xs, ys, rng);
+                adam.step(self);
+            }
+            history.push(epoch_loss / dataset.len() as f64);
+        }
+        history
+    }
+
+    /// Batched teacher-forced training step over several `(window, horizon)`
+    /// pairs at once (mini-batch BPTT). Accumulated gradients and the
+    /// returned summed loss are bit-identical to calling
+    /// [`EncoderDecoder::accumulate_example`] on each pair in order with the
+    /// same RNG (masks are pre-drawn lane-major; every weight-gradient
+    /// contraction runs example-major) — only the wall time differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, the windows have differing lengths, or
+    /// any target horizon mismatches the configuration.
+    pub fn accumulate_batch(&mut self, examples: &[&SeqPair], rng: &mut SimRng) -> f64 {
+        let bsz = examples.len();
+        assert!(bsz > 0, "empty batch");
+        let steps = examples[0].0.len();
+        for (xs, ys) in examples {
+            assert_eq!(xs.len(), steps, "window length mismatch within batch");
+            assert_eq!(ys.len(), self.config.horizon, "target horizon mismatch");
+        }
+        let in_dim = self.config.input_dim;
+        let horizon = self.config.horizon;
+
+        // --- forward ---
+        let enc_xs: Vec<Matrix> = (0..steps)
+            .map(|t| {
+                let mut m = Matrix::zeros(bsz, in_dim);
+                for (b, (xs, _)) in examples.iter().enumerate() {
+                    m.row_mut(b).copy_from_slice(&xs[t]);
+                }
+                m
+            })
+            .collect();
+        let enc_cache = self.encoder.forward_seq_batch(
+            bsz,
+            BatchInput::PerLane(&enc_xs),
+            None,
+            true,
+            true,
+            rng,
+        );
+        let z = enc_cache.final_h.last().expect("encoder layers").clone();
+
+        // Bridge (record pre-tanh for backprop).
+        let pre_h: Vec<Matrix> = self.bridges_h.iter().map(|b| b.forward_batch(&z)).collect();
+        let pre_c: Vec<Matrix> = self.bridges_c.iter().map(|b| b.forward_batch(&z)).collect();
+        let tanh_of = |m: &Matrix| {
+            let mut t = m.clone();
+            fastmath::tanh_mut(t.as_mut_slice());
+            t
+        };
+        let h0: Vec<Matrix> = pre_h.iter().map(tanh_of).collect();
+        let c0: Vec<Matrix> = pre_c.iter().map(tanh_of).collect();
+
+        let dec_inputs = vec![Matrix::zeros(bsz, in_dim); horizon];
+        let dec_cache = self.decoder.forward_seq_batch(
+            bsz,
+            BatchInput::PerLane(&dec_inputs),
+            Some((&h0, &c0)),
+            false,
+            true,
+            rng,
+        );
+
+        // Output projection: flatten the decoder outputs lane-major and
+        // t-ascending (row `b·T + t`) so the out layer's gradient
+        // contraction visits (example, step) in the sequential order.
+        let top = self.decoder.top_hidden();
+        let mut out_in = Matrix::zeros(bsz * horizon, top);
+        for b in 0..bsz {
+            for (t, step_out) in dec_cache.outputs.iter().enumerate() {
+                out_in
+                    .row_mut(b * horizon + t)
+                    .copy_from_slice(step_out.row(b));
+            }
+        }
+        let preds = self.out.forward_batch(&out_in);
+        let mut loss = 0.0;
+        let mut d_preds = Matrix::zeros(bsz * horizon, in_dim);
+        for (b, (_, ys)) in examples.iter().enumerate() {
+            let mut ex_loss = 0.0;
+            for (t, target) in ys.iter().enumerate() {
+                let (l, d_pred) = mse(preds.row(b * horizon + t), target);
+                ex_loss += l / horizon as f64;
+                for (dst, g) in d_preds.row_mut(b * horizon + t).iter_mut().zip(&d_pred) {
+                    *dst = g / horizon as f64;
+                }
+            }
+            loss += ex_loss;
+        }
+
+        // --- backward ---
+        let d_out_in = self.out.backward_batch(&out_in, &d_preds);
+        let d_dec: Vec<Matrix> = (0..horizon)
+            .map(|t| {
+                let mut m = Matrix::zeros(bsz, top);
+                for b in 0..bsz {
+                    m.row_mut(b).copy_from_slice(d_out_in.row(b * horizon + t));
+                }
+                m
+            })
+            .collect();
+        let dec_grads = self.decoder.backward_seq_batch(&dec_cache, &d_dec, None);
+
+        // Through the tanh bridges into Z.
+        let mut dz = Matrix::zeros(bsz, z.cols());
+        let mut bridge_back = |bridges: &mut [Linear], d_init: &[Matrix], pre: &[Matrix]| {
+            for (l, bridge) in bridges.iter_mut().enumerate() {
+                let mut d_pre = d_init[l].clone();
+                for (g, p) in d_pre.as_mut_slice().iter_mut().zip(pre[l].as_slice()) {
+                    let t = fastmath::tanh(*p);
+                    *g *= 1.0 - t * t;
+                }
+                let dzb = bridge.backward_batch(&z, &d_pre);
+                for (a, b) in dz.as_mut_slice().iter_mut().zip(dzb.as_slice()) {
+                    *a += b;
+                }
+            }
+        };
+        bridge_back(&mut self.bridges_h, &dec_grads.d_init_h, &pre_h);
+        bridge_back(&mut self.bridges_c, &dec_grads.d_init_c, &pre_c);
+
+        // Into the encoder: gradient lands on the final top-layer hidden.
+        let num_enc = self.encoder.num_layers();
+        let mut dh_final: Vec<Matrix> = (0..num_enc)
+            .map(|l| Matrix::zeros(bsz, self.encoder.hidden_of(l)))
+            .collect();
+        let dc_final = dh_final.clone();
+        dh_final[num_enc - 1] = dz;
+        let zero_outputs = vec![Matrix::zeros(bsz, self.encoder.top_hidden()); steps];
+        self.encoder
+            .backward_seq_batch(&enc_cache, &zero_outputs, Some((&dh_final, &dc_final)));
+
+        loss
+    }
+
+    /// Mini-batch variant of [`EncoderDecoder::train`]: gradients accumulate
+    /// over up to `batch_size` examples per Adam step. Each chunk's summed
+    /// gradient is bit-identical to the corresponding sequential
+    /// [`EncoderDecoder::accumulate_example`] sum; the optimizer trajectory
+    /// differs from [`train`] (one step per chunk rather than per example),
+    /// which is the point — fewer, larger steps at a fraction of the wall
+    /// time. Windows within a chunk must share a length.
+    pub fn train_batched(
+        &mut self,
+        dataset: &[SeqPair],
+        epochs: usize,
+        lr: f64,
+        batch_size: usize,
+        rng: &mut SimRng,
+    ) -> Vec<f64> {
+        assert!(!dataset.is_empty(), "empty training set");
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut adam = Adam::new(lr).with_clip(1.0);
+        let mut history = Vec::with_capacity(epochs);
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch_size) {
+                self.zero_grad();
+                let refs: Vec<&SeqPair> = chunk.iter().map(|&i| &dataset[i]).collect();
+                epoch_loss += self.accumulate_batch(&refs, rng);
                 adam.step(self);
             }
             history.push(epoch_loss / dataset.len() as f64);

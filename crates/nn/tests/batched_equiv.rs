@@ -1,0 +1,296 @@
+//! Cross-cutting equivalence tests for the batched NN engine.
+//!
+//! Every batched path must be **bit-identical** to the sequential scalar
+//! path it accelerates — same outputs, same accumulated gradients, and the
+//! same RNG-stream consumption (see DESIGN.md's batched-inference
+//! determinism contract). These properties are what let the hot paths
+//! switch to GEMM-backed batching without perturbing a single golden
+//! trace.
+
+use aqua_linalg::Matrix;
+use aqua_nn::seq2seq::SeqPair;
+use aqua_nn::{BatchInput, EncoderDecoder, Lstm, Mlp, Parameterized, Seq2SeqConfig};
+use aqua_sim::SimRng;
+use proptest::prelude::*;
+
+fn lane_inputs(rng: &mut SimRng, batch: usize, steps: usize, dim: usize) -> Vec<Vec<Vec<f64>>> {
+    (0..batch)
+        .map(|_| {
+            (0..steps)
+                .map(|_| (0..dim).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+/// Repackages `[lane][step][feat]` into step-major `B×dim` matrices.
+fn step_major(lanes: &[Vec<Vec<f64>>]) -> Vec<Matrix> {
+    let steps = lanes[0].len();
+    let dim = lanes[0][0].len();
+    (0..steps)
+        .map(|t| {
+            let mut m = Matrix::zeros(lanes.len(), dim);
+            for (b, lane) in lanes.iter().enumerate() {
+                m.row_mut(b).copy_from_slice(&lane[t]);
+            }
+            m
+        })
+        .collect()
+}
+
+fn grads_of(model: &mut impl Parameterized) -> Vec<f64> {
+    let mut g = Vec::new();
+    model.visit_params(&mut |_, grad| g.extend_from_slice(grad));
+    g
+}
+
+fn assert_bits(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batched LSTM forward + backward over random shapes, batch sizes and
+    /// dropout rates is bit-identical to the sequential per-lane calls,
+    /// including parameter-gradient accumulation and RNG consumption.
+    #[test]
+    fn prop_lstm_batch_bitwise_matches_sequential(
+        seed in 0u64..1_000,
+        batch in 1usize..5,
+        steps in 1usize..5,
+        in_dim in 1usize..4,
+        h1 in 1usize..6,
+        h2 in 1usize..5,
+        layers in 1usize..3,
+        drop_idx in 0usize..3,
+    ) {
+        let dropout = [0.0, 0.25, 0.5][drop_idx];
+        let dims: Vec<usize> = if layers == 2 {
+            vec![in_dim, h1, h2]
+        } else {
+            vec![in_dim, h1]
+        };
+        let mut init_rng = SimRng::seed(seed);
+        let lstm = Lstm::new(&dims, dropout, &mut init_rng);
+        let mut data_rng = init_rng.fork("data");
+        let lanes = lane_inputs(&mut data_rng, batch, steps, in_dim);
+        let xs_mats = step_major(&lanes);
+
+        // Forward: batched vs per-lane sequential, same starting RNG.
+        let mut ra = SimRng::seed(seed ^ 0x1234);
+        let mut rb = ra.clone();
+        let cache = lstm.forward_seq_batch(
+            batch, BatchInput::PerLane(&xs_mats), None, true, true, &mut ra,
+        );
+        let seq_caches: Vec<_> = lanes
+            .iter()
+            .map(|xs| lstm.forward_seq(xs, None, true, &mut rb))
+            .collect();
+        prop_assert!(ra == rb, "forward must consume the RNG identically");
+        for (b, sc) in seq_caches.iter().enumerate() {
+            for t in 0..steps {
+                assert_bits(cache.outputs[t].row(b), &sc.outputs[t], "outputs");
+            }
+            for l in 0..dims.len() - 1 {
+                assert_bits(cache.final_h[l].row(b), &sc.final_h[l], "final_h");
+                assert_bits(cache.final_c[l].row(b), &sc.final_c[l], "final_c");
+            }
+        }
+
+        // Backward: accumulated gradients and input gradients match.
+        let top = *dims.last().unwrap();
+        let d_out_mats: Vec<Matrix> = (0..steps)
+            .map(|_| Matrix::from_fn(batch, top, |_, _| data_rng.uniform_range(-1.0, 1.0)))
+            .collect();
+        let mut m_batch = lstm.clone();
+        let mut m_seq = lstm.clone();
+        m_batch.zero_grad();
+        m_seq.zero_grad();
+        let gb = m_batch.backward_seq_batch(&cache, &d_out_mats, None);
+        for (b, sc) in seq_caches.iter().enumerate() {
+            let d_outs: Vec<Vec<f64>> =
+                (0..steps).map(|t| d_out_mats[t].row(b).to_vec()).collect();
+            let gs = m_seq.backward_seq(sc, &d_outs, None);
+            for t in 0..steps {
+                assert_bits(gb.d_inputs[t].row(b), &gs.d_inputs[t], "d_inputs");
+            }
+            for l in 0..dims.len() - 1 {
+                assert_bits(gb.d_init_h[l].row(b), &gs.d_init_h[l], "d_init_h");
+                assert_bits(gb.d_init_c[l].row(b), &gs.d_init_c[l], "d_init_c");
+            }
+        }
+        assert_bits(&grads_of(&mut m_batch), &grads_of(&mut m_seq), "lstm grads");
+    }
+
+    /// Batched MLP MC-dropout forward + backward is bit-identical to the
+    /// sequential per-pass calls for random batch sizes and dropout rates.
+    #[test]
+    fn prop_mlp_batch_bitwise_matches_sequential(
+        seed in 0u64..1_000,
+        batch in 1usize..6,
+        drop_idx in 0usize..3,
+    ) {
+        let p = [0.0, 0.2, 0.45][drop_idx];
+        let mut rng = SimRng::seed(seed);
+        let mlp = Mlp::new(3, &[5, 4], 2, p, &mut rng);
+        let mut data_rng = rng.fork("data");
+        let x = Matrix::from_fn(batch, 3, |_, _| data_rng.uniform_range(-1.0, 1.0));
+
+        let mut ra = SimRng::seed(seed ^ 0x9);
+        let mut rb = ra.clone();
+        let cache = mlp.forward_train_batch(&x, &mut ra);
+        let seq_caches: Vec<_> = (0..batch)
+            .map(|b| mlp.forward_train(x.row(b), &mut rb))
+            .collect();
+        prop_assert!(ra == rb, "forward must consume the RNG identically");
+        for (b, sc) in seq_caches.iter().enumerate() {
+            assert_bits(cache.output.row(b), &sc.output, "mlp output");
+        }
+
+        let d = Matrix::from_fn(batch, 2, |_, _| data_rng.uniform_range(-1.0, 1.0));
+        let mut m_batch = mlp.clone();
+        let mut m_seq = mlp.clone();
+        m_batch.zero_grad();
+        m_seq.zero_grad();
+        let dxb = m_batch.backward_batch(&cache, &d);
+        for (b, sc) in seq_caches.iter().enumerate() {
+            let dxs = m_seq.backward(sc, d.row(b));
+            assert_bits(dxb.row(b), &dxs, "mlp dx");
+        }
+        assert_bits(&grads_of(&mut m_batch), &grads_of(&mut m_seq), "mlp grads");
+    }
+
+    /// `predict_mc`'s one-pass batch-K rollout returns exactly the samples
+    /// that K sequential `mc_sample` calls produce — and consumes the RNG
+    /// stream identically (the regression guard for the one-pass MC
+    /// contract).
+    #[test]
+    fn prop_predict_mc_matches_sequential_mc_samples(
+        seed in 0u64..500,
+        passes in 1usize..6,
+        k in 1usize..4,
+    ) {
+        let cfg = Seq2SeqConfig {
+            input_dim: 1,
+            enc_hidden: vec![6, 5],
+            dec_hidden: vec![4],
+            horizon: 2,
+            dropout: 0.3,
+        };
+        let mut rng = SimRng::seed(seed);
+        let model = EncoderDecoder::new(cfg, &mut rng);
+        let xs: Vec<Vec<f64>> = (0..7).map(|t| vec![(t as f64 * 0.3).sin()]).collect();
+
+        let mut ra = SimRng::seed(seed ^ 0xABC);
+        let mut rb = ra.clone();
+        let batched = model.predict_mc(&xs, k, passes, &mut ra);
+        let sequential: Vec<_> = (0..passes).map(|_| model.mc_sample(&xs, k, &mut rb)).collect();
+        prop_assert!(ra == rb, "predict_mc must consume the RNG like K mc_sample calls");
+        prop_assert_eq!(batched.len(), passes);
+        for (bp, sp) in batched.iter().zip(&sequential) {
+            prop_assert_eq!(bp.len(), k);
+            for (bt, st) in bp.iter().zip(sp) {
+                assert_bits(bt, st, "mc sample");
+            }
+        }
+    }
+
+    /// Mini-batch BPTT accumulates the same gradients (and summed loss,
+    /// bit for bit) as the sequential per-example loop, on the same RNG
+    /// stream.
+    #[test]
+    fn prop_accumulate_batch_matches_sequential(
+        seed in 0u64..500,
+        batch in 1usize..4,
+        drop_idx in 0usize..2,
+    ) {
+        let cfg = Seq2SeqConfig {
+            input_dim: 1,
+            enc_hidden: vec![5],
+            dec_hidden: vec![4],
+            horizon: 2,
+            dropout: [0.0, 0.35][drop_idx],
+        };
+        let mut rng = SimRng::seed(seed);
+        let mut ma = EncoderDecoder::new(cfg, &mut rng);
+        let mut mb = ma.clone();
+        let mut data_rng = rng.fork("data");
+        let examples: Vec<SeqPair> = (0..batch)
+            .map(|_| {
+                let xs = (0..6)
+                    .map(|_| vec![data_rng.uniform_range(-1.0, 1.0)])
+                    .collect();
+                let ys = (0..2)
+                    .map(|_| vec![data_rng.uniform_range(-1.0, 1.0)])
+                    .collect();
+                (xs, ys)
+            })
+            .collect();
+
+        let mut ra = SimRng::seed(seed ^ 0x55);
+        let mut rb = ra.clone();
+        ma.zero_grad();
+        mb.zero_grad();
+        let refs: Vec<&SeqPair> = examples.iter().collect();
+        let loss_batch = ma.accumulate_batch(&refs, &mut ra);
+        let mut loss_seq = 0.0;
+        for (xs, ys) in &examples {
+            loss_seq += mb.accumulate_example(xs, ys, &mut rb);
+        }
+        prop_assert!(ra == rb, "batched BPTT must consume the RNG identically");
+        prop_assert_eq!(loss_batch.to_bits(), loss_seq.to_bits());
+        assert_bits(&grads_of(&mut ma), &grads_of(&mut mb), "seq2seq grads");
+    }
+}
+
+/// The deterministic batch-1 `predict` rollout (arena inference step,
+/// reused zero decoder input) reproduces the scalar per-step rollout bit
+/// for bit: with dropout 0, `mc_sample`'s stochastic path degenerates to
+/// the deterministic one.
+#[test]
+fn predict_matches_scalar_rollout_without_dropout() {
+    let cfg = Seq2SeqConfig {
+        input_dim: 2,
+        enc_hidden: vec![7, 6],
+        dec_hidden: vec![5, 4],
+        horizon: 3,
+        dropout: 0.0,
+    };
+    let mut rng = SimRng::seed(42);
+    let model = EncoderDecoder::new(cfg, &mut rng);
+    let xs: Vec<Vec<f64>> = (0..9)
+        .map(|t| vec![(t as f64 * 0.4).sin(), (t as f64 * 0.2).cos()])
+        .collect();
+    let batched = model.predict(&xs, 5, &mut rng.clone());
+    let scalar = model.mc_sample(&xs, 5, &mut rng.clone());
+    assert_eq!(batched.len(), scalar.len());
+    for (b, s) in batched.iter().zip(&scalar) {
+        assert_bits(b, s, "predict step");
+    }
+}
+
+/// `forward_infer` (no caches, no RNG) matches the scalar inference-mode
+/// forward pass bit for bit.
+#[test]
+fn forward_infer_matches_forward_seq() {
+    let mut rng = SimRng::seed(7);
+    let lstm = Lstm::new(&[2, 6, 4], 0.2, &mut rng);
+    let xs: Vec<Vec<f64>> = (0..5)
+        .map(|t| vec![(t as f64 * 0.7).sin(), t as f64 * 0.1])
+        .collect();
+    let infer = lstm.forward_infer(&xs, None);
+    let cache = lstm.forward_seq(&xs, None, false, &mut rng.clone());
+    assert_bits(
+        &infer.last_output,
+        cache.outputs.last().unwrap(),
+        "last output",
+    );
+    for l in 0..2 {
+        assert_bits(&infer.final_h[l], &cache.final_h[l], "final_h");
+        assert_bits(&infer.final_c[l], &cache.final_c[l], "final_c");
+    }
+}

@@ -152,10 +152,15 @@ impl AquatopePool {
     }
 
     /// Computes the pool target (plus the prediction behind it) for one
-    /// function.
-    fn predict_target(&mut self, function: FunctionId, fallback_peak: u32) -> TargetPrediction {
-        let config = self.config.clone();
-        let st = self.state.get_mut(&function).expect("state exists");
+    /// function. An associated function (not `&mut self`) so that
+    /// [`AquatopePool::tick`] can fan independent functions out across
+    /// worker threads — each call touches only its own `FnState`.
+    fn predict_target(
+        config: &AquatopePoolConfig,
+        function: FunctionId,
+        st: &mut FnState,
+        fallback_peak: u32,
+    ) -> TargetPrediction {
         let n = st.history.len();
         // (Re)train when due.
         let min_len = config.hybrid.window + config.hybrid.horizon + 8;
@@ -226,10 +231,30 @@ impl PrewarmController for AquatopePool {
             .map(|s| (s.function, s.peak_concurrency))
             .collect();
 
+        // Per-function model work (training and the MC forecast) is
+        // independent across functions: take each function's state out of
+        // the map and fan the calls out with the deterministic,
+        // order-preserving parallel map. Results (and therefore telemetry
+        // emission below) come back in `obs.stats` order, and each model's
+        // RNG lives in its own `FnState`, so replays are bit-identical to
+        // the sequential loop this replaces.
+        let config = self.config.clone();
+        let jobs: Vec<FnState> = obs
+            .stats
+            .iter()
+            .map(|s| self.state.remove(&s.function).expect("recorded above"))
+            .collect();
+        let predictions = aqua_sim::par_map_owned(jobs, |i, mut st| {
+            let s = &obs.stats[i];
+            let p = Self::predict_target(&config, s.function, &mut st, s.peak_concurrency);
+            (st, p)
+        });
+
         obs.stats
             .iter()
-            .map(|s| {
-                let p = self.predict_target(s.function, s.peak_concurrency);
+            .zip(predictions)
+            .map(|(s, (st, p))| {
+                self.state.insert(s.function, st);
                 let mut target = p.target;
                 // Dependency-aware boost: active upstream stages imply
                 // imminent downstream invocations. Once the function's own

@@ -25,7 +25,7 @@ pub mod rng;
 pub mod time;
 
 pub use dist::{arrivals_with_cv, Exponential, Gamma, HyperExp, LogNormal, Pareto, PoissonProcess};
-pub use parallel::par_map;
+pub use parallel::{par_map, par_map_owned};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

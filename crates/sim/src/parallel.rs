@@ -83,6 +83,74 @@ where
     chunks.into_iter().flatten().collect()
 }
 
+/// Like [`par_map`] but takes **ownership** of the items and passes them to
+/// `f` by value — for fan-outs whose work items carry non-`Sync` state that
+/// each worker must mutate (e.g. a per-function model with its own RNG).
+///
+/// Results come back in input order; the same determinism contract as
+/// [`par_map`] applies (contiguous chunks, no work stealing, thread count
+/// affects only wall clock, `AQUA_THREADS=1` forces the sequential path).
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+///
+/// # Examples
+///
+/// ```
+/// use aqua_sim::par_map_owned;
+///
+/// let items = vec![String::from("a"), String::from("bb")];
+/// let lens = par_map_owned(items, |i, s| (i, s.len()));
+/// assert_eq!(lens, vec![(0, 1), (1, 2)]);
+/// ```
+pub fn par_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = worker_threads(items.len());
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut owned: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        owned.push(c);
+    }
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(owned.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = owned
+            .into_iter()
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                s.spawn(move || {
+                    slice
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("par_map_owned worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +189,19 @@ mod tests {
         for (i, (idx, val)) in out.iter().enumerate() {
             assert_eq!(*idx, i);
             assert_eq!(*val, i as f64);
+        }
+    }
+
+    #[test]
+    fn owned_map_preserves_order_and_moves_items() {
+        for len in [0usize, 1, 2, 5, 7, 17, 33, 100] {
+            let items: Vec<Vec<usize>> = (0..len).map(|i| vec![i]).collect();
+            let out = par_map_owned(items, |i, mut v| {
+                v.push(i);
+                v
+            });
+            let expected: Vec<Vec<usize>> = (0..len).map(|i| vec![i, i]).collect();
+            assert_eq!(out, expected, "len {len}");
         }
     }
 }

@@ -2,6 +2,7 @@
 //! mix under the dynamic pre-warmed pool.
 
 use aqua_alloc::{AquatopeRm, ConfigEvaluator, ResourceManager, SimEvaluator};
+use aqua_faas::fault::{FaultPlan, RetryPolicy};
 use aqua_faas::sim::WorkflowJob;
 use aqua_faas::{FaasSim, FunctionRegistry, NoiseModel, StageConfigs};
 use aqua_pool::AquatopePool;
@@ -39,12 +40,28 @@ pub struct AppPlan {
 #[derive(Debug, Clone)]
 pub struct Aquatope {
     config: AquatopeConfig,
+    faults: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl Aquatope {
     /// Creates a controller.
     pub fn new(config: AquatopeConfig) -> Self {
-        Aquatope { config }
+        Aquatope {
+            config,
+            faults: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Injects deterministic faults into every simulation this controller
+    /// builds (profiling and online execution alike), with the given
+    /// retry/timeout policy. With [`FaultPlan::disabled`] this is a strict
+    /// no-op.
+    pub fn with_faults(mut self, faults: FaultPlan, retry: RetryPolicy) -> Self {
+        self.faults = faults;
+        self.retry = retry;
+        self
     }
 
     /// The active configuration.
@@ -69,6 +86,8 @@ impl Aquatope {
             .registry(registry.clone())
             .noise(noise)
             .seed(cluster.seed)
+            .faults(self.faults.clone())
+            .retry_policy(self.retry.clone())
             .build()
     }
 

@@ -43,4 +43,5 @@ pub use frameworks::{run_framework, run_framework_traced, run_framework_with_his
 pub use report::EndToEndReport;
 
 pub use aqua_alloc::{AquatopeRm, AquatopeRmConfig};
+pub use aqua_faas::{FaultPlan, FaultRates, RetryPolicy};
 pub use aqua_pool::{AquatopePool, AquatopePoolConfig};

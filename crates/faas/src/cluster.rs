@@ -278,6 +278,26 @@ impl Cluster {
         });
     }
 
+    /// Destroys a container killed by an injected fault (OOM / crash),
+    /// force-releasing any in-flight invocation slots — their work dies
+    /// with the container. Unlike [`Cluster::kill`] this accepts busy
+    /// containers; the caller is responsible for rescheduling the lost
+    /// invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is unknown.
+    pub fn kill_faulted(&mut self, id: ContainerId, now: SimTime) {
+        self.account(now);
+        {
+            let c = self.containers.get_mut(&id).expect("unknown container");
+            self.busy_cpu_now -= c.config.cpu_per_slot() * c.busy_slots as f64;
+            self.busy_mem_mb_now -= c.config.memory_per_slot() * c.busy_slots as f64;
+            c.busy_slots = 0;
+        }
+        self.kill(id, now, EvictionReason::Fault);
+    }
+
     /// Kills idle containers of `function` idle for longer than
     /// `keep_alive`. Returns the number killed.
     pub fn reap_idle(
@@ -593,6 +613,130 @@ mod tests {
             "newest-idle container killed first"
         );
         assert!(cl.container(a).is_some());
+    }
+
+    #[test]
+    fn evict_for_fails_with_all_containers_busy() {
+        // Two workers, every container busy: LRU eviction has no victim on
+        // either worker and must report failure without killing anything.
+        let mut cl = Cluster::new(2, 4.0, 1024.0);
+        let c = ResourceConfig::new(1.0, 1024.0, 1);
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            let id = cl
+                .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+                .unwrap();
+            cl.boot_complete(id, SimTime::ZERO);
+            cl.assign(id, SimTime::ZERO);
+            ids.push(id);
+        }
+        assert!(!cl.evict_for(512.0, SimTime::from_secs(1)));
+        assert_eq!(cl.num_containers(), 2, "busy containers must survive");
+        for id in ids {
+            assert!(cl.container(id).is_some());
+        }
+    }
+
+    #[test]
+    fn shrink_idle_with_count_above_idle_kills_only_idle() {
+        let mut cl = cluster();
+        let idle = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
+        let busy = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
+        let booting = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::from_secs(5),
+                false,
+            )
+            .unwrap();
+        cl.boot_complete(idle, SimTime::from_secs(1));
+        cl.boot_complete(busy, SimTime::from_secs(1));
+        cl.assign(busy, SimTime::from_secs(1));
+        // Ask for far more than the single idle container.
+        assert_eq!(cl.shrink_idle(FunctionId(0), 10, SimTime::from_secs(2)), 1);
+        assert!(cl.container(idle).is_none());
+        assert!(cl.container(busy).is_some(), "busy survives shrink");
+        assert!(cl.container(booting).is_some(), "booting survives shrink");
+        // And shrinking an empty idle pool is a no-op.
+        assert_eq!(cl.shrink_idle(FunctionId(0), 3, SimTime::from_secs(3)), 0);
+    }
+
+    #[test]
+    fn find_booting_ignores_killed_containers() {
+        let mut cl = cluster();
+        let claimed = HashMap::new();
+        let a = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+                false,
+            )
+            .unwrap();
+        let b = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::from_millis(1),
+                SimDuration::from_secs(1),
+                false,
+            )
+            .unwrap();
+        // `a` boots earliest so it is preferred...
+        assert_eq!(cl.find_booting(FunctionId(0), &cfg(), &claimed), Some(a));
+        // ...but once a fault kills it mid-boot the later boot is found.
+        cl.kill(a, SimTime::from_millis(500), EvictionReason::Fault);
+        assert_eq!(cl.find_booting(FunctionId(0), &cfg(), &claimed), Some(b));
+        cl.kill(b, SimTime::from_millis(600), EvictionReason::Fault);
+        assert_eq!(cl.find_booting(FunctionId(0), &cfg(), &claimed), None);
+    }
+
+    #[test]
+    fn kill_faulted_force_releases_busy_slots() {
+        let mut cl = cluster();
+        let c = ResourceConfig::new(2.0, 1024.0, 2);
+        let id = cl
+            .boot_container(FunctionId(0), c, SimTime::ZERO, SimDuration::ZERO, false)
+            .unwrap();
+        cl.boot_complete(id, SimTime::ZERO);
+        cl.assign(id, SimTime::ZERO);
+        cl.assign(id, SimTime::ZERO);
+        cl.kill_faulted(id, SimTime::from_secs(3));
+        assert!(cl.container(id).is_none());
+        assert_eq!(cl.counts(FunctionId(0)), (0, 0, 0));
+        // Busy-CPU integral stops at the crash: 2 slots × 1 core × 3 s.
+        cl.finalize(SimTime::from_secs(10));
+        assert!((cl.cpu_core_seconds() - 6.0).abs() < 1e-9);
+        // Memory reservation is fully returned.
+        assert_eq!(cl.reserved_memory_mb(), 0.0);
+        assert!(cl
+            .boot_container(
+                FunctionId(1),
+                c,
+                SimTime::from_secs(10),
+                SimDuration::ZERO,
+                false
+            )
+            .is_some());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod cluster;
 pub mod container;
+pub mod fault;
 pub mod function;
 pub mod interference;
 pub mod metrics;
@@ -52,6 +53,7 @@ pub mod workflow;
 
 pub use cluster::{Cluster, ClusterSnapshot};
 pub use container::{Container, ContainerState};
+pub use fault::{FaultPlan, FaultRates, FaultState, RetryPolicy};
 pub use function::{FunctionRegistry, FunctionSpec};
 pub use interference::NoiseModel;
 pub use metrics::{InvocationRecord, RunReport, WorkflowRecord};
@@ -63,11 +65,12 @@ pub use workflow::{Stage, WorkflowDag};
 
 /// Re-export of the telemetry layer the simulator emits through.
 pub use aqua_telemetry as telemetry;
-pub use aqua_telemetry::{EventSink, EvictionReason, SimEvent, Telemetry};
+pub use aqua_telemetry::{EventSink, EvictionReason, FaultKind, SimEvent, Telemetry};
 
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::cluster::Cluster;
+    pub use crate::fault::{FaultPlan, FaultRates, RetryPolicy};
     pub use crate::function::{FunctionRegistry, FunctionSpec};
     pub use crate::interference::NoiseModel;
     pub use crate::metrics::{InvocationRecord, RunReport, WorkflowRecord};

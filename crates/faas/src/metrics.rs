@@ -78,6 +78,9 @@ pub struct RunReport {
     pub busy_memory_gb_seconds: f64,
     /// Workflow instances that never finished within the horizon.
     pub unfinished: usize,
+    /// Workflow instances abandoned because a task exhausted its retries
+    /// under injected faults. Always a subset of `unfinished`.
+    pub rejected: usize,
     /// Reserved (provisioned) memory in MiB sampled at every pool tick —
     /// the Fig. 11 time series.
     pub pool_snapshots: Vec<(SimTime, f64)>,

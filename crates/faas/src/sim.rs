@@ -7,9 +7,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use aqua_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use aqua_telemetry::{SimEvent, Telemetry};
+use aqua_telemetry::{EvictionReason, FaultKind, SimEvent, Telemetry};
 
 use crate::cluster::{Cluster, ClusterSnapshot};
+use crate::fault::{FaultPlan, FaultState, RetryPolicy};
 use crate::function::FunctionRegistry;
 use crate::interference::NoiseModel;
 use crate::metrics::{InvocationRecord, RunReport, WorkflowRecord};
@@ -31,6 +32,10 @@ pub struct FnWindowStats {
     pub idle: u32,
     /// Containers currently busy.
     pub busy: u32,
+    /// Container boots that failed during the window (injected faults).
+    /// Capacity the policy ordered but never received — without this a
+    /// policy counts dead containers as provisioned.
+    pub failed_boots: u32,
 }
 
 /// Everything a pool policy sees at a tick.
@@ -106,11 +111,22 @@ impl PrewarmController for FixedPrewarm {
     fn tick(&mut self, obs: &PoolObservation) -> Vec<PoolDecision> {
         obs.stats
             .iter()
-            .map(|s| PoolDecision {
-                function: s.function,
-                prewarm_target: self.targets.get(&s.function).copied(),
-                keep_alive: self.keep_alive,
-                shrink: true,
+            .map(|s| {
+                // Boots that failed during the window are capacity this
+                // policy believed it had; eagerly re-provision them (any
+                // overshoot is shrunk at the next tick) instead of
+                // counting dead containers toward the target.
+                let base = self.targets.get(&s.function).copied();
+                let prewarm_target = match (base, s.failed_boots) {
+                    (None, 0) => None,
+                    (base, failed) => Some(base.unwrap_or(0) + failed as usize),
+                };
+                PoolDecision {
+                    function: s.function,
+                    prewarm_target,
+                    keep_alive: self.keep_alive,
+                    shrink: true,
+                }
             })
             .collect()
     }
@@ -156,8 +172,33 @@ enum Event {
     BootDone {
         container: ContainerId,
     },
-    ExecDone {
+    /// An injected boot fault fires: the container dies instead of
+    /// turning warm.
+    BootFailed {
         container: ContainerId,
+    },
+    /// Execution attempt `seq` finishes. Keyed by a unique sequence
+    /// number so crashes and timeouts can cancel the attempt by removing
+    /// its metadata — the stale event is then ignored.
+    ExecDone {
+        seq: u64,
+    },
+    /// An injected crash fires on `container` unless attempt `seq`
+    /// already finished.
+    ContainerCrash {
+        container: ContainerId,
+        seq: u64,
+    },
+    /// Attempt `seq` hits the per-stage timeout unless already finished.
+    TaskTimeout {
+        seq: u64,
+    },
+    /// A failed attempt re-enters scheduling after its backoff.
+    Retry {
+        task: Task,
+    },
+    /// A stage dispatch delayed by an injected handoff fault.
+    StageReady {
         job: usize,
         inst: usize,
         stage: usize,
@@ -176,6 +217,8 @@ struct InstanceState {
     cold_starts: u32,
     invocations: u32,
     done: bool,
+    /// A task exhausted its retries; the instance can never finish.
+    rejected: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -184,6 +227,18 @@ struct Task {
     inst: usize,
     stage: usize,
     requested: SimTime,
+    /// Execution attempt, 0 for the first try.
+    attempt: u32,
+}
+
+/// Metadata of one in-flight execution attempt, keyed by its `seq`.
+#[derive(Debug, Clone, Copy)]
+struct ExecInfo {
+    container: ContainerId,
+    task: Task,
+    /// Index of the attempt's [`InvocationRecord`] in the report, so a
+    /// cancellation can truncate the billed window.
+    record: usize,
 }
 
 /// Builder for [`FaasSim`].
@@ -197,6 +252,8 @@ pub struct FaasSimBuilder {
     seed: u64,
     tick: SimDuration,
     telemetry: Telemetry,
+    faults: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl Default for FaasSimBuilder {
@@ -210,6 +267,8 @@ impl Default for FaasSimBuilder {
             seed: 42,
             tick: SimDuration::from_secs(60),
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -254,6 +313,20 @@ impl FaasSimBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (default: disabled). Each run
+    /// builds fresh fault streams from the plan, so repeated runs replay
+    /// identical fault sequences.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Overrides the retry/timeout policy that absorbs injected faults.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Builds the simulator.
     pub fn build(self) -> FaasSim {
         FaasSim { params: self }
@@ -276,6 +349,16 @@ impl FaasSim {
     /// Replaces the telemetry sink for subsequent runs.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.params.telemetry = telemetry;
+    }
+
+    /// Replaces the fault plan for subsequent runs.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.params.faults = plan;
+    }
+
+    /// Replaces the retry/timeout policy for subsequent runs.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.params.retry = retry;
     }
 
     /// The registry this simulator was built with.
@@ -460,6 +543,16 @@ struct RunState<'a> {
     window_peak: HashMap<FunctionId, u32>,
     /// Currently outstanding tasks per function.
     demand_now: HashMap<FunctionId, i64>,
+    /// Live fault-draw streams for this run.
+    faults: FaultState,
+    /// In-flight execution attempts by sequence number.
+    exec_meta: HashMap<u64, ExecInfo>,
+    /// Attempts currently running per container (for crash cancellation).
+    running_on: HashMap<ContainerId, Vec<u64>>,
+    /// Next execution-attempt sequence number.
+    next_seq: u64,
+    /// Per-function failed-boot count in the current window.
+    window_boot_failures: HashMap<FunctionId, u32>,
     report: RunReport,
 }
 
@@ -491,6 +584,7 @@ impl<'a> RunState<'a> {
                     cold_starts: 0,
                     invocations: 0,
                     done: false,
+                    rejected: false,
                 });
             }
             instances.push(insts);
@@ -510,6 +604,11 @@ impl<'a> RunState<'a> {
             window_invocations: HashMap::new(),
             window_peak: HashMap::new(),
             demand_now: HashMap::new(),
+            faults: FaultState::new(&params.faults),
+            exec_meta: HashMap::new(),
+            running_on: HashMap::new(),
+            next_seq: 0,
+            window_boot_failures: HashMap::new(),
             report: RunReport::default(),
         }
     }
@@ -523,12 +622,14 @@ impl<'a> RunState<'a> {
             match event {
                 Event::Arrival { job, inst } => self.on_arrival(job, inst, now),
                 Event::BootDone { container } => self.on_boot_done(container, now),
-                Event::ExecDone {
-                    container,
-                    job,
-                    inst,
-                    stage,
-                } => self.on_exec_done(container, job, inst, stage, now),
+                Event::BootFailed { container } => self.on_boot_failed(container, now),
+                Event::ExecDone { seq } => self.on_exec_done(seq, now),
+                Event::ContainerCrash { container, seq } => {
+                    self.on_container_crash(container, seq, now)
+                }
+                Event::TaskTimeout { seq } => self.on_task_timeout(seq, now),
+                Event::Retry { task } => self.start_task(task, now),
+                Event::StageReady { job, inst, stage } => self.start_stage(job, inst, stage, now),
                 Event::PoolTick => self.on_pool_tick(controller, now, horizon),
             }
             self.drain_pending(now);
@@ -542,6 +643,12 @@ impl<'a> RunState<'a> {
             .iter()
             .flatten()
             .filter(|i| !i.done && i.arrived <= horizon)
+            .count();
+        self.report.rejected = self
+            .instances
+            .iter()
+            .flatten()
+            .filter(|i| i.rejected && i.arrived <= horizon)
             .count();
         self.params.telemetry.flush();
         self.report
@@ -571,6 +678,7 @@ impl<'a> RunState<'a> {
                     inst,
                     stage,
                     requested: now,
+                    attempt: 0,
                 },
                 now,
             );
@@ -620,8 +728,7 @@ impl<'a> RunState<'a> {
         };
         match cid {
             Some(cid) => {
-                self.queue
-                    .push(now + boot, Event::BootDone { container: cid });
+                self.schedule_boot_outcome(cid, now + boot);
                 *self.claimed.entry(cid).or_insert(0) += 1;
                 self.attached.entry(cid).or_default().push(task);
                 self.instances[task.job][task.inst].cold_starts += 1;
@@ -655,18 +762,43 @@ impl<'a> RunState<'a> {
         }
         self.cluster.assign(cid, now);
 
-        let exec = spec.sample_exec(&config, &self.params.noise, &mut self.rng);
+        let mut exec = spec.sample_exec(&config, &self.params.noise, &mut self.rng);
+        // Straggler fault: stretch this attempt's execution time. The
+        // draw comes from the dedicated straggler stream, so the main
+        // noise stream — and with it every fault-free run — is untouched.
+        if let Some(factor) = self.faults.next_straggler() {
+            exec = SimDuration::from_secs_f64(exec.as_secs_f64() * factor);
+            self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+                at: now,
+                kind_of: FaultKind::Straggler,
+                function: function.0,
+                container: Some(cid.0),
+                magnitude: factor,
+            });
+        }
         let finish = now + exec;
-        self.queue.push(
-            finish,
-            Event::ExecDone {
-                container: cid,
-                job: task.job,
-                inst: task.inst,
-                stage: task.stage,
-            },
-        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(finish, Event::ExecDone { seq });
+        // Crash fault: the container dies partway through this attempt,
+        // taking every invocation running on it down with it.
+        if let Some(frac) = self.faults.next_crash() {
+            let crash_at = now + SimDuration::from_secs_f64(exec.as_secs_f64() * frac);
+            self.queue.push(
+                crash_at,
+                Event::ContainerCrash {
+                    container: cid,
+                    seq,
+                },
+            );
+        }
+        if let Some(timeout) = self.params.retry.task_timeout {
+            if timeout < exec {
+                self.queue.push(now + timeout, Event::TaskTimeout { seq });
+            }
+        }
         let secs = exec.as_secs_f64();
+        let record = self.report.invocations.len();
         self.report.invocations.push(InvocationRecord {
             function,
             workflow_instance: self.global_instance(task.job, task.inst),
@@ -678,6 +810,55 @@ impl<'a> RunState<'a> {
             cpu_seconds: config.cpu_per_slot() * secs,
             memory_gb_seconds: config.memory_per_slot() / 1024.0 * secs,
         });
+        self.exec_meta.insert(
+            seq,
+            ExecInfo {
+                container: cid,
+                task,
+                record,
+            },
+        );
+        self.running_on.entry(cid).or_default().push(seq);
+    }
+
+    /// Truncates a cancelled attempt's billed window at `now`: the crash
+    /// or timeout ends both the latency and the resource consumption.
+    fn truncate_record(&mut self, record: usize, now: SimTime) {
+        let r = &mut self.report.invocations[record];
+        let planned = r.finished.saturating_since(r.started).as_secs_f64();
+        let actual = now.saturating_since(r.started).as_secs_f64();
+        if planned > 0.0 {
+            let scale = actual / planned;
+            r.cpu_seconds *= scale;
+            r.memory_gb_seconds *= scale;
+        }
+        r.finished = now;
+    }
+
+    /// Reschedules a failed attempt with exponential backoff, or marks
+    /// the instance rejected once retries are exhausted.
+    fn retry_or_reject(&mut self, task: Task, now: SimTime) {
+        let attempt = task.attempt + 1;
+        if attempt <= self.params.retry.max_retries {
+            let function = self.jobs[task.job].dag.stage(task.stage).function;
+            self.params
+                .telemetry
+                .emit_with(|| SimEvent::InvocationRetried {
+                    at: now,
+                    workflow: task.job,
+                    instance: task.inst,
+                    stage: task.stage,
+                    function: function.0,
+                    attempt,
+                });
+            let task = Task { attempt, ..task };
+            self.queue.push(
+                now + self.params.retry.backoff_for(attempt),
+                Event::Retry { task },
+            );
+        } else {
+            self.instances[task.job][task.inst].rejected = true;
+        }
     }
 
     fn global_instance(&self, job: usize, inst: usize) -> usize {
@@ -686,6 +867,104 @@ impl<'a> RunState<'a> {
             .map(|j| j.arrivals.len())
             .sum::<usize>()
             + inst
+    }
+
+    /// An injected boot fault fires: the container dies at the moment it
+    /// would have turned warm, and every task waiting on it is retried.
+    fn on_boot_failed(&mut self, cid: ContainerId, now: SimTime) {
+        let function = match self.cluster.container(cid) {
+            Some(c) => c.function,
+            None => return,
+        };
+        self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+            at: now,
+            kind_of: FaultKind::BootFail,
+            function: function.0,
+            container: Some(cid.0),
+            magnitude: 0.0,
+        });
+        self.cluster.kill(cid, now, EvictionReason::Fault);
+        *self.window_boot_failures.entry(function).or_insert(0) += 1;
+        self.claimed.remove(&cid);
+        for task in self.attached.remove(&cid).unwrap_or_default() {
+            // The waiting task is no longer outstanding until its retry
+            // re-enters scheduling.
+            *self.demand_now.entry(function).or_insert(1) -= 1;
+            self.retry_or_reject(task, now);
+        }
+    }
+
+    /// An injected crash fires: unless the triggering attempt already
+    /// finished, the container dies and all attempts running on it are
+    /// cancelled and retried.
+    fn on_container_crash(&mut self, cid: ContainerId, seq: u64, now: SimTime) {
+        if !self.exec_meta.contains_key(&seq) {
+            return; // attempt finished (or was cancelled) before the crash
+        }
+        let function = match self.cluster.container(cid) {
+            Some(c) => c.function,
+            None => return,
+        };
+        self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+            at: now,
+            kind_of: FaultKind::Crash,
+            function: function.0,
+            container: Some(cid.0),
+            magnitude: 0.0,
+        });
+        let seqs = self.running_on.remove(&cid).unwrap_or_default();
+        self.cluster.kill_faulted(cid, now);
+        for s in seqs {
+            let Some(info) = self.exec_meta.remove(&s) else {
+                continue;
+            };
+            let f = self.jobs[info.task.job].dag.stage(info.task.stage).function;
+            *self.demand_now.entry(f).or_insert(1) -= 1;
+            self.truncate_record(info.record, now);
+            self.retry_or_reject(info.task, now);
+        }
+    }
+
+    /// The per-stage timeout fires: unless the attempt already finished,
+    /// cancel it, free its slot, and retry.
+    fn on_task_timeout(&mut self, seq: u64, now: SimTime) {
+        let Some(info) = self.exec_meta.remove(&seq) else {
+            return; // attempt finished before the timeout
+        };
+        let cid = info.container;
+        if let Some(v) = self.running_on.get_mut(&cid) {
+            v.retain(|s| *s != seq);
+            if v.is_empty() {
+                self.running_on.remove(&cid);
+            }
+        }
+        self.cluster.release(cid, now);
+        let task = info.task;
+        let function = self.jobs[task.job].dag.stage(task.stage).function;
+        *self.demand_now.entry(function).or_insert(1) -= 1;
+        self.truncate_record(info.record, now);
+        self.params
+            .telemetry
+            .emit_with(|| SimEvent::InvocationTimedOut {
+                at: now,
+                workflow: task.job,
+                instance: task.inst,
+                stage: task.stage,
+                function: function.0,
+                container: cid.0,
+            });
+        self.retry_or_reject(task, now);
+    }
+
+    /// Schedules a boot's outcome: normally `BootDone` at `ready`, but a
+    /// boot-fail fault turns it into `BootFailed` at the same instant —
+    /// the boot hangs until its deadline and then dies.
+    fn schedule_boot_outcome(&mut self, cid: ContainerId, ready: SimTime) {
+        if self.faults.next_boot_fail() {
+            self.queue.push(ready, Event::BootFailed { container: cid });
+        } else {
+            self.queue.push(ready, Event::BootDone { container: cid });
+        }
     }
 
     fn on_boot_done(&mut self, cid: ContainerId, now: SimTime) {
@@ -709,14 +988,20 @@ impl<'a> RunState<'a> {
         }
     }
 
-    fn on_exec_done(
-        &mut self,
-        cid: ContainerId,
-        job: usize,
-        inst: usize,
-        stage: usize,
-        now: SimTime,
-    ) {
+    fn on_exec_done(&mut self, seq: u64, now: SimTime) {
+        let Some(info) = self.exec_meta.remove(&seq) else {
+            return; // attempt was cancelled by a crash or timeout
+        };
+        let cid = info.container;
+        if let Some(v) = self.running_on.get_mut(&cid) {
+            v.retain(|s| *s != seq);
+            if v.is_empty() {
+                self.running_on.remove(&cid);
+            }
+        }
+        let Task {
+            job, inst, stage, ..
+        } = info.task;
         self.cluster.release(cid, now);
         let function = self.jobs[job].dag.stage(stage).function;
         *self.demand_now.entry(function).or_insert(1) -= 1;
@@ -766,7 +1051,27 @@ impl<'a> RunState<'a> {
             })
             .collect();
         for d in ready {
-            self.start_stage(job, inst, d, now);
+            // Handoff fault: the dependent stage's dispatch is delayed.
+            if let Some(delay) = self.faults.next_handoff() {
+                let function = dag.stage(d).function;
+                self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+                    at: now,
+                    kind_of: FaultKind::HandoffDelay,
+                    function: function.0,
+                    container: None,
+                    magnitude: delay.as_secs_f64(),
+                });
+                self.queue.push(
+                    now + delay,
+                    Event::StageReady {
+                        job,
+                        inst,
+                        stage: d,
+                    },
+                );
+            } else {
+                self.start_stage(job, inst, d, now);
+            }
         }
     }
 
@@ -789,6 +1094,7 @@ impl<'a> RunState<'a> {
                     booting: booting as u32,
                     idle: idle as u32,
                     busy: busy as u32,
+                    failed_boots: self.window_boot_failures.get(&fid).copied().unwrap_or(0),
                 }
             })
             .collect();
@@ -811,6 +1117,7 @@ impl<'a> RunState<'a> {
         }
         self.window_invocations.clear();
         self.window_peak.clear();
+        self.window_boot_failures.clear();
         let next = now + self.params.tick;
         if next <= horizon {
             self.queue.push(next, Event::PoolTick);
@@ -838,9 +1145,7 @@ impl<'a> RunState<'a> {
                     .cluster
                     .boot_container(function, config, now, boot, true)
                 {
-                    Some(cid) => self
-                        .queue
-                        .push(now + boot, Event::BootDone { container: cid }),
+                    Some(cid) => self.schedule_boot_outcome(cid, now + boot),
                     None => break, // cluster full; stop pre-warming
                 }
             }

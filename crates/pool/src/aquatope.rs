@@ -268,6 +268,9 @@ impl PrewarmController for AquatopePool {
                         }
                     }
                 }
+                // Replace capacity lost to boot failures in this window on
+                // top of the model's target.
+                target += s.failed_boots as usize;
                 self.telemetry.emit_with(|| SimEvent::PoolResize {
                     at: obs.now,
                     function: s.function.0,
@@ -311,6 +314,7 @@ mod tests {
                     booting: 0,
                     idle: 0,
                     busy: 0,
+                    failed_boots: 0,
                 })
                 .collect(),
             cluster: ClusterSnapshot {

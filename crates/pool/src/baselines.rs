@@ -35,11 +35,25 @@ impl PrewarmController for KeepAlivePolicy {
             .iter()
             .map(|s| PoolDecision {
                 function: s.function,
-                prewarm_target: None,
+                // No pre-warming — but boots lost to faults in this window
+                // are replaced, else a lossy node silently drains the pool.
+                // With `shrink: true` any overshoot is reclaimed next tick.
+                prewarm_target: replacement_target(None, s.failed_boots),
                 keep_alive: self.keep_alive,
                 shrink: true,
             })
             .collect()
+    }
+}
+
+/// Lifts a policy's base pre-warm target by the boots that failed in the
+/// observed window, so every policy replaces fault-killed capacity. A
+/// `None` base stays `None` when nothing failed (pure keep-alive policies
+/// remain strict no-ops without faults).
+fn replacement_target(base: Option<usize>, failed_boots: u32) -> Option<usize> {
+    match (base, failed_boots) {
+        (None, 0) => None,
+        (base, failed) => Some(base.unwrap_or(0) + failed as usize),
     }
 }
 
@@ -92,7 +106,7 @@ impl PrewarmController for ReactiveAutoscale {
                 self.targets.insert(s.function, target);
                 PoolDecision {
                     function: s.function,
-                    prewarm_target: Some(target),
+                    prewarm_target: replacement_target(Some(target), s.failed_boots),
                     keep_alive: self.keep_alive,
                     shrink: false,
                 }
@@ -133,7 +147,7 @@ impl PrewarmController for FaasCachePolicy {
             .iter()
             .map(|s| PoolDecision {
                 function: s.function,
-                prewarm_target: None,
+                prewarm_target: replacement_target(None, s.failed_boots),
                 keep_alive: self.keep_alive,
                 shrink: true,
             })
@@ -202,7 +216,7 @@ impl PrewarmController for IceBreakerPolicy {
                 };
                 PoolDecision {
                     function: s.function,
-                    prewarm_target: Some(target),
+                    prewarm_target: replacement_target(Some(target), s.failed_boots),
                     keep_alive: self.keep_alive,
                     shrink: true,
                 }
@@ -219,6 +233,10 @@ mod tests {
     use aqua_sim::SimTime;
 
     fn obs(peaks: &[u32]) -> PoolObservation {
+        obs_with_failures(peaks, 0)
+    }
+
+    fn obs_with_failures(peaks: &[u32], failed_boots: u32) -> PoolObservation {
         PoolObservation {
             now: SimTime::from_secs(60),
             window: SimDuration::from_secs(60),
@@ -232,6 +250,7 @@ mod tests {
                     booting: 0,
                     idle: 0,
                     busy: 0,
+                    failed_boots,
                 })
                 .collect(),
             cluster: ClusterSnapshot {
@@ -305,5 +324,37 @@ mod tests {
         let mut p = IceBreakerPolicy::new();
         let d = p.tick(&obs(&[5]));
         assert_eq!(d[0].prewarm_target, Some(5));
+    }
+
+    #[test]
+    fn every_baseline_replaces_failed_boots() {
+        // Each policy must provision at least the capacity lost to boot
+        // failures in the window, on top of its base target.
+        let policies: Vec<(&str, Box<dyn PrewarmController>)> = vec![
+            ("keep", Box::new(KeepAlivePolicy::provider_default())),
+            ("autoscale", Box::new(ReactiveAutoscale::new())),
+            ("faascache", Box::new(FaasCachePolicy::new())),
+            ("icebreaker", Box::new(IceBreakerPolicy::new())),
+        ];
+        for (name, mut policy) in policies {
+            let clean = policy.tick(&obs(&[4]));
+            let base = clean[0].prewarm_target.unwrap_or(0);
+            let faulty = policy.tick(&obs_with_failures(&[4], 3));
+            let lifted = faulty[0].prewarm_target;
+            assert!(
+                lifted.unwrap_or(0) >= base.saturating_sub(1) + 3,
+                "{name}: target {lifted:?} does not replace 3 failed boots over base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_failures_keep_pure_caches_passive() {
+        // The no-fault path must stay a strict no-op: pure keep-alive
+        // policies still emit no pre-warm target at all.
+        let mut keep = KeepAlivePolicy::provider_default();
+        let mut cache = FaasCachePolicy::new();
+        assert_eq!(keep.tick(&obs(&[4]))[0].prewarm_target, None);
+        assert_eq!(cache.tick(&obs(&[4]))[0].prewarm_target, None);
     }
 }

@@ -104,7 +104,9 @@ impl PrewarmController for HistogramPolicy {
                 };
                 PoolDecision {
                     function: s.function,
-                    prewarm_target: Some(target),
+                    // Boots lost to faults this window are replaced on top
+                    // of the histogram's own target.
+                    prewarm_target: Some(target + s.failed_boots as usize),
                     keep_alive: SimDuration::from_secs(60 * ka_min),
                     shrink: true,
                 }
@@ -131,6 +133,7 @@ mod tests {
                 booting: 0,
                 idle: 0,
                 busy: 0,
+                failed_boots: 0,
             }],
             cluster: ClusterSnapshot {
                 reserved_memory_mb: 0.0,

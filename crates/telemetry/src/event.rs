@@ -18,6 +18,8 @@ pub enum EvictionReason {
     Shrink,
     /// LRU eviction to make room for a new container under memory pressure.
     Pressure,
+    /// Killed by an injected fault (boot failure, OOM, crash).
+    Fault,
 }
 
 impl EvictionReason {
@@ -27,6 +29,35 @@ impl EvictionReason {
             EvictionReason::KeepAlive => "keep_alive",
             EvictionReason::Shrink => "shrink",
             EvictionReason::Pressure => "pressure",
+            EvictionReason::Fault => "fault",
+        }
+    }
+}
+
+/// Class of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A container boot that never completes; the container dies instead
+    /// of turning warm.
+    BootFail,
+    /// A warm or busy container killed mid-run (OOM / crash); in-flight
+    /// invocations on it are lost.
+    Crash,
+    /// One invocation slowed down by a multiplicative straggler factor.
+    Straggler,
+    /// A stage handoff delayed between a stage finishing and its
+    /// dependents dispatching.
+    HandoffDelay,
+}
+
+impl FaultKind {
+    /// Stable lowercase identifier used in the JSON encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::BootFail => "boot_fail",
+            FaultKind::Crash => "crash",
+            FaultKind::Straggler => "straggler",
+            FaultKind::HandoffDelay => "handoff_delay",
         }
     }
 }
@@ -150,6 +181,38 @@ pub enum SimEvent {
         /// Observed execution cost of the candidate.
         cost: f64,
     },
+    /// A fault from the run's [`FaultPlan`] fired.
+    ///
+    /// `container` is `None` for faults not tied to a container
+    /// (stage-handoff delays). `magnitude` is fault-specific: the
+    /// straggler slowdown factor, the handoff delay in seconds, or `0.0`
+    /// for boot failures and crashes.
+    FaultInjected {
+        at: SimTime,
+        kind_of: FaultKind,
+        function: usize,
+        container: Option<u64>,
+        magnitude: f64,
+    },
+    /// A failed or timed-out invocation was rescheduled with backoff.
+    InvocationRetried {
+        at: SimTime,
+        workflow: usize,
+        instance: usize,
+        stage: usize,
+        function: usize,
+        /// Attempt number being scheduled (first retry is 1).
+        attempt: u32,
+    },
+    /// An invocation exceeded the per-stage timeout and was cancelled.
+    InvocationTimedOut {
+        at: SimTime,
+        workflow: usize,
+        instance: usize,
+        stage: usize,
+        function: usize,
+        container: u64,
+    },
     /// A completed workflow instance exceeded its QoS latency target.
     ///
     /// Synthesized while the run report is analyzed, after the event loop
@@ -179,6 +242,9 @@ impl SimEvent {
             | SimEvent::TaskComplete { at, .. }
             | SimEvent::StageComplete { at, .. }
             | SimEvent::BoIteration { at, .. }
+            | SimEvent::FaultInjected { at, .. }
+            | SimEvent::InvocationRetried { at, .. }
+            | SimEvent::InvocationTimedOut { at, .. }
             | SimEvent::QosViolation { at, .. } => at,
         }
     }
@@ -197,6 +263,9 @@ impl SimEvent {
             SimEvent::TaskComplete { .. } => "task_complete",
             SimEvent::StageComplete { .. } => "stage_complete",
             SimEvent::BoIteration { .. } => "bo_iteration",
+            SimEvent::FaultInjected { .. } => "fault_injected",
+            SimEvent::InvocationRetried { .. } => "invocation_retried",
+            SimEvent::InvocationTimedOut { .. } => "invocation_timed_out",
             SimEvent::QosViolation { .. } => "qos_violation",
         }
     }
@@ -349,6 +418,46 @@ impl SimEvent {
                 push_f64_field(&mut s, "latency", latency);
                 push_f64_field(&mut s, "cost", cost);
             }
+            SimEvent::FaultInjected {
+                kind_of,
+                function,
+                container,
+                magnitude,
+                ..
+            } => {
+                push_str_field(&mut s, "kind", kind_of.as_str());
+                push_u64_field(&mut s, "function", function as u64);
+                push_opt_u64_field(&mut s, "container", container);
+                push_f64_field(&mut s, "magnitude", magnitude);
+            }
+            SimEvent::InvocationRetried {
+                workflow,
+                instance,
+                stage,
+                function,
+                attempt,
+                ..
+            } => {
+                push_u64_field(&mut s, "workflow", workflow as u64);
+                push_u64_field(&mut s, "instance", instance as u64);
+                push_u64_field(&mut s, "stage", stage as u64);
+                push_u64_field(&mut s, "function", function as u64);
+                push_u64_field(&mut s, "attempt", attempt as u64);
+            }
+            SimEvent::InvocationTimedOut {
+                workflow,
+                instance,
+                stage,
+                function,
+                container,
+                ..
+            } => {
+                push_u64_field(&mut s, "workflow", workflow as u64);
+                push_u64_field(&mut s, "instance", instance as u64);
+                push_u64_field(&mut s, "stage", stage as u64);
+                push_u64_field(&mut s, "function", function as u64);
+                push_u64_field(&mut s, "container", container);
+            }
             SimEvent::QosViolation {
                 workflow,
                 instance,
@@ -387,6 +496,16 @@ fn push_str_field(s: &mut String, key: &str, value: &str) {
 fn push_u64_field(s: &mut String, key: &str, value: u64) {
     push_key(s, key);
     let _ = write!(s, "{value},");
+}
+
+fn push_opt_u64_field(s: &mut String, key: &str, value: Option<u64>) {
+    push_key(s, key);
+    match value {
+        Some(v) => {
+            let _ = write!(s, "{v},");
+        }
+        None => s.push_str("null,"),
+    }
 }
 
 fn push_bool_field(s: &mut String, key: &str, value: bool) {
@@ -465,6 +584,76 @@ mod tests {
         };
         let j = ev.to_json();
         assert!(j.contains("\"candidate\":[1.0,2.5]"), "{j}");
+    }
+
+    #[test]
+    fn fault_injected_encodes_optional_container() {
+        let with = SimEvent::FaultInjected {
+            at: SimTime::from_millis(250),
+            kind_of: FaultKind::Crash,
+            function: 3,
+            container: Some(12),
+            magnitude: 0.0,
+        };
+        assert_eq!(
+            with.to_json(),
+            "{\"type\":\"fault_injected\",\"at_us\":250000,\"kind\":\"crash\",\
+             \"function\":3,\"container\":12,\"magnitude\":0.0}"
+        );
+        let without = SimEvent::FaultInjected {
+            at: SimTime::from_millis(250),
+            kind_of: FaultKind::HandoffDelay,
+            function: 3,
+            container: None,
+            magnitude: 1.5,
+        };
+        assert!(
+            without.to_json().contains("\"container\":null"),
+            "{}",
+            without.to_json()
+        );
+    }
+
+    #[test]
+    fn retry_and_timeout_round_trip() {
+        let retry = SimEvent::InvocationRetried {
+            at: SimTime::from_secs(2),
+            workflow: 0,
+            instance: 4,
+            stage: 1,
+            function: 6,
+            attempt: 2,
+        };
+        assert_eq!(retry.kind(), "invocation_retried");
+        assert!(
+            retry.to_json().contains("\"attempt\":2"),
+            "{}",
+            retry.to_json()
+        );
+        let timeout = SimEvent::InvocationTimedOut {
+            at: SimTime::from_secs(3),
+            workflow: 1,
+            instance: 0,
+            stage: 2,
+            function: 5,
+            container: 9,
+        };
+        assert_eq!(timeout.kind(), "invocation_timed_out");
+        assert!(
+            timeout.to_json().contains("\"container\":9"),
+            "{}",
+            timeout.to_json()
+        );
+        assert_eq!(timeout.at(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn fault_kind_names_are_stable() {
+        assert_eq!(FaultKind::BootFail.as_str(), "boot_fail");
+        assert_eq!(FaultKind::Crash.as_str(), "crash");
+        assert_eq!(FaultKind::Straggler.as_str(), "straggler");
+        assert_eq!(FaultKind::HandoffDelay.as_str(), "handoff_delay");
+        assert_eq!(EvictionReason::Fault.as_str(), "fault");
     }
 
     #[test]

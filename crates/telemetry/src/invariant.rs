@@ -18,6 +18,14 @@
 //!    exactly once per boot, and tasks that attach to a boot begin
 //!    executing exactly at the boot-completion instant (a cold-start
 //!    charge for a container that was already warm is a bug).
+//! 5. **Fault discipline** — a fault-reason eviction must be preceded by
+//!    a `FaultInjected` event for that container (and only then may it
+//!    take a booting or busy container); a killed container never serves
+//!    a later invocation; every retry references a prior failure (a fault
+//!    on its function or a timeout on its stage); and per stage the
+//!    attempt ledger balances: completions plus timeouts never exceed
+//!    dispatched tasks plus retries, and a `StageComplete` requires
+//!    exactly `tasks` completions.
 //!
 //! Violations are collected, not panicked, so a test can assert on the
 //! whole run via [`InvariantChecker::assert_ok`].
@@ -26,7 +34,7 @@ use std::collections::HashMap;
 
 use aqua_sim::SimTime;
 
-use crate::event::SimEvent;
+use crate::event::{EvictionReason, FaultKind, SimEvent};
 use crate::sink::EventSink;
 
 /// Tolerance for floating-point memory accounting, in MB.
@@ -47,6 +55,23 @@ struct ContainerState {
     busy: u32,
     phase: ContainerPhase,
     boot_done_at: Option<SimTime>,
+    /// A boot-fail or crash fault was injected on this container; its
+    /// fault-reason eviction may legally interrupt a boot or in-flight
+    /// tasks.
+    faulted: bool,
+}
+
+/// Attempt ledger for one `(workflow, instance, stage)`.
+#[derive(Debug, Clone, Default)]
+struct StageTally {
+    /// Parallel tasks dispatched for the stage.
+    tasks: u32,
+    /// Task completions observed.
+    completes: u32,
+    /// Retries scheduled for the stage's tasks.
+    retries: u32,
+    /// Attempts cancelled by the per-stage timeout.
+    timeouts: u32,
 }
 
 /// The online checker; see the module docs for the invariants enforced.
@@ -57,6 +82,11 @@ pub struct InvariantChecker {
     /// Reserved memory per worker, rebuilt from boot/evict events.
     reserved_mb: Vec<f64>,
     containers: HashMap<u64, ContainerState>,
+    /// Attempt ledgers keyed by `(workflow, instance, stage)`.
+    stages: HashMap<(usize, usize, usize), StageTally>,
+    /// Boot-fail/crash fault count per function id — retries draw their
+    /// legitimacy from here or from a timeout on their own stage.
+    fn_faults: HashMap<usize, u32>,
     last_time: SimTime,
     events_seen: u64,
     violations: Vec<String>,
@@ -71,6 +101,8 @@ impl InvariantChecker {
             memory_mb_per_worker,
             reserved_mb: vec![0.0; workers],
             containers: HashMap::new(),
+            stages: HashMap::new(),
+            fn_faults: HashMap::new(),
             last_time: SimTime::ZERO,
             events_seen: 0,
             violations: Vec::new(),
@@ -162,6 +194,7 @@ impl InvariantChecker {
                 busy: 0,
                 phase: ContainerPhase::Booting,
                 boot_done_at: None,
+                faulted: false,
             },
         );
     }
@@ -255,7 +288,14 @@ impl InvariantChecker {
         }
     }
 
-    fn on_eviction(&mut self, at: SimTime, container: u64, worker: usize, memory_mb: f64) {
+    fn on_eviction(
+        &mut self,
+        at: SimTime,
+        container: u64,
+        worker: usize,
+        memory_mb: f64,
+        reason: EvictionReason,
+    ) {
         let mut msgs: Vec<String> = Vec::new();
         // `Some((worker, memory))` when the container's reservation must be
         // released from its worker after the state borrow ends.
@@ -266,14 +306,28 @@ impl InvariantChecker {
                 msgs.push(format!("container {container} evicted twice"));
             }
             Some(state) => {
-                if state.phase == ContainerPhase::Booting {
+                // A fault-reason kill may legally take a booting or busy
+                // container — but only if a fault was actually injected on
+                // it; any other reason keeps the strict checks.
+                let fault_kill = reason == EvictionReason::Fault;
+                if fault_kill && !state.faulted {
+                    msgs.push(format!(
+                        "container {container} fault-evicted without a prior fault"
+                    ));
+                }
+                if state.phase == ContainerPhase::Booting && !fault_kill {
                     msgs.push(format!("container {container} evicted while booting"));
                 }
                 if state.busy > 0 {
-                    let busy = state.busy;
-                    msgs.push(format!(
-                        "container {container} evicted with {busy} task(s) running"
-                    ));
+                    if fault_kill {
+                        // In-flight tasks died with the container.
+                        state.busy = 0;
+                    } else {
+                        let busy = state.busy;
+                        msgs.push(format!(
+                            "container {container} evicted with {busy} task(s) running"
+                        ));
+                    }
                 }
                 if state.worker != worker {
                     let expect = state.worker;
@@ -303,6 +357,164 @@ impl InvariantChecker {
             self.violate(at, m);
         }
     }
+
+    fn on_fault(
+        &mut self,
+        at: SimTime,
+        kind: FaultKind,
+        function: usize,
+        container: Option<u64>,
+        magnitude: f64,
+    ) {
+        let mut msgs: Vec<String> = Vec::new();
+        match kind {
+            FaultKind::BootFail | FaultKind::Crash => {
+                *self.fn_faults.entry(function).or_insert(0) += 1;
+                match container.and_then(|c| self.containers.get_mut(&c)) {
+                    Some(state) => state.faulted = true,
+                    None => msgs.push(format!(
+                        "{} fault on unknown container {container:?}",
+                        kind.as_str()
+                    )),
+                }
+            }
+            FaultKind::Straggler => {
+                if !magnitude.is_finite() || magnitude < 1.0 {
+                    msgs.push(format!("straggler with nonsensical factor {magnitude}"));
+                }
+            }
+            FaultKind::HandoffDelay => {
+                if !magnitude.is_finite() || magnitude < 0.0 {
+                    msgs.push(format!("handoff delay of {magnitude} s"));
+                }
+            }
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+    }
+
+    fn on_stage_dispatch(
+        &mut self,
+        at: SimTime,
+        workflow: usize,
+        instance: usize,
+        stage: usize,
+        tasks: u32,
+    ) {
+        let tally = self.stages.entry((workflow, instance, stage)).or_default();
+        if tally.tasks > 0 {
+            self.violate(
+                at,
+                format!("stage {workflow}/{instance}/{stage} dispatched twice"),
+            );
+        } else {
+            tally.tasks = tasks;
+        }
+    }
+
+    /// Asserts the attempt ledger after a terminal attempt outcome:
+    /// attempts end at most once, so completions + timeouts can never
+    /// exceed dispatched tasks + retries. Stages with no observed
+    /// dispatch (partial streams) are skipped.
+    fn check_attempt_ledger(&mut self, at: SimTime, key: (usize, usize, usize)) {
+        let t = self.stages.entry(key).or_default().clone();
+        if t.tasks == 0 {
+            return;
+        }
+        if t.completes + t.timeouts > t.tasks + t.retries {
+            self.violate(
+                at,
+                format!(
+                    "stage {}/{}/{} attempt ledger broken: {} completions + {} timeouts \
+                     for {} tasks + {} retries",
+                    key.0, key.1, key.2, t.completes, t.timeouts, t.tasks, t.retries
+                ),
+            );
+        }
+    }
+
+    fn on_retry(
+        &mut self,
+        at: SimTime,
+        workflow: usize,
+        instance: usize,
+        stage: usize,
+        function: usize,
+    ) {
+        let had_fault = self.fn_faults.get(&function).copied().unwrap_or(0) > 0;
+        let tally = self.stages.entry((workflow, instance, stage)).or_default();
+        tally.retries += 1;
+        if !had_fault && tally.timeouts == 0 {
+            self.violate(
+                at,
+                format!(
+                    "retry on stage {workflow}/{instance}/{stage} without a prior fault \
+                     or timeout"
+                ),
+            );
+        }
+    }
+
+    fn on_timeout(
+        &mut self,
+        at: SimTime,
+        workflow: usize,
+        instance: usize,
+        stage: usize,
+        container: u64,
+    ) {
+        let mut msgs: Vec<String> = Vec::new();
+        match self.containers.get_mut(&container) {
+            None => msgs.push(format!("timeout on unknown container {container}")),
+            Some(state) => {
+                if state.phase != ContainerPhase::Warm {
+                    let phase = state.phase;
+                    msgs.push(format!(
+                        "timeout on container {container} in phase {phase:?}"
+                    ));
+                }
+                // The timeout frees the attempt's slot without a
+                // completion.
+                if state.busy == 0 {
+                    msgs.push(format!(
+                        "timeout on idle container {container} (slot underflow)"
+                    ));
+                } else {
+                    state.busy -= 1;
+                }
+            }
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+        self.stages
+            .entry((workflow, instance, stage))
+            .or_default()
+            .timeouts += 1;
+        self.check_attempt_ledger(at, (workflow, instance, stage));
+    }
+
+    fn on_stage_complete(&mut self, at: SimTime, workflow: usize, instance: usize, stage: usize) {
+        let t = self
+            .stages
+            .entry((workflow, instance, stage))
+            .or_default()
+            .clone();
+        if t.tasks == 0 {
+            return;
+        }
+        if t.completes != t.tasks {
+            self.violate(
+                at,
+                format!(
+                    "stage {workflow}/{instance}/{stage} completed with {} of {} task \
+                     completions",
+                    t.completes, t.tasks
+                ),
+            );
+        }
+    }
 }
 
 impl EventSink for InvariantChecker {
@@ -330,17 +542,29 @@ impl EventSink for InvariantChecker {
                 self.on_boot_end(at, container, worker, tasks_attached);
             }
             SimEvent::WarmHit { at, container, .. } => self.on_warm_hit(at, container),
-            SimEvent::TaskComplete { at, container, .. } => {
+            SimEvent::TaskComplete {
+                at,
+                workflow,
+                instance,
+                stage,
+                container,
+            } => {
                 self.on_task_complete(at, container);
+                self.stages
+                    .entry((workflow, instance, stage))
+                    .or_default()
+                    .completes += 1;
+                self.check_attempt_ledger(at, (workflow, instance, stage));
             }
             SimEvent::Eviction {
                 at,
                 container,
                 worker,
                 memory_mb,
+                reason,
                 ..
             } => {
-                self.on_eviction(at, container, worker, memory_mb);
+                self.on_eviction(at, container, worker, memory_mb, reason);
             }
             SimEvent::PoolResize {
                 at, predicted_std, ..
@@ -349,9 +573,54 @@ impl EventSink for InvariantChecker {
                     self.violate(at, "pool resize with negative uncertainty".to_string());
                 }
             }
-            SimEvent::StageDispatch { .. }
-            | SimEvent::StageQueued { .. }
-            | SimEvent::StageComplete { .. }
+            SimEvent::FaultInjected {
+                at,
+                kind_of,
+                function,
+                container,
+                magnitude,
+            } => {
+                self.on_fault(at, kind_of, function, container, magnitude);
+            }
+            SimEvent::InvocationRetried {
+                at,
+                workflow,
+                instance,
+                stage,
+                function,
+                ..
+            } => {
+                self.on_retry(at, workflow, instance, stage, function);
+            }
+            SimEvent::InvocationTimedOut {
+                at,
+                workflow,
+                instance,
+                stage,
+                container,
+                ..
+            } => {
+                self.on_timeout(at, workflow, instance, stage, container);
+            }
+            SimEvent::StageDispatch {
+                at,
+                workflow,
+                instance,
+                stage,
+                tasks,
+                ..
+            } => {
+                self.on_stage_dispatch(at, workflow, instance, stage, tasks);
+            }
+            SimEvent::StageComplete {
+                at,
+                workflow,
+                instance,
+                stage,
+            } => {
+                self.on_stage_complete(at, workflow, instance, stage);
+            }
+            SimEvent::StageQueued { .. }
             | SimEvent::BoIteration { .. }
             | SimEvent::QosViolation { .. } => {}
         }
@@ -549,5 +818,236 @@ mod tests {
             "{:?}",
             c.violations()
         );
+    }
+
+    fn fault(at: u64, kind_of: FaultKind, container: Option<u64>, magnitude: f64) -> SimEvent {
+        SimEvent::FaultInjected {
+            at: t(at),
+            kind_of,
+            function: 0,
+            container,
+            magnitude,
+        }
+    }
+
+    fn fault_evict(at: u64, container: u64) -> SimEvent {
+        SimEvent::Eviction {
+            at: t(at),
+            function: 0,
+            container,
+            worker: 0,
+            memory_mb: 100.0,
+            reason: EvictionReason::Fault,
+        }
+    }
+
+    fn dispatch(at: u64, stage: usize, tasks: u32) -> SimEvent {
+        SimEvent::StageDispatch {
+            at: t(at),
+            workflow: 0,
+            instance: 0,
+            stage,
+            function: 0,
+            tasks,
+        }
+    }
+
+    fn complete(at: u64, stage: usize, container: u64) -> SimEvent {
+        SimEvent::TaskComplete {
+            at: t(at),
+            workflow: 0,
+            instance: 0,
+            stage,
+            container,
+        }
+    }
+
+    #[test]
+    fn fault_kill_of_busy_container_is_legal() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 1));
+        c.record(&fault(3, FaultKind::Crash, Some(3), 0.0));
+        c.record(&fault_evict(3, 3));
+        c.assert_ok();
+    }
+
+    #[test]
+    fn fault_kill_of_booting_container_is_legal() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&fault(2, FaultKind::BootFail, Some(3), 0.0));
+        c.record(&fault_evict(2, 3));
+        c.assert_ok();
+    }
+
+    #[test]
+    fn detects_fault_eviction_without_prior_fault() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 0));
+        c.record(&fault_evict(3, 3));
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("without a prior fault"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_use_after_fault_kill() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 0));
+        c.record(&fault(3, FaultKind::Crash, Some(3), 0.0));
+        c.record(&fault_evict(3, 3));
+        c.record(&SimEvent::WarmHit {
+            at: t(4),
+            function: 0,
+            container: 3,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("evicted container"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_retry_without_prior_failure() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&SimEvent::InvocationRetried {
+            at: t(1),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            function: 0,
+            attempt: 1,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("without a prior fault or timeout"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn retry_after_fault_on_function_is_legal() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&fault(2, FaultKind::BootFail, Some(3), 0.0));
+        c.record(&fault_evict(2, 3));
+        c.record(&SimEvent::InvocationRetried {
+            at: t(2),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            function: 0,
+            attempt: 1,
+        });
+        c.assert_ok();
+    }
+
+    #[test]
+    fn timeout_then_retry_balances_the_ledger() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&dispatch(1, 0, 1));
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 1));
+        c.record(&SimEvent::InvocationTimedOut {
+            at: t(3),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            function: 0,
+            container: 3,
+        });
+        c.record(&SimEvent::InvocationRetried {
+            at: t(3),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            function: 0,
+            attempt: 1,
+        });
+        c.record(&SimEvent::WarmHit {
+            at: t(4),
+            function: 0,
+            container: 3,
+        });
+        c.record(&complete(5, 0, 3));
+        c.record(&SimEvent::StageComplete {
+            at: t(5),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+        });
+        c.assert_ok();
+    }
+
+    #[test]
+    fn detects_timeout_implies_no_completion() {
+        // An attempt that times out must not also complete: one dispatched
+        // task, one timeout, one completion — without a retry the ledger
+        // cannot balance.
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&dispatch(1, 0, 1));
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 1));
+        c.record(&SimEvent::InvocationTimedOut {
+            at: t(3),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+            function: 0,
+            container: 3,
+        });
+        c.record(&SimEvent::WarmHit {
+            at: t(4),
+            function: 0,
+            container: 3,
+        });
+        c.record(&complete(5, 0, 3));
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("attempt ledger broken"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_stage_complete_with_missing_tasks() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&dispatch(1, 0, 2));
+        c.record(&boot_begin(1, 3, 0, 100.0));
+        c.record(&boot_end(2, 3, 0, 1));
+        c.record(&complete(3, 0, 3));
+        c.record(&SimEvent::StageComplete {
+            at: t(3),
+            workflow: 0,
+            instance: 0,
+            stage: 0,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("completed with 1 of 2"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    #[test]
+    fn detects_nonsensical_fault_magnitudes() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&fault(1, FaultKind::Straggler, None, 0.5));
+        c.record(&fault(2, FaultKind::HandoffDelay, None, f64::NAN));
+        let v = c.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("straggler"));
+        assert!(v[1].contains("handoff delay"));
     }
 }

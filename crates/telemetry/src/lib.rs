@@ -42,6 +42,6 @@ pub mod invariant;
 pub mod sink;
 
 pub use diff::{diff_jsonl, diff_traces, Divergence};
-pub use event::{EvictionReason, SimEvent};
+pub use event::{EvictionReason, FaultKind, SimEvent};
 pub use invariant::InvariantChecker;
 pub use sink::{EventSink, Fanout, JsonlWriter, Recorder, SharedSink, Telemetry};

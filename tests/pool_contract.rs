@@ -25,6 +25,7 @@ fn obs(peaks: &[u32], minute: u64) -> PoolObservation {
                 booting: 0,
                 idle: (p / 2),
                 busy: p,
+                failed_boots: 0,
             })
             .collect(),
         cluster: ClusterSnapshot {

@@ -91,6 +91,7 @@ fn stats(function: usize, invocations: u32, peak: u32) -> FnWindowStats {
         booting: 0,
         idle: 0,
         busy: 0,
+        failed_boots: 0,
     }
 }
 

@@ -26,6 +26,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod gp_bench;
+pub mod matrix;
 pub mod nn_bench;
 pub mod table1;
 

@@ -7,6 +7,11 @@
 //!   (sequential vs batched, bit-identical paths) → `BENCH_NN.json`.
 //!   Add `--smoke` for a seconds-long CI sanity run (written to
 //!   `target/BENCH_NN_SMOKE.json`, leaving the committed record alone).
+//! * `cargo run -p aqua-bench --release -- matrix` — policy zoo ×
+//!   scenario matrix → `MATRIX_REPORT.json` (deterministic; `--smoke`
+//!   writes the reduced CI variant to `target/MATRIX_REPORT_SMOKE.json`).
+//!   Exits non-zero if a sanity-ordering gate (oracle ≤ aquatope ≤ fixed
+//!   on QoS violations) regresses.
 //!
 //! Debug timings are not meaningful; always run with `--release`.
 
@@ -37,8 +42,23 @@ fn main() {
             };
             write_record(name, &aqua_bench::nn_bench::run(smoke));
         }
+        "matrix" => {
+            let (record, violations) = aqua_bench::matrix::run(smoke);
+            let name = if smoke {
+                "target/MATRIX_REPORT_SMOKE.json"
+            } else {
+                "MATRIX_REPORT.json"
+            };
+            write_record(name, &record);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("sanity-ordering violation: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
         other => {
-            eprintln!("unknown benchmark '{other}' (expected 'gp' or 'nn')");
+            eprintln!("unknown benchmark '{other}' (expected 'gp', 'nn', or 'matrix')");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,92 @@
+//! The policy-zoo scenario matrix — the record behind `MATRIX_REPORT.json`
+//! (written by the `aqua-bench` binary, `cargo run -p aqua-bench --release
+//! -- matrix`; add `--smoke` for the seconds-long CI variant).
+//!
+//! Runs every pre-warm policy against every workload scenario over seed
+//! replicates (see `aqua-scenarios`), prints the per-cell QoS/cost table,
+//! and returns the deterministic report plus any violated sanity-ordering
+//! gate (oracle ≤ aquatope ≤ fixed on QoS violations, up to replicate
+//! CIs) so the binary can fail CI on a regression.
+
+use aqua_scenarios::{run_matrix, MatrixConfig};
+
+use crate::common::print_table;
+
+/// Runs the matrix and returns `(report json, sanity violations)`.
+pub fn run(smoke: bool) -> (serde_json::Value, Vec<String>) {
+    let config = if smoke {
+        MatrixConfig::smoke()
+    } else {
+        MatrixConfig::full()
+    };
+    let report = run_matrix(&config);
+
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            let m = c.mean();
+            let ci = c.ci95();
+            vec![
+                c.scenario.clone(),
+                c.policy.clone(),
+                format!("{:.3}±{:.3}", m.qos_violation_rate, ci.qos_violation_rate),
+                format!("{:.0}", m.cost_gb_s),
+                format!("{:.2}", m.p50_s),
+                format!("{:.2}", m.p99_s),
+                format!("{:.3}", m.cold_start_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "Scenario matrix (mean over seeds)",
+        &[
+            "scenario",
+            "policy",
+            "qos_viol",
+            "cost GB·s",
+            "p50 s",
+            "p99 s",
+            "cold",
+        ],
+        &rows,
+    );
+
+    let wins: Vec<Vec<String>> = report
+        .comparisons()
+        .iter()
+        .map(|c| {
+            vec![
+                c.scenario.clone(),
+                format!("{} vs {}", c.policy_a, c.policy_b),
+                format!("{:+.3}", c.mean_delta),
+                format!("{}-{}-{}", c.wins, c.ties, c.losses),
+                format!("{:.3}", c.p_value),
+                if c.a_beats_b(0.05) { "yes" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Head-to-head (paired sign test on QoS violations)",
+        &["scenario", "pair", "Δ mean", "W-T-L", "p", "beats@.05"],
+        &wins,
+    );
+
+    let violations = report.sanity_violations();
+    (report.to_json(), violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_cover_the_required_matrix() {
+        for cfg in [MatrixConfig::full(), MatrixConfig::smoke()] {
+            assert!(cfg.scenarios.len() >= 5);
+            assert!(cfg.policies.len() >= 6);
+            assert!(cfg.seeds.len() >= 3);
+        }
+        assert!(MatrixConfig::full().seeds.len() >= 5);
+    }
+}

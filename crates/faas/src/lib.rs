@@ -58,7 +58,8 @@ pub use function::{FunctionRegistry, FunctionSpec};
 pub use interference::NoiseModel;
 pub use metrics::{InvocationRecord, RunReport, WorkflowRecord};
 pub use sim::{
-    FaasSim, FaasSimBuilder, FixedPrewarm, PoolDecision, PoolObservation, PrewarmController,
+    replacement_target, FaasSim, FaasSimBuilder, FixedPrewarm, PoolDecision, PoolObservation,
+    PrewarmController, WorkflowJob,
 };
 pub use types::{ContainerId, FunctionId, ResourceConfig, StageConfigs, WorkerId};
 pub use workflow::{Stage, WorkflowDag};

@@ -67,6 +67,22 @@ pub struct PoolDecision {
     pub shrink: bool,
 }
 
+/// Lifts a policy's base pre-warm target by the boots that failed in the
+/// observed window, so every policy replaces fault-killed capacity instead
+/// of counting dead containers as provisioned. A `None` base stays `None`
+/// when nothing failed, keeping pure keep-alive policies strict no-ops on
+/// fault-free runs.
+///
+/// Every [`PrewarmController`] implementation in the workspace routes its
+/// target through this one helper — the lift semantics are part of the
+/// pool-policy contract (see `tests/pool_contract.rs`).
+pub fn replacement_target(base: Option<usize>, failed_boots: u32) -> Option<usize> {
+    match (base, failed_boots) {
+        (None, 0) => None,
+        (base, failed) => Some(base.unwrap_or(0) + failed as usize),
+    }
+}
+
 /// A dynamic pre-warmed-container-pool policy.
 ///
 /// Called once per adjustment interval with the window's observation;
@@ -117,10 +133,7 @@ impl PrewarmController for FixedPrewarm {
                 // overshoot is shrunk at the next tick) instead of
                 // counting dead containers toward the target.
                 let base = self.targets.get(&s.function).copied();
-                let prewarm_target = match (base, s.failed_boots) {
-                    (None, 0) => None,
-                    (base, failed) => Some(base.unwrap_or(0) + failed as usize),
-                };
+                let prewarm_target = replacement_target(base, s.failed_boots);
                 PoolDecision {
                     function: s.function,
                     prewarm_target,
@@ -1202,6 +1215,20 @@ mod tests {
             .seed(1)
             .build();
         (sim, dag, configs)
+    }
+
+    #[test]
+    fn replacement_target_lifts_by_failed_boots() {
+        // No base, no failures: stays None (strict no-op for keep-alive
+        // policies on fault-free runs).
+        assert_eq!(replacement_target(None, 0), None);
+        // Failures force a target even without a base.
+        assert_eq!(replacement_target(None, 3), Some(3));
+        // A base target is lifted by exactly the failed count.
+        assert_eq!(replacement_target(Some(4), 0), Some(4));
+        assert_eq!(replacement_target(Some(4), 2), Some(6));
+        // Zero base with failures still replaces the lost boots.
+        assert_eq!(replacement_target(Some(0), 1), Some(1));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use std::collections::HashMap;
 
-use aqua_faas::{FunctionId, PoolDecision, PoolObservation, PrewarmController, WorkflowDag};
+use aqua_faas::{
+    replacement_target, FunctionId, PoolDecision, PoolObservation, PrewarmController, WorkflowDag,
+};
 use aqua_forecast::{HybridBayesian, HybridConfig, Predictor};
 use aqua_sim::SimDuration;
 use aqua_telemetry::{SimEvent, Telemetry};
@@ -270,7 +272,7 @@ impl PrewarmController for AquatopePool {
                 }
                 // Replace capacity lost to boot failures in this window on
                 // top of the model's target.
-                target += s.failed_boots as usize;
+                target = replacement_target(Some(target), s.failed_boots).expect("base is Some");
                 self.telemetry.emit_with(|| SimEvent::PoolResize {
                     at: obs.now,
                     function: s.function.0,

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use aqua_faas::{FunctionId, PoolDecision, PoolObservation, PrewarmController};
+use aqua_faas::{replacement_target, FunctionId, PoolDecision, PoolObservation, PrewarmController};
 use aqua_forecast::{FourierPredictor, Predictor};
 use aqua_sim::SimDuration;
 
@@ -43,17 +43,6 @@ impl PrewarmController for KeepAlivePolicy {
                 shrink: true,
             })
             .collect()
-    }
-}
-
-/// Lifts a policy's base pre-warm target by the boots that failed in the
-/// observed window, so every policy replaces fault-killed capacity. A
-/// `None` base stays `None` when nothing failed (pure keep-alive policies
-/// remain strict no-ops without faults).
-fn replacement_target(base: Option<usize>, failed_boots: u32) -> Option<usize> {
-    match (base, failed_boots) {
-        (None, 0) => None,
-        (base, failed) => Some(base.unwrap_or(0) + failed as usize),
     }
 }
 

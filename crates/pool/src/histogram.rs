@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use aqua_faas::{FunctionId, PoolDecision, PoolObservation, PrewarmController};
+use aqua_faas::{replacement_target, FunctionId, PoolDecision, PoolObservation, PrewarmController};
 use aqua_sim::SimDuration;
 
 const MAX_GAP_MINUTES: usize = 240;
@@ -106,7 +106,7 @@ impl PrewarmController for HistogramPolicy {
                     function: s.function,
                     // Boots lost to faults this window are replaced on top
                     // of the histogram's own target.
-                    prewarm_target: Some(target + s.failed_boots as usize),
+                    prewarm_target: replacement_target(Some(target), s.failed_boots),
                     keep_alive: SimDuration::from_secs(60 * ka_min),
                     shrink: true,
                 }

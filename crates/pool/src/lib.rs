@@ -17,16 +17,32 @@
 //! * [`AquaLitePool`] — the ablation without uncertainty (paper's
 //!   "AquaLite").
 //!
+//! Plus two learning-based competitors beyond the paper's line-up:
+//!
+//! * [`SlackAwarePolicy`] — Fifer-style slack-aware batching/queueing:
+//!   per-stage slack from the workflow deadline decides which functions
+//!   defer pre-warming entirely and which get bucketed proactive boots.
+//! * [`RlPoolPolicy`] — a tabular Q-learning agent per function over
+//!   discretized utilization/demand/rate states and pre-warm deltas, with
+//!   deterministic seeded exploration.
+//!
 //! All predictive policies observe the same per-window statistics and keep
-//! per-function history; none peeks at the future trace.
+//! per-function history; none peeks at the future trace. Every policy
+//! routes its target through [`aqua_faas::replacement_target`] so
+//! fault-killed boots are replaced uniformly (the `failed_boots` contract
+//! in `tests/pool_contract.rs`).
 
 pub mod aquatope;
 pub mod baselines;
 pub mod histogram;
+pub mod rl;
+pub mod slack;
 
 pub use aquatope::{AquaLitePool, AquatopePool, AquatopePoolConfig};
 pub use baselines::{FaasCachePolicy, IceBreakerPolicy, KeepAlivePolicy, ReactiveAutoscale};
 pub use histogram::HistogramPolicy;
+pub use rl::{RlConfig, RlPoolPolicy};
+pub use slack::{SlackAwarePolicy, SlackConfig};
 
 use aqua_forecast::{SeriesPoint, TriggerKind};
 

@@ -1,17 +1,37 @@
-//! Contract tests over every pre-warm pool policy: each must return one
-//! decision per observed function with sane keep-alives and targets, for
-//! any window statistics.
+//! Trait-level contract tests over *every* pre-warm pool policy — the
+//! paper's line-up plus the slack-aware, RL, and oracle competitors from
+//! the policy zoo. Each policy must, for any window statistics:
+//!
+//! * return exactly one decision per observed function with sane values,
+//! * honor the `failed_boots` replacement lift (every policy routes its
+//!   target through `aqua_faas::replacement_target`),
+//! * keep its response bounded by the observed demand (no runaway
+//!   targets from bounded inputs), and
+//! * release capacity after sustained silence.
+//!
+//! The property block fuzzes observation streams with proptest; the named
+//! tests below pin the sharper per-policy behaviors.
+
+use std::collections::HashMap;
 
 use aquatope::faas::cluster::ClusterSnapshot;
 use aquatope::faas::sim::FnWindowStats;
-use aquatope::faas::{FunctionId, PoolObservation, PrewarmController};
+use aquatope::faas::{
+    FunctionId, FunctionRegistry, FunctionSpec, PoolObservation, PrewarmController, WorkflowDag,
+};
 use aquatope::pool::{
     AquatopePool, AquatopePoolConfig, FaasCachePolicy, HistogramPolicy, IceBreakerPolicy,
-    KeepAlivePolicy, ReactiveAutoscale,
+    KeepAlivePolicy, ReactiveAutoscale, RlConfig, RlPoolPolicy, SlackAwarePolicy, SlackConfig,
 };
 use aquatope::prelude::*;
+use aquatope::scenarios::OraclePrewarm;
+use proptest::prelude::*;
 
 fn obs(peaks: &[u32], minute: u64) -> PoolObservation {
+    obs_failed(peaks, minute, 0)
+}
+
+fn obs_failed(peaks: &[u32], minute: u64, failed_boots: u32) -> PoolObservation {
     PoolObservation {
         now: SimTime::from_secs(60 * minute),
         window: SimDuration::from_secs(60),
@@ -25,7 +45,7 @@ fn obs(peaks: &[u32], minute: u64) -> PoolObservation {
                 booting: 0,
                 idle: (p / 2),
                 busy: p,
-                failed_boots: 0,
+                failed_boots,
             })
             .collect(),
         cluster: ClusterSnapshot {
@@ -36,11 +56,44 @@ fn obs(peaks: &[u32], minute: u64) -> PoolObservation {
     }
 }
 
+/// A three-function chain workflow for the policies that need one
+/// (slack-aware reads deadlines, the oracle reads a schedule).
+fn chain_fixture() -> (FunctionRegistry, WorkflowDag) {
+    let mut registry = FunctionRegistry::new();
+    let fns: Vec<FunctionId> = (0..3)
+        .map(|i| {
+            registry.register(
+                FunctionSpec::new(format!("f{i}"))
+                    .with_work_ms(150.0)
+                    .with_cold_start(700.0, 200.0),
+            )
+        })
+        .collect();
+    (registry, WorkflowDag::chain("contract", fns))
+}
+
 fn all_policies() -> Vec<(&'static str, Box<dyn PrewarmController>)> {
     let cfg = AquatopePoolConfig {
         warmup_windows: 10_000, // stay in the reactive regime for speed
         ..AquatopePoolConfig::default()
     };
+    let (registry, dag) = chain_fixture();
+    let slack = SlackAwarePolicy::new(
+        SlackConfig::default(),
+        &[(&dag, SimDuration::from_millis(1500))],
+        &registry,
+    );
+    // A periodic oracle schedule over the three fixture functions.
+    let schedule: HashMap<FunctionId, Vec<u32>> = (0..3)
+        .map(|f| {
+            (
+                FunctionId(f),
+                (0..240u32)
+                    .map(|m| if m % 7 == 0 { 4 } else { 0 })
+                    .collect(),
+            )
+        })
+        .collect();
     vec![
         ("keep", Box::new(KeepAlivePolicy::provider_default())),
         ("autoscale", Box::new(ReactiveAutoscale::new())),
@@ -48,7 +101,78 @@ fn all_policies() -> Vec<(&'static str, Box<dyn PrewarmController>)> {
         ("faascache", Box::new(FaasCachePolicy::new())),
         ("icebreaker", Box::new(IceBreakerPolicy::new())),
         ("aquatope", Box::new(AquatopePool::new(cfg, &[]))),
+        ("slack", Box::new(slack)),
+        ("rl", Box::new(RlPoolPolicy::new(RlConfig::default()))),
+        (
+            "oracle",
+            Box::new(OraclePrewarm::from_schedule(
+                schedule,
+                SimDuration::from_secs(120),
+            )),
+        ),
     ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any short observation stream, every policy keeps its targets
+    /// inside a generous envelope of the demand it has seen, and replaces
+    /// fault-killed boots: with `failed > 0` the decision must carry a
+    /// target at least that large.
+    #[test]
+    fn targets_bounded_and_failed_boots_honored(
+        stream in proptest::collection::vec(
+            proptest::collection::vec(0u32..8, 3), 1..12),
+        failed in 1u32..4,
+    ) {
+        for (name, mut policy) in all_policies() {
+            let mut max_peak = 0u32;
+            for (minute, peaks) in stream.iter().enumerate() {
+                max_peak = max_peak.max(*peaks.iter().max().unwrap());
+                let d = policy.tick(&obs(peaks, minute as u64));
+                prop_assert_eq!(d.len(), peaks.len(), "{}: decision count", name);
+                for dec in &d {
+                    if let Some(t) = dec.prewarm_target {
+                        // Generous bound: the worst extrapolator in the
+                        // zoo (IceBreaker's Fourier fit) still stays well
+                        // inside a few multiples of the observed peak.
+                        prop_assert!(
+                            t <= 8 * max_peak as usize + 16,
+                            "{}: target {} from peaks ≤ {}", name, t, max_peak
+                        );
+                    }
+                }
+            }
+            // One more window with fault-killed boots: the replacement
+            // lift is mandatory for every policy.
+            let last = stream.len() as u64;
+            let d = policy.tick(&obs_failed(&[2, 0, 5], last, failed));
+            for dec in &d {
+                let t = dec.prewarm_target;
+                prop_assert!(
+                    t.is_some() && t.unwrap() >= failed as usize,
+                    "{}: failed_boots={} must lift the target, got {:?}",
+                    name, failed, t
+                );
+            }
+        }
+    }
+
+    /// Decisions cover exactly the observed functions, once each, with
+    /// positive keep-alives — for any peak vector.
+    #[test]
+    fn one_decision_per_function(peaks in proptest::collection::vec(0u32..8, 1..5)) {
+        for (name, mut policy) in all_policies() {
+            let d = policy.tick(&obs(&peaks, 0));
+            let mut fns: Vec<usize> = d.iter().map(|dec| dec.function.0).collect();
+            fns.sort_unstable();
+            prop_assert_eq!(fns, (0..peaks.len()).collect::<Vec<_>>(), "{}", name);
+            for dec in &d {
+                prop_assert!(dec.keep_alive > SimDuration::ZERO, "{}", name);
+            }
+        }
+    }
 }
 
 #[test]
@@ -78,8 +202,12 @@ fn one_decision_per_function_with_sane_values() {
 #[test]
 fn zero_load_eventually_releases_predictive_pools() {
     // After sustained zero demand, predictive policies must not keep
-    // requesting capacity.
+    // requesting capacity. (The oracle's fixture schedule is periodic, so
+    // it is exempt by construction — its "demand" is the schedule.)
     for (name, mut policy) in all_policies() {
+        if name == "oracle" {
+            continue;
+        }
         let mut last = Vec::new();
         for minute in 0..60u64 {
             last = policy.tick(&obs(&[0, 0, 0], minute));
@@ -92,6 +220,20 @@ fn zero_load_eventually_releases_predictive_pools() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn oracle_releases_when_its_schedule_is_empty() {
+    // The oracle's counterpart to the zero-load contract: beyond its
+    // schedule (or on an all-zero one) it requests nothing.
+    let mut oracle = OraclePrewarm::from_schedule(
+        HashMap::from([(FunctionId(0), vec![3, 0])]),
+        SimDuration::from_secs(120),
+    );
+    for minute in [1u64, 2, 50] {
+        let d = oracle.tick(&obs(&[0], minute));
+        assert_eq!(d[0].prewarm_target, Some(0), "minute {minute}");
     }
 }
 

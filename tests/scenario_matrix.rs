@@ -1,0 +1,122 @@
+//! Regression gates over the scenario-matrix evaluator:
+//!
+//! * a **golden** small matrix report (`tests/golden/matrix_small.json`,
+//!   byte-identical; regenerate with `BLESS=1 cargo test --test
+//!   scenario_matrix`),
+//! * the **zero-rate fault identity**: a faulted cell whose fault plan
+//!   has every rate at zero must reproduce its clean diurnal counterpart
+//!   bit-for-bit (same arrival stream by construction),
+//! * the **sanity ordering** on every scenario: the clairvoyant oracle
+//!   never violates QoS more than AQUATOPE, which never violates more
+//!   than the fixed keep-alive, each up to the replicate CI widths, and
+//! * the statistical layer's verdicts on the same matrix.
+
+use aquatope::faas::FaultRates;
+use aquatope::scenarios::{
+    matrix::{evaluate, evaluate_with_rates},
+    run_matrix, MatrixConfig, PolicyKind, ScenarioKind, ScenarioSpec,
+};
+
+/// The golden configuration: 2 scenarios × 3 cheap policies × 2 seeds at
+/// 30 minutes. No neural nets involved, so it runs in milliseconds and
+/// blesses identically everywhere.
+fn golden_config() -> MatrixConfig {
+    MatrixConfig {
+        scenarios: vec![
+            ScenarioSpec::new(ScenarioKind::Diurnal, 30, 3.0),
+            ScenarioSpec::new(ScenarioKind::Faulted, 30, 3.0),
+        ],
+        policies: vec![PolicyKind::Fixed, PolicyKind::SlackAware, PolicyKind::Rl],
+        seeds: vec![11, 12],
+    }
+}
+
+#[test]
+fn golden_small_matrix_report() {
+    let report = run_matrix(&golden_config());
+    let body = report.to_json_string();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("matrix_small.json");
+    if std::env::var("BLESS").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, body).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden matrix report {}: {e}\nregenerate with: \
+             BLESS=1 cargo test --test scenario_matrix",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden,
+        body,
+        "matrix report diverged from {}; if intentional, re-bless with \
+         BLESS=1 cargo test --test scenario_matrix",
+        path.display()
+    );
+}
+
+#[test]
+fn zero_rate_faulted_cells_match_clean_counterparts() {
+    // The faulted row reuses the diurnal arrival stream, so with every
+    // fault rate at zero the whole cell must be bit-identical — the
+    // fault machinery must be a strict no-op, not merely statistically
+    // invisible.
+    let clean = ScenarioSpec::new(ScenarioKind::Diurnal, 20, 3.0);
+    let faulted = ScenarioSpec::new(ScenarioKind::Faulted, 20, 3.0);
+    for policy in [PolicyKind::Fixed, PolicyKind::SlackAware, PolicyKind::Rl] {
+        for seed in [1u64, 9] {
+            let a = evaluate(&clean, policy, seed);
+            let b = evaluate_with_rates(&faulted, policy, seed, FaultRates::default());
+            assert_eq!(a, b, "{} seed {seed}", policy.name());
+        }
+    }
+}
+
+#[test]
+fn nonzero_fault_rates_actually_change_the_cells() {
+    // Guard the guard: the identity above would pass vacuously if the
+    // faulted row ignored its rates entirely.
+    let faulted = ScenarioSpec::new(ScenarioKind::Faulted, 20, 3.0);
+    let clean = evaluate_with_rates(&faulted, PolicyKind::Fixed, 1, FaultRates::default());
+    let hot = evaluate(&faulted, PolicyKind::Fixed, 1);
+    assert_ne!(clean, hot, "default fault rates must perturb the run");
+}
+
+#[test]
+fn sanity_ordering_holds_on_every_scenario() {
+    // oracle ≤ aquatope ≤ fixed on QoS violations, per scenario, up to
+    // replicate CIs. Deterministic: once green, always green.
+    let config = MatrixConfig {
+        scenarios: ScenarioSpec::all_kinds(30, 3.0),
+        policies: vec![PolicyKind::Fixed, PolicyKind::Aquatope, PolicyKind::Oracle],
+        seeds: vec![1, 2, 3],
+    };
+    let report = run_matrix(&config);
+    let violations = report.sanity_violations();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn statistical_layer_verdicts_on_the_sanity_matrix() {
+    let config = MatrixConfig {
+        scenarios: vec![ScenarioSpec::new(ScenarioKind::Faulted, 30, 3.0)],
+        policies: vec![PolicyKind::Fixed, PolicyKind::Oracle],
+        seeds: vec![1, 2, 3, 4, 5, 6],
+    };
+    let report = run_matrix(&config);
+    let c = report.compare("faulted", "oracle", "fixed").unwrap();
+    // Under injected faults the clairvoyant oracle wins every seed: the
+    // paired sign test must be able to reach significance at 6 seeds
+    // (p = 2/64), and the reversed comparison must not claim a win.
+    assert!(c.wins + c.ties + c.losses == 6);
+    assert!(
+        c.a_beats_b(0.05),
+        "oracle should significantly beat fixed under faults: {c:?}"
+    );
+    let rev = report.compare("faulted", "fixed", "oracle").unwrap();
+    assert!(!rev.a_beats_b(0.05));
+}

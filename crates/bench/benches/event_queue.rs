@@ -1,0 +1,77 @@
+//! Criterion micro-benchmark of the [`EventQueue`] future-event list:
+//! push/pop throughput with and without a pre-reserved heap, plus the
+//! interleaved hold-one-pop-one pattern the simulator's hot loop follows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aqua_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+/// Pseudo-random but reproducible event timestamps in microseconds.
+fn timestamps(n: usize) -> Vec<SimTime> {
+    let mut rng = SimRng::seed(0xE7E7);
+    (0..n)
+        .map(|_| SimTime::from_micros((rng.uniform() * 3.6e9) as u64))
+        .collect()
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    for n in [1_000usize, 100_000] {
+        let times = timestamps(n);
+        c.bench_function(&format!("event_queue_push_pop_{n}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(*t, i);
+                }
+                let mut drained = 0usize;
+                while q.pop().is_some() {
+                    drained += 1;
+                }
+                black_box(drained)
+            })
+        });
+        c.bench_function(&format!("event_queue_push_pop_presized_{n}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for (i, t) in times.iter().enumerate() {
+                    q.push(*t, i);
+                }
+                let mut drained = 0usize;
+                while q.pop().is_some() {
+                    drained += 1;
+                }
+                black_box(drained)
+            })
+        });
+    }
+}
+
+/// The simulator's steady-state shape: a warm queue where each popped
+/// event schedules a couple of successors.
+fn bench_steady_state(c: &mut Criterion) {
+    let seed = timestamps(4_096);
+    c.bench_function("event_queue_steady_state_64k_events", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(8_192);
+            for (i, t) in seed.iter().enumerate() {
+                q.push(*t, i as u64);
+            }
+            let mut processed = 0u64;
+            while let Some((t, e)) = q.pop() {
+                processed += 1;
+                if processed >= 65_536 {
+                    break;
+                }
+                // Each event spawns two follow-ups while the horizon allows.
+                if e % 3 != 0 {
+                    q.push(t + SimDuration::from_millis(e % 500 + 1), e + 1);
+                    q.push(t + SimDuration::from_millis(e % 911 + 1), e + 2);
+                }
+            }
+            black_box(processed)
+        })
+    });
+}
+
+criterion_group!(benches, bench_push_pop, bench_steady_state);
+criterion_main!(benches);

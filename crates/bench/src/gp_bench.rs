@@ -92,6 +92,8 @@ pub fn run() -> serde_json::Value {
     let speedup = fit_ns[2] as f64 / extend_ns[2] as f64;
     println!("\nspeedup extend vs full refit at n=256: {speedup:.1}x");
     json!({
+        "schema": "aquatope.bench.v1",
+        "kind": "gp",
         "dim": DIM,
         "sizes": SIZES,
         "unit": "median ns per op",

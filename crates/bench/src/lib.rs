@@ -28,6 +28,7 @@ pub mod fig18;
 pub mod gp_bench;
 pub mod matrix;
 pub mod nn_bench;
+pub mod sim_bench;
 pub mod table1;
 
 pub use common::{write_json, Scale};

@@ -12,14 +12,45 @@
 //!   writes the reduced CI variant to `target/MATRIX_REPORT_SMOKE.json`).
 //!   Exits non-zero if a sanity-ordering gate (oracle ≤ aquatope ≤ fixed
 //!   on QoS violations) regresses.
+//! * `cargo run -p aqua-bench --release -- sim` — Azure-scale simulator
+//!   throughput over a shard-count sweep → `BENCH_SIM.json` (`--smoke`
+//!   → `target/BENCH_SIM_SMOKE.json`). Exits non-zero if best events/sec
+//!   falls below a sanity floor.
+//! * `cargo run -p aqua-bench --release -- all` — GP + NN + SIM records
+//!   in one invocation.
 //!
-//! Debug timings are not meaningful; always run with `--release`.
+//! All records carry `"schema": "aquatope.bench.v1"` and a `"kind"`
+//! field (`gp` / `nn` / `sim`) so downstream tooling can dispatch on one
+//! tag. Debug timings are not meaningful; always run with `--release`.
 
 fn write_record(name: &str, record: &serde_json::Value) {
     let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
     let body = serde_json::to_string_pretty(record).expect("record serializes") + "\n";
     std::fs::write(&path, body).expect("write benchmark record");
     println!("[json] {path}");
+}
+
+/// Sanity floor on the best point of the shard-scaling curve, events/sec.
+/// Deliberately far below measured numbers (hundreds of thousands on a
+/// release build) — it catches order-of-magnitude regressions and
+/// accidental debug-profile runs, not noise.
+const SIM_EVENTS_PER_SEC_FLOOR: f64 = 20_000.0;
+
+fn run_sim(smoke: bool) {
+    let record = aqua_bench::sim_bench::run(smoke);
+    let name = if smoke {
+        "target/BENCH_SIM_SMOKE.json"
+    } else {
+        "BENCH_SIM.json"
+    };
+    write_record(name, &record);
+    let best = aqua_bench::sim_bench::best_events_per_sec(&record);
+    if best < SIM_EVENTS_PER_SEC_FLOOR {
+        eprintln!(
+            "sim throughput sanity floor violated: best {best:.0} events/sec < {SIM_EVENTS_PER_SEC_FLOOR:.0}"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -57,8 +88,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "sim" => run_sim(smoke),
+        "all" => {
+            write_record("BENCH_GP.json", &aqua_bench::gp_bench::run());
+            let name = if smoke {
+                "target/BENCH_NN_SMOKE.json"
+            } else {
+                "BENCH_NN.json"
+            };
+            write_record(name, &aqua_bench::nn_bench::run(smoke));
+            run_sim(smoke);
+        }
         other => {
-            eprintln!("unknown benchmark '{other}' (expected 'gp', 'nn', or 'matrix')");
+            eprintln!(
+                "unknown benchmark '{other}' (expected 'gp', 'nn', 'matrix', 'sim', or 'all')"
+            );
             std::process::exit(2);
         }
     }

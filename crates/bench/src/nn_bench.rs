@@ -181,6 +181,8 @@ pub fn run(smoke: bool) -> serde_json::Value {
     );
 
     json!({
+        "schema": "aquatope.bench.v1",
+        "kind": "nn",
         "unit": "median ns per op",
         "smoke": smoke,
         "model": {

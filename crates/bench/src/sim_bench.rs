@@ -1,0 +1,219 @@
+//! Cluster-scale simulator throughput benchmark — the record behind
+//! `BENCH_SIM.json` (written by the `aqua-bench` binary, `cargo run -p
+//! aqua-bench --release -- sim`).
+//!
+//! Replays one Azure-scale workload ([`aqua_workflows::azure`]: ≥ 1 M
+//! function invocations over ≥ 1 k functions in a simulated hour for the
+//! full run) through the FaaS simulator at increasing shard counts and
+//! reports, per point on the scaling curve:
+//!
+//! * `events_per_sec` — discrete events processed / wall-clock seconds,
+//!   the headline throughput metric;
+//! * `wall_secs_per_sim_hour` — wall-clock cost of one simulated hour;
+//! * `workflows_completed` / `unfinished` — a cross-shard sanity check
+//!   that every configuration simulated the same workload.
+//!
+//! Peak RSS (`VmHWM`) is read from `/proc/self/status` once at the end —
+//! it is a process-lifetime high-water mark, so it reflects the largest
+//! configuration, not any single point.
+
+use aqua_faas::{last_parallel_slack, FaasSim, FixedPrewarm, NoiseModel};
+use aqua_sim::SimTime;
+use aqua_workflows::azure::{azure_scale, AzureScaleConfig};
+use serde_json::json;
+
+use crate::common::print_table;
+
+/// Shard counts on the scaling curve. 1 is the sequential reference loop.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Peak resident set size of this process in MiB (`VmHWM`), or 0.0 when
+/// `/proc` is unavailable.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            if let Some(kb) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                return kb / 1024.0;
+            }
+        }
+    }
+    0.0
+}
+
+/// Runs the scaling sweep and returns the `BENCH_SIM.json` record.
+/// `smoke` swaps in a CI-sized workload with the same shape.
+pub fn run(smoke: bool) -> serde_json::Value {
+    let cfg = if smoke {
+        AzureScaleConfig::smoke()
+    } else {
+        AzureScaleConfig::full()
+    };
+    let wl = azure_scale(&cfg);
+    let horizon = SimTime::from_secs(cfg.minutes * 60);
+    let sim_hours = cfg.minutes as f64 / 60.0;
+    println!(
+        "workload: {} apps, {} functions, {} arrivals, {} stage invocations, {} min",
+        wl.jobs.len(),
+        wl.registry.len(),
+        wl.arrivals,
+        wl.invocations,
+        cfg.minutes
+    );
+
+    let workers = if smoke { 32 } else { 256 };
+    // Wall-clock on a shared box is noisy; keep the fastest of `reps`
+    // identical runs per configuration (standard fastest-run reporting —
+    // simulation output is deterministic, only timing varies).
+    let reps = if smoke { 1 } else { 3 };
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    let mut baseline_evps = 0.0f64;
+    for shards in SHARD_COUNTS {
+        let mut best: Option<(f64, f64, _)> = None;
+        for _ in 0..reps {
+            let mut sim = FaasSim::builder()
+                .workers(workers, 8.0, 16 * 1024)
+                .registry(wl.registry.clone())
+                .noise(NoiseModel::production())
+                .seed(4242)
+                .shards(shards)
+                .build();
+            let mut controller = FixedPrewarm::provider_default();
+            let t0 = std::time::Instant::now();
+            let report = sim.run(&wl.jobs, &mut controller, horizon);
+            let wall = t0.elapsed().as_secs_f64();
+            // Critical path: wall minus the shard-advance time that would
+            // have overlapped with each window's slowest shard given one
+            // core per shard. With `shards` cores, measured wall
+            // approaches it; on fewer cores it is the honest lower bound
+            // the hardware hides.
+            let slack = if shards > 1 {
+                last_parallel_slack().as_secs_f64().min(wall)
+            } else {
+                0.0
+            };
+            if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
+                best = Some((wall, slack, report));
+            }
+        }
+        let (wall, slack, report) = best.expect("at least one rep");
+        let critical = (wall - slack).max(1e-9);
+        let evps = report.events_processed as f64 / wall.max(1e-9);
+        let cp_evps = report.events_processed as f64 / critical;
+        if shards == 1 {
+            baseline_evps = evps;
+        }
+        let speedup = evps / baseline_evps.max(1e-9);
+        let cp_speedup = cp_evps / baseline_evps.max(1e-9);
+        rows.push(vec![
+            shards.to_string(),
+            report.events_processed.to_string(),
+            format!("{wall:.2}"),
+            format!("{critical:.2}"),
+            format!("{evps:.0}"),
+            format!("{cp_evps:.0}"),
+            format!("{cp_speedup:.2}x"),
+            report.workflows.len().to_string(),
+        ]);
+        entries.push(json!({
+            "shards": shards,
+            "events_processed": report.events_processed,
+            "wall_secs": wall,
+            "wall_secs_per_sim_hour": wall / sim_hours,
+            "critical_path_secs": critical,
+            "critical_path_secs_per_sim_hour": critical / sim_hours,
+            "events_per_sec_wall": evps,
+            "events_per_sec_critical_path": cp_evps,
+            "speedup_wall_vs_1_shard": speedup,
+            "speedup_critical_path_vs_1_shard": cp_speedup,
+            "workflows_completed": report.workflows.len(),
+            "unfinished": report.unfinished,
+            "invocations": report.invocations.len(),
+        }));
+    }
+    print_table(
+        "Simulator throughput (Azure-scale workload, shard sweep)",
+        &[
+            "shards",
+            "events",
+            "wall s",
+            "crit s",
+            "ev/s wall",
+            "ev/s crit",
+            "speedup",
+            "workflows",
+        ],
+        &rows,
+    );
+    let peak_rss = peak_rss_mb();
+    println!("peak RSS: {peak_rss:.0} MiB");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    json!({
+        "schema": "aquatope.bench.v1",
+        "kind": "sim",
+        "smoke": smoke,
+        "cores": cores,
+        "metric_note": "events_per_sec_wall divides by measured wall-clock and is core-count-bound; \
+            events_per_sec_critical_path divides by wall minus the measured per-window parallel slack \
+            (advance time that overlaps the slowest shard given one core per shard) — the throughput a \
+            host with >= `shards` cores approaches, and the shard-scaling signal when `cores` < `shards`.",
+        "workload": {
+            "apps": wl.jobs.len(),
+            "functions": wl.registry.len(),
+            "arrivals": wl.arrivals,
+            "stage_invocations": wl.invocations,
+            "minutes": cfg.minutes,
+            "total_rpm": cfg.total_rpm,
+            "zipf_s": cfg.zipf_s,
+            "seed": cfg.seed,
+        },
+        "cluster": { "workers": workers, "cpu_per_worker": 8.0, "memory_mb_per_worker": 16 * 1024 },
+        "scaling": entries,
+        "peak_rss_mb": peak_rss,
+    })
+}
+
+/// The events/sec of the fastest point in a `BENCH_SIM` record — the
+/// quantity the CI sanity floor gates on.
+pub fn best_events_per_sec(record: &serde_json::Value) -> f64 {
+    record["scaling"]
+        .as_array()
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| e["events_per_sec_wall"].as_f64())
+                .fold(0.0, f64::max)
+        })
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_events_per_sec_reads_scaling_curve() {
+        let record = json!({
+            "scaling": [
+                {"events_per_sec_wall": 10.0},
+                {"events_per_sec_wall": 30.0},
+                {"events_per_sec_wall": 20.0},
+            ]
+        });
+        assert_eq!(best_events_per_sec(&record), 30.0);
+        assert_eq!(best_events_per_sec(&json!({})), 0.0);
+    }
+
+    #[test]
+    fn peak_rss_is_nonnegative() {
+        assert!(peak_rss_mb() >= 0.0);
+    }
+}

@@ -43,8 +43,18 @@ pub struct ClusterSnapshot {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     workers: Vec<Worker>,
+    /// Global id of `workers[0]` — non-zero when this cluster is one shard
+    /// of a partitioned run.
+    worker_base: usize,
     containers: HashMap<ContainerId, Container>,
+    /// Live container ids per function (`by_function[fid.0]`), so the hot
+    /// lookups (`find_warm`, `find_booting`, `counts`, reaping) touch only
+    /// the function's own containers instead of scanning the whole map.
+    by_function: Vec<Vec<ContainerId>>,
     next_id: u64,
+    /// Container-id step — the shard count in a partitioned run, so every
+    /// shard mints globally unique ids.
+    id_stride: u64,
     // Resource-time integrals (updated lazily at every state change).
     last_account: SimTime,
     reserved_mb_now: f64,
@@ -63,22 +73,45 @@ impl Cluster {
     ///
     /// Panics if `n == 0` or capacities are non-positive.
     pub fn new(n: usize, cpu_per_worker: f64, memory_mb_per_worker: f64) -> Self {
+        Cluster::new_partition(n, cpu_per_worker, memory_mb_per_worker, 0, 0, 1)
+    }
+
+    /// Creates one shard of a partitioned cluster: `n` workers whose global
+    /// ids start at `worker_base`, minting container ids
+    /// `container_base, container_base + stride, …` so ids never collide
+    /// across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, capacities are non-positive, or `stride == 0`.
+    pub fn new_partition(
+        n: usize,
+        cpu_per_worker: f64,
+        memory_mb_per_worker: f64,
+        worker_base: usize,
+        container_base: u64,
+        stride: u64,
+    ) -> Self {
         assert!(n > 0, "need at least one worker");
         assert!(
             cpu_per_worker > 0.0 && memory_mb_per_worker > 0.0,
             "capacities must be positive"
         );
+        assert!(stride > 0, "container-id stride must be positive");
         Cluster {
             workers: (0..n)
                 .map(|i| Worker {
-                    id: WorkerId(i),
+                    id: WorkerId(worker_base + i),
                     cpu_capacity: cpu_per_worker,
                     memory_capacity_mb: memory_mb_per_worker,
                     memory_used_mb: 0.0,
                 })
                 .collect(),
+            worker_base,
             containers: HashMap::new(),
-            next_id: 0,
+            by_function: Vec::new(),
+            next_id: container_base,
+            id_stride: stride,
             last_account: SimTime::ZERO,
             reserved_mb_now: 0.0,
             busy_cpu_now: 0.0,
@@ -122,6 +155,14 @@ impl Cluster {
         self.containers.get(&id)
     }
 
+    /// The live-container index slice for `function` (possibly empty).
+    fn fn_index(&self, function: FunctionId) -> &[ContainerId] {
+        self.by_function
+            .get(function.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
     /// Starts booting a container for `function` with `config`; the boot
     /// completes `boot_time` later (caller schedules the event). Returns
     /// `None` if no worker has enough free memory.
@@ -148,7 +189,11 @@ impl Cluster {
         let wid = worker.id;
         self.reserved_mb_now += config.memory_mb;
         let id = ContainerId(self.next_id);
-        self.next_id += 1;
+        self.next_id += self.id_stride;
+        if self.by_function.len() <= function.0 {
+            self.by_function.resize(function.0 + 1, Vec::new());
+        }
+        self.by_function[function.0].push(id);
         self.telemetry.emit_with(|| SimEvent::ColdStartBegin {
             at: now,
             function: function.0,
@@ -194,9 +239,10 @@ impl Cluster {
     /// resource configuration, preferring the most recently used (better
     /// cache locality, standard practice).
     pub fn find_warm(&self, function: FunctionId, config: &ResourceConfig) -> Option<ContainerId> {
-        self.containers
-            .values()
-            .filter(|c| c.function == function && c.config == *config && c.can_serve())
+        self.fn_index(function)
+            .iter()
+            .map(|id| &self.containers[id])
+            .filter(|c| c.config == *config && c.can_serve())
             .max_by_key(|c| (c.last_used, c.id.0))
             .map(|c| c.id)
     }
@@ -210,11 +256,11 @@ impl Cluster {
         config: &ResourceConfig,
         claimed: &HashMap<ContainerId, u32>,
     ) -> Option<ContainerId> {
-        self.containers
-            .values()
+        self.fn_index(function)
+            .iter()
+            .map(|id| &self.containers[id])
             .filter(|c| {
-                c.function == function
-                    && c.config == *config
+                c.config == *config
                     && c.state == ContainerState::Booting
                     && claimed.get(&c.id).copied().unwrap_or(0) < c.config.concurrency
             })
@@ -265,7 +311,8 @@ impl Cluster {
         self.account(now);
         let c = self.containers.remove(&id).expect("unknown container");
         assert_eq!(c.busy_slots, 0, "cannot kill a busy container");
-        let w = &mut self.workers[c.worker.0];
+        self.by_function[c.function.0].retain(|cid| *cid != id);
+        let w = &mut self.workers[c.worker.0 - self.worker_base];
         w.memory_used_mb -= c.config.memory_mb;
         self.reserved_mb_now -= c.config.memory_mb;
         self.telemetry.emit_with(|| SimEvent::Eviction {
@@ -307,16 +354,13 @@ impl Cluster {
         now: SimTime,
     ) -> usize {
         let mut victims: Vec<ContainerId> = self
-            .containers
-            .values()
-            .filter(|c| {
-                c.function == function
-                    && c.state == ContainerState::Idle
-                    && c.idle_for(now) > keep_alive
-            })
+            .fn_index(function)
+            .iter()
+            .map(|id| &self.containers[id])
+            .filter(|c| c.state == ContainerState::Idle && c.idle_for(now) > keep_alive)
             .map(|c| c.id)
             .collect();
-        // HashMap iteration order varies run to run; kill in id order so
+        // Index order is insertion order, not id order; kill in id order so
         // accounting and the event trace are bit-for-bit reproducible.
         victims.sort_unstable_by_key(|id| id.0);
         for id in &victims {
@@ -329,9 +373,10 @@ impl Cluster {
     /// (used to shrink an over-provisioned pre-warm pool).
     pub fn shrink_idle(&mut self, function: FunctionId, count: usize, now: SimTime) -> usize {
         let mut idle: Vec<(SimTime, ContainerId)> = self
-            .containers
-            .values()
-            .filter(|c| c.function == function && c.state == ContainerState::Idle)
+            .fn_index(function)
+            .iter()
+            .map(|id| &self.containers[id])
+            .filter(|c| c.state == ContainerState::Idle)
             .map(|c| (c.last_used, c.id))
             .collect();
         // Newest first: keep the containers most likely to be cache-warm.
@@ -367,10 +412,11 @@ impl Cluster {
     /// Counts per-state containers of `function`: `(booting, idle, busy)`.
     pub fn counts(&self, function: FunctionId) -> (usize, usize, usize) {
         let mut counts = (0, 0, 0);
-        for c in self.containers.values() {
-            if c.function != function {
-                continue;
-            }
+        for c in self
+            .fn_index(function)
+            .iter()
+            .map(|id| &self.containers[id])
+        {
             match c.state {
                 ContainerState::Booting => counts.0 += 1,
                 ContainerState::Idle => counts.1 += 1,
@@ -737,6 +783,39 @@ mod tests {
                 false
             )
             .is_some());
+    }
+
+    #[test]
+    fn partitioned_shards_mint_disjoint_ids_and_global_worker_ids() {
+        // Shard 1 of 3: workers start at global id 4, container ids walk
+        // 1, 4, 7, … so no two shards can ever mint the same id.
+        let mut cl = Cluster::new_partition(2, 8.0, 4096.0, 4, 1, 3);
+        let a = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
+        let b = cl
+            .boot_container(
+                FunctionId(0),
+                cfg(),
+                SimTime::ZERO,
+                SimDuration::ZERO,
+                false,
+            )
+            .unwrap();
+        assert_eq!(a.0, 1);
+        assert_eq!(b.0, 4);
+        assert!(cl.container(a).unwrap().worker.0 >= 4);
+        // Kill must map the global worker id back to the local slot.
+        cl.boot_complete(a, SimTime::ZERO);
+        cl.kill(a, SimTime::from_secs(1), EvictionReason::Shrink);
+        assert!(cl.container(a).is_none());
+        assert_eq!(cl.counts(FunctionId(0)), (1, 0, 0));
     }
 
     #[test]

@@ -167,12 +167,26 @@ impl FaultState {
     /// Instantiates the plan's per-class streams.
     pub fn new(plan: &FaultPlan) -> Self {
         let root = SimRng::seed(plan.seed);
+        FaultState::from_root(&root, plan)
+    }
+
+    /// Instantiates per-class streams for one shard of a partitioned run:
+    /// the plan root is forked by shard id first (the same label-forking
+    /// pattern the classes themselves use), so each shard draws from an
+    /// independent, position-stable stream. Scripted draw indices apply
+    /// per shard.
+    pub fn for_shard(plan: &FaultPlan, shard: usize) -> Self {
+        let root = SimRng::seed(plan.seed).fork(&format!("shard-{shard}"));
+        FaultState::from_root(&root, plan)
+    }
+
+    fn from_root(root: &SimRng, plan: &FaultPlan) -> Self {
         FaultState {
             rates: plan.rates.clone(),
-            boot_fail: ClassState::new(&root, "boot_fail", FaultKind::BootFail, plan),
-            crash: ClassState::new(&root, "crash", FaultKind::Crash, plan),
-            straggler: ClassState::new(&root, "straggler", FaultKind::Straggler, plan),
-            handoff: ClassState::new(&root, "handoff", FaultKind::HandoffDelay, plan),
+            boot_fail: ClassState::new(root, "boot_fail", FaultKind::BootFail, plan),
+            crash: ClassState::new(root, "crash", FaultKind::Crash, plan),
+            straggler: ClassState::new(root, "straggler", FaultKind::Straggler, plan),
+            handoff: ClassState::new(root, "handoff", FaultKind::HandoffDelay, plan),
         }
     }
 

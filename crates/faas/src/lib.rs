@@ -47,6 +47,7 @@ pub mod fault;
 pub mod function;
 pub mod interference;
 pub mod metrics;
+pub(crate) mod shard;
 pub mod sim;
 pub mod types;
 pub mod workflow;
@@ -57,6 +58,7 @@ pub use fault::{FaultPlan, FaultRates, FaultState, RetryPolicy};
 pub use function::{FunctionRegistry, FunctionSpec};
 pub use interference::NoiseModel;
 pub use metrics::{InvocationRecord, RunReport, WorkflowRecord};
+pub use shard::last_parallel_slack;
 pub use sim::{
     replacement_target, FaasSim, FaasSimBuilder, FixedPrewarm, PoolDecision, PoolObservation,
     PrewarmController, WorkflowJob,

@@ -84,6 +84,10 @@ pub struct RunReport {
     /// Reserved (provisioned) memory in MiB sampled at every pool tick —
     /// the Fig. 11 time series.
     pub pool_snapshots: Vec<(SimTime, f64)>,
+    /// Discrete events processed by the run's event loop(s) — the
+    /// numerator of the BENCH_SIM events/sec throughput metric.
+    #[serde(default)]
+    pub events_processed: u64,
 }
 
 impl RunReport {

@@ -177,7 +177,7 @@ impl WorkflowJob {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     Arrival {
         job: usize,
         inst: usize,
@@ -210,32 +210,77 @@ enum Event {
     Retry {
         task: Task,
     },
-    /// A stage dispatch delayed by an injected handoff fault.
+    /// A stage dispatch delayed by an injected handoff fault, or a
+    /// cross-shard dispatch delivered at a synchronization boundary.
     StageReady {
         job: usize,
         inst: usize,
         stage: usize,
     },
+    /// Cross-shard notification that a stage of (job, inst) finished on
+    /// its owner shard; the home shard advances the DAG bookkeeping.
+    /// `finished` is the true completion time on the owner — the event
+    /// itself fires at the synchronization boundary, so workflow records
+    /// use `finished` to stay free of handoff quantization.
+    StageDoneRemote {
+        job: usize,
+        inst: usize,
+        stage: usize,
+        finished: SimTime,
+    },
     PoolTick,
 }
 
+/// A cross-shard handoff produced mid-window and exchanged at the next
+/// conservative synchronization boundary. Delivery order is fully
+/// deterministic: messages are collected in shard order and kept in each
+/// shard's emission order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ShardMsg {
+    /// A stage of (job, inst) became ready; its owner shard dispatches it.
+    StageStart {
+        to: usize,
+        job: usize,
+        inst: usize,
+        stage: usize,
+    },
+    /// A stage of (job, inst) finished on its owner at `finished`; the
+    /// home shard advances the instance's DAG bookkeeping.
+    StageDone {
+        to: usize,
+        job: usize,
+        inst: usize,
+        stage: usize,
+        finished: SimTime,
+    },
+}
+
+impl ShardMsg {
+    /// The shard this message is addressed to.
+    pub(crate) fn to(&self) -> usize {
+        match *self {
+            ShardMsg::StageStart { to, .. } | ShardMsg::StageDone { to, .. } => to,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
-struct InstanceState {
-    arrived: SimTime,
+pub(crate) struct InstanceState {
+    pub(crate) arrived: SimTime,
     /// Unsatisfied dependency count per stage.
     deps_left: Vec<usize>,
     /// Tasks still running per stage.
     tasks_left: Vec<u32>,
     stages_left: usize,
-    cold_starts: u32,
-    invocations: u32,
-    done: bool,
+    pub(crate) cold_starts: u32,
+    pub(crate) invocations: u32,
+    pub(crate) done: bool,
     /// A task exhausted its retries; the instance can never finish.
-    rejected: bool,
+    pub(crate) rejected: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Task {
+pub(crate) struct Task {
     job: usize,
     inst: usize,
     stage: usize,
@@ -257,16 +302,17 @@ struct ExecInfo {
 /// Builder for [`FaasSim`].
 #[derive(Debug, Clone)]
 pub struct FaasSimBuilder {
-    workers: usize,
-    cpu_per_worker: f64,
-    memory_mb_per_worker: f64,
-    registry: FunctionRegistry,
-    noise: NoiseModel,
-    seed: u64,
-    tick: SimDuration,
-    telemetry: Telemetry,
-    faults: FaultPlan,
-    retry: RetryPolicy,
+    pub(crate) workers: usize,
+    pub(crate) cpu_per_worker: f64,
+    pub(crate) memory_mb_per_worker: f64,
+    pub(crate) registry: FunctionRegistry,
+    pub(crate) noise: NoiseModel,
+    pub(crate) seed: u64,
+    pub(crate) tick: SimDuration,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) faults: FaultPlan,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) shards: usize,
 }
 
 impl Default for FaasSimBuilder {
@@ -282,6 +328,7 @@ impl Default for FaasSimBuilder {
             telemetry: Telemetry::disabled(),
             faults: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
+            shards: 1,
         }
     }
 }
@@ -337,6 +384,19 @@ impl FaasSimBuilder {
     /// Overrides the retry/timeout policy that absorbs injected faults.
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Splits the run into `n` parallel per-invoker-group event loops
+    /// (default 1 = the sequential reference loop). Each shard owns a
+    /// contiguous slice of workers plus the functions with `id % n ==
+    /// shard`; cross-shard stage handoffs are exchanged at conservative
+    /// synchronization windows. `n = 1` is bit-identical to the sequential
+    /// simulator; each `n >= 2` is its own deterministic model whose output
+    /// is independent of `AQUA_THREADS`. See `docs/DESIGN.md`.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one shard");
+        self.shards = n;
         self
     }
 
@@ -463,11 +523,25 @@ impl FaasSim {
                 continue;
             }
             let censored = horizon.saturating_since(arrival).as_secs_f64();
+            // Bill each attempt only up to the horizon: an execution still
+            // in flight when the run was cut off contributes the cost it
+            // accrued so far, not its full planned window — otherwise a
+            // censored sample double-penalizes long configurations with
+            // resource time that was never simulated.
             let cost: f64 = report
                 .invocations
                 .iter()
                 .filter(|r| r.workflow_instance == i)
-                .map(|r| r.cpu_seconds * price_cpu + r.memory_gb_seconds * price_mem)
+                .map(|r| {
+                    let planned = r.finished.saturating_since(r.started).as_secs_f64();
+                    let billed = r
+                        .finished
+                        .min(horizon)
+                        .saturating_since(r.started)
+                        .as_secs_f64();
+                    let frac = if planned > 0.0 { billed / planned } else { 1.0 };
+                    (r.cpu_seconds * price_cpu + r.memory_gb_seconds * price_mem) * frac
+                })
                 .sum();
             out.push((censored, cost.max(censored)));
         }
@@ -526,36 +600,42 @@ impl FaasSim {
         controller: &mut dyn PrewarmController,
         horizon: SimTime,
     ) -> RunReport {
+        if self.params.shards > 1 {
+            return crate::shard::run_sharded(&self.params, jobs, controller, horizon);
+        }
         let state = RunState::new(&self.params, jobs);
         state.execute(controller, horizon)
     }
 }
 
-/// All mutable state of one simulation run.
-struct RunState<'a> {
+/// All mutable state of one simulation run — or, in sharded runs, of one
+/// shard's slice of the run.
+pub(crate) struct RunState<'a> {
     params: &'a FaasSimBuilder,
     jobs: &'a [WorkflowJob],
-    cluster: Cluster,
+    pub(crate) cluster: Cluster,
     rng: SimRng,
-    queue: EventQueue<Event>,
-    instances: Vec<Vec<InstanceState>>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) instances: Vec<Vec<InstanceState>>,
     /// Tasks waiting for cluster capacity.
     pending: VecDeque<Task>,
     /// Tasks attached to a booting container.
     attached: HashMap<ContainerId, Vec<Task>>,
     /// Claimed slots per booting container.
     claimed: HashMap<ContainerId, u32>,
-    /// Current resource config per function (from the workload mix).
-    config_of: HashMap<FunctionId, ResourceConfig>,
-    /// Per-function invocation count in the current window.
-    window_invocations: HashMap<FunctionId, u32>,
+    /// Current resource config per function id, dense over function ids
+    /// (`None` = no workload uses the id).
+    config_of: Vec<Option<ResourceConfig>>,
+    /// Per-function invocation count in the current window (dense).
+    window_invocations: Vec<u32>,
     /// Per-function peak *demand* concurrency in the current window:
     /// tasks outstanding (runnable or executing), independent of how many
     /// containers actually served them — the signal pool policies must
     /// see, otherwise under-provisioning suppresses its own evidence.
-    window_peak: HashMap<FunctionId, u32>,
-    /// Currently outstanding tasks per function.
-    demand_now: HashMap<FunctionId, i64>,
+    /// Dense over function ids.
+    window_peak: Vec<u32>,
+    /// Currently outstanding tasks per function (dense over function ids).
+    demand_now: Vec<i64>,
     /// Live fault-draw streams for this run.
     faults: FaultState,
     /// In-flight execution attempts by sequence number.
@@ -564,31 +644,128 @@ struct RunState<'a> {
     running_on: HashMap<ContainerId, Vec<u64>>,
     /// Next execution-attempt sequence number.
     next_seq: u64,
-    /// Per-function failed-boot count in the current window.
-    window_boot_failures: HashMap<FunctionId, u32>,
-    report: RunReport,
+    /// Per-function failed-boot count in the current window (dense).
+    window_boot_failures: Vec<u32>,
+    /// This state's event sink: the run's own telemetry for the sequential
+    /// loop, or a per-shard recorder merged by the sharded driver.
+    telemetry: Telemetry,
+    /// This state's shard index (0 for the sequential loop).
+    pub(crate) shard: usize,
+    /// Total shard count (1 for the sequential loop).
+    pub(crate) num_shards: usize,
+    /// Home shard per job: the shard owning the first root stage's
+    /// function, where the job's DAG bookkeeping lives.
+    home: Vec<usize>,
+    /// Prefix sums of per-job arrival counts: `inst_base[job] + inst` is
+    /// the global workflow-instance index (O(1) on the per-invocation
+    /// hot path instead of an O(jobs) rescan).
+    inst_base: Vec<usize>,
+    /// Cross-shard messages produced since the last synchronization window.
+    pub(crate) outbox: Vec<ShardMsg>,
+    pub(crate) report: RunReport,
 }
 
 impl<'a> RunState<'a> {
     fn new(params: &'a FaasSimBuilder, jobs: &'a [WorkflowJob]) -> Self {
-        let mut cluster = Cluster::new(
-            params.workers,
-            params.cpu_per_worker,
-            params.memory_mb_per_worker,
-        );
-        cluster.set_telemetry(params.telemetry.clone());
-        let mut config_of = HashMap::new();
+        RunState::new_shard(params, jobs, 0, 1, params.telemetry.clone())
+    }
+
+    /// Builds the state for `shard` of `num_shards`. With `num_shards == 1`
+    /// this is exactly the sequential simulator: full cluster, the legacy
+    /// RNG and fault streams, and a self-scheduled pool tick. With more
+    /// shards, the shard gets a contiguous worker slice, container ids
+    /// minted at `shard + k * num_shards`, RNG/fault streams forked by
+    /// shard id, and only the arrivals of jobs homed on it; pool ticks are
+    /// driven externally by [`crate::shard::run_sharded`].
+    pub(crate) fn new_shard(
+        params: &'a FaasSimBuilder,
+        jobs: &'a [WorkflowJob],
+        shard: usize,
+        num_shards: usize,
+        telemetry: Telemetry,
+    ) -> Self {
+        let sharded = num_shards > 1;
+        let (worker_count, worker_base) = if sharded {
+            let w = params.workers;
+            let base = (w / num_shards) * shard + shard.min(w % num_shards);
+            let count = w / num_shards + usize::from(shard < w % num_shards);
+            (count, base)
+        } else {
+            (params.workers, 0)
+        };
+        let mut cluster = if sharded {
+            Cluster::new_partition(
+                worker_count,
+                params.cpu_per_worker,
+                params.memory_mb_per_worker,
+                worker_base,
+                shard as u64,
+                num_shards as u64,
+            )
+        } else {
+            Cluster::new(
+                params.workers,
+                params.cpu_per_worker,
+                params.memory_mb_per_worker,
+            )
+        };
+        cluster.set_telemetry(telemetry.clone());
+
+        // Dense per-function tables sized to cover every id in play.
+        let mut nfn = params.registry.len();
         for job in jobs {
-            for (si, stage) in job.dag.stages().enumerate() {
-                config_of.insert(stage.function, job.configs.stage(si));
+            for stage in job.dag.stages() {
+                nfn = nfn.max(stage.function.0 + 1);
             }
         }
-        let mut queue = EventQueue::new();
+        let mut config_of: Vec<Option<ResourceConfig>> = vec![None; nfn];
+        for job in jobs {
+            for (si, stage) in job.dag.stages().enumerate() {
+                config_of[stage.function.0] = Some(job.configs.stage(si));
+            }
+        }
+
+        let home: Vec<usize> = jobs
+            .iter()
+            .map(|j| j.dag.stage(j.dag.roots()[0]).function.0 % num_shards)
+            .collect();
+
+        let inst_base: Vec<usize> = jobs
+            .iter()
+            .scan(0usize, |base, j| {
+                let b = *base;
+                *base += j.arrivals.len();
+                Some(b)
+            })
+            .collect();
+
+        // Pre-size the future-event list from the arrival count this state
+        // will inject: each arrival spawns at least a dispatch plus an
+        // exec-done per task, so a small multiple avoids mid-run
+        // reallocation for typical DAG widths.
+        let homed_arrivals: usize = jobs
+            .iter()
+            .enumerate()
+            .filter(|(ji, _)| !sharded || home[*ji] == shard)
+            .map(|(_, j)| j.arrivals.len())
+            .sum();
+        let mut queue = EventQueue::with_capacity(homed_arrivals * 4 + 64);
         let mut instances = Vec::with_capacity(jobs.len());
         for (ji, job) in jobs.iter().enumerate() {
+            let participates = !sharded
+                || home[ji] == shard
+                || job.dag.stages().any(|s| s.function.0 % num_shards == shard);
+            if !participates {
+                // A shard that neither homes this job nor owns any of its
+                // stage functions never touches its instances.
+                instances.push(Vec::new());
+                continue;
+            }
             let mut insts = Vec::with_capacity(job.arrivals.len());
             for (ii, &at) in job.arrivals.iter().enumerate() {
-                queue.push(at, Event::Arrival { job: ji, inst: ii });
+                if !sharded || home[ji] == shard {
+                    queue.push(at, Event::Arrival { job: ji, inst: ii });
+                }
                 insts.push(InstanceState {
                     arrived: at,
                     deps_left: job.dag.stages().map(|s| s.deps.len()).collect(),
@@ -602,26 +779,42 @@ impl<'a> RunState<'a> {
             }
             instances.push(insts);
         }
-        queue.push(SimTime::ZERO + params.tick, Event::PoolTick);
+        if !sharded {
+            queue.push(SimTime::ZERO + params.tick, Event::PoolTick);
+        }
+        let (rng, faults) = if sharded {
+            (
+                SimRng::seed(params.seed).fork(&format!("shard-{shard}")),
+                FaultState::for_shard(&params.faults, shard),
+            )
+        } else {
+            (SimRng::seed(params.seed), FaultState::new(&params.faults))
+        };
         RunState {
             params,
             jobs,
             cluster,
-            rng: SimRng::seed(params.seed),
+            rng,
             queue,
             instances,
             pending: VecDeque::new(),
             attached: HashMap::new(),
             claimed: HashMap::new(),
             config_of,
-            window_invocations: HashMap::new(),
-            window_peak: HashMap::new(),
-            demand_now: HashMap::new(),
-            faults: FaultState::new(&params.faults),
+            window_invocations: vec![0; nfn],
+            window_peak: vec![0; nfn],
+            demand_now: vec![0; nfn],
+            faults,
             exec_meta: HashMap::new(),
             running_on: HashMap::new(),
             next_seq: 0,
-            window_boot_failures: HashMap::new(),
+            window_boot_failures: vec![0; nfn],
+            telemetry,
+            shard,
+            num_shards,
+            home,
+            inst_base,
+            outbox: Vec::new(),
             report: RunReport::default(),
         }
     }
@@ -632,6 +825,7 @@ impl<'a> RunState<'a> {
                 break;
             }
             let (now, event) = self.queue.pop().expect("peeked");
+            self.report.events_processed += 1;
             match event {
                 Event::Arrival { job, inst } => self.on_arrival(job, inst, now),
                 Event::BootDone { container } => self.on_boot_done(container, now),
@@ -642,7 +836,15 @@ impl<'a> RunState<'a> {
                 }
                 Event::TaskTimeout { seq } => self.on_task_timeout(seq, now),
                 Event::Retry { task } => self.start_task(task, now),
-                Event::StageReady { job, inst, stage } => self.start_stage(job, inst, stage, now),
+                Event::StageReady { job, inst, stage } => {
+                    self.dispatch_stage(job, inst, stage, now)
+                }
+                Event::StageDoneRemote {
+                    job,
+                    inst,
+                    stage,
+                    finished,
+                } => self.home_stage_complete(job, inst, stage, finished, now),
                 Event::PoolTick => self.on_pool_tick(controller, now, horizon),
             }
             self.drain_pending(now);
@@ -663,20 +865,103 @@ impl<'a> RunState<'a> {
             .flatten()
             .filter(|i| i.rejected && i.arrived <= horizon)
             .count();
-        self.params.telemetry.flush();
+        self.telemetry.flush();
         self.report
+    }
+
+    /// Pops and handles every event strictly before `bound` (and within
+    /// the horizon). Used by the sharded driver; pool ticks never appear
+    /// here because sharded runs drive them between windows.
+    pub(crate) fn advance_until(&mut self, bound: SimTime, horizon: SimTime) {
+        while let Some(time) = self.queue.peek_time() {
+            if time >= bound || time > horizon {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked");
+            self.report.events_processed += 1;
+            match event {
+                Event::Arrival { job, inst } => self.on_arrival(job, inst, now),
+                Event::BootDone { container } => self.on_boot_done(container, now),
+                Event::BootFailed { container } => self.on_boot_failed(container, now),
+                Event::ExecDone { seq } => self.on_exec_done(seq, now),
+                Event::ContainerCrash { container, seq } => {
+                    self.on_container_crash(container, seq, now)
+                }
+                Event::TaskTimeout { seq } => self.on_task_timeout(seq, now),
+                Event::Retry { task } => self.start_task(task, now),
+                Event::StageReady { job, inst, stage } => {
+                    self.dispatch_stage(job, inst, stage, now)
+                }
+                Event::StageDoneRemote {
+                    job,
+                    inst,
+                    stage,
+                    finished,
+                } => self.home_stage_complete(job, inst, stage, finished, now),
+                Event::PoolTick => unreachable!("pool ticks are driver-run in sharded mode"),
+            }
+            self.drain_pending(now);
+        }
+    }
+
+    /// Enqueues a cross-shard message on this (receiving) shard at the
+    /// synchronization boundary `bound`. The receiver's clock is strictly
+    /// below `bound`, so the push is never clamped.
+    pub(crate) fn deliver(&mut self, msg: ShardMsg, bound: SimTime) {
+        match msg {
+            ShardMsg::StageStart {
+                job, inst, stage, ..
+            } => {
+                self.queue
+                    .push(bound, Event::StageReady { job, inst, stage });
+            }
+            ShardMsg::StageDone {
+                job,
+                inst,
+                stage,
+                finished,
+                ..
+            } => {
+                self.queue.push(
+                    bound,
+                    Event::StageDoneRemote {
+                        job,
+                        inst,
+                        stage,
+                        finished,
+                    },
+                );
+            }
+        }
     }
 
     fn on_arrival(&mut self, job: usize, inst: usize, now: SimTime) {
         let roots = self.jobs[job].dag.roots();
         for stage in roots {
+            self.dispatch_stage(job, inst, stage, now);
+        }
+    }
+
+    /// Routes a ready stage to the shard owning its function: dispatched
+    /// locally, or sent through the outbox for delivery at the next
+    /// synchronization boundary.
+    fn dispatch_stage(&mut self, job: usize, inst: usize, stage: usize, now: SimTime) {
+        let to = self.jobs[job].dag.stage(stage).function.0 % self.num_shards;
+        if to == self.shard {
             self.start_stage(job, inst, stage, now);
+        } else {
+            self.outbox.push(ShardMsg::StageStart {
+                to,
+                job,
+                inst,
+                stage,
+            });
         }
     }
 
     fn start_stage(&mut self, job: usize, inst: usize, stage: usize, now: SimTime) {
         let tasks = self.jobs[job].dag.stage(stage).tasks;
-        self.params.telemetry.emit_with(|| SimEvent::StageDispatch {
+        self.telemetry.emit_with(|| SimEvent::StageDispatch {
             at: now,
             workflow: job,
             instance: inst,
@@ -702,12 +987,11 @@ impl<'a> RunState<'a> {
         let dag = &self.jobs[task.job].dag;
         let function = dag.stage(task.stage).function;
         let config = self.jobs[task.job].configs.stage(task.stage);
-        *self.window_invocations.entry(function).or_insert(0) += 1;
+        self.window_invocations[function.0] += 1;
         self.instances[task.job][task.inst].invocations += 1;
-        let demand = self.demand_now.entry(function).or_insert(0);
-        *demand += 1;
-        let peak = self.window_peak.entry(function).or_insert(0);
-        *peak = (*peak).max((*demand).max(0) as u32);
+        self.demand_now[function.0] += 1;
+        let demand = self.demand_now[function.0];
+        self.window_peak[function.0] = self.window_peak[function.0].max(demand.max(0) as u32);
 
         // 1. Warm container with a free slot → immediate warm start.
         if let Some(cid) = self.cluster.find_warm(function, &config) {
@@ -748,7 +1032,7 @@ impl<'a> RunState<'a> {
             }
             None => {
                 // No capacity anywhere: queue until something frees up.
-                self.params.telemetry.emit_with(|| SimEvent::StageQueued {
+                self.telemetry.emit_with(|| SimEvent::StageQueued {
                     at: now,
                     workflow: task.job,
                     instance: task.inst,
@@ -767,7 +1051,7 @@ impl<'a> RunState<'a> {
         if !cold {
             // Cold tasks were charged at boot completion; only warm reuse
             // is a warm hit.
-            self.params.telemetry.emit_with(|| SimEvent::WarmHit {
+            self.telemetry.emit_with(|| SimEvent::WarmHit {
                 at: now,
                 function: function.0,
                 container: cid.0,
@@ -781,7 +1065,7 @@ impl<'a> RunState<'a> {
         // noise stream — and with it every fault-free run — is untouched.
         if let Some(factor) = self.faults.next_straggler() {
             exec = SimDuration::from_secs_f64(exec.as_secs_f64() * factor);
-            self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+            self.telemetry.emit_with(|| SimEvent::FaultInjected {
                 at: now,
                 kind_of: FaultKind::Straggler,
                 function: function.0,
@@ -875,11 +1159,26 @@ impl<'a> RunState<'a> {
     }
 
     fn global_instance(&self, job: usize, inst: usize) -> usize {
-        self.jobs[..job]
-            .iter()
-            .map(|j| j.arrivals.len())
-            .sum::<usize>()
-            + inst
+        self.inst_base[job] + inst
+    }
+
+    /// Folds this shard's per-instance counters into dense global-instance
+    /// vectors `(cold_starts, invocations, rejected)` of length `total`.
+    /// Shard-local by construction — the sharded driver sums the per-shard
+    /// folds after the final barrier.
+    pub(crate) fn instance_fold(&self, total: usize) -> (Vec<u32>, Vec<u32>, Vec<bool>) {
+        let mut cold = vec![0u32; total];
+        let mut invs = vec![0u32; total];
+        let mut rejected = vec![false; total];
+        for (ji, insts) in self.instances.iter().enumerate() {
+            let base = self.inst_base[ji];
+            for (ii, is) in insts.iter().enumerate() {
+                cold[base + ii] += is.cold_starts;
+                invs[base + ii] += is.invocations;
+                rejected[base + ii] |= is.rejected;
+            }
+        }
+        (cold, invs, rejected)
     }
 
     /// An injected boot fault fires: the container dies at the moment it
@@ -889,7 +1188,7 @@ impl<'a> RunState<'a> {
             Some(c) => c.function,
             None => return,
         };
-        self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+        self.telemetry.emit_with(|| SimEvent::FaultInjected {
             at: now,
             kind_of: FaultKind::BootFail,
             function: function.0,
@@ -897,12 +1196,12 @@ impl<'a> RunState<'a> {
             magnitude: 0.0,
         });
         self.cluster.kill(cid, now, EvictionReason::Fault);
-        *self.window_boot_failures.entry(function).or_insert(0) += 1;
+        self.window_boot_failures[function.0] += 1;
         self.claimed.remove(&cid);
         for task in self.attached.remove(&cid).unwrap_or_default() {
             // The waiting task is no longer outstanding until its retry
             // re-enters scheduling.
-            *self.demand_now.entry(function).or_insert(1) -= 1;
+            self.demand_now[function.0] -= 1;
             self.retry_or_reject(task, now);
         }
     }
@@ -918,7 +1217,7 @@ impl<'a> RunState<'a> {
             Some(c) => c.function,
             None => return,
         };
-        self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+        self.telemetry.emit_with(|| SimEvent::FaultInjected {
             at: now,
             kind_of: FaultKind::Crash,
             function: function.0,
@@ -932,7 +1231,7 @@ impl<'a> RunState<'a> {
                 continue;
             };
             let f = self.jobs[info.task.job].dag.stage(info.task.stage).function;
-            *self.demand_now.entry(f).or_insert(1) -= 1;
+            self.demand_now[f.0] -= 1;
             self.truncate_record(info.record, now);
             self.retry_or_reject(info.task, now);
         }
@@ -954,18 +1253,16 @@ impl<'a> RunState<'a> {
         self.cluster.release(cid, now);
         let task = info.task;
         let function = self.jobs[task.job].dag.stage(task.stage).function;
-        *self.demand_now.entry(function).or_insert(1) -= 1;
+        self.demand_now[function.0] -= 1;
         self.truncate_record(info.record, now);
-        self.params
-            .telemetry
-            .emit_with(|| SimEvent::InvocationTimedOut {
-                at: now,
-                workflow: task.job,
-                instance: task.inst,
-                stage: task.stage,
-                function: function.0,
-                container: cid.0,
-            });
+        self.telemetry.emit_with(|| SimEvent::InvocationTimedOut {
+            at: now,
+            workflow: task.job,
+            instance: task.inst,
+            stage: task.stage,
+            function: function.0,
+            container: cid.0,
+        });
         self.retry_or_reject(task, now);
     }
 
@@ -988,7 +1285,7 @@ impl<'a> RunState<'a> {
         self.cluster.boot_complete(cid, now);
         self.claimed.remove(&cid);
         let tasks = self.attached.remove(&cid).unwrap_or_default();
-        self.params.telemetry.emit_with(|| SimEvent::ColdStartEnd {
+        self.telemetry.emit_with(|| SimEvent::ColdStartEnd {
             at: now,
             function: function.0,
             container: cid.0,
@@ -1017,28 +1314,59 @@ impl<'a> RunState<'a> {
         } = info.task;
         self.cluster.release(cid, now);
         let function = self.jobs[job].dag.stage(stage).function;
-        *self.demand_now.entry(function).or_insert(1) -= 1;
-        self.params.telemetry.emit_with(|| SimEvent::TaskComplete {
+        self.demand_now[function.0] -= 1;
+        self.telemetry.emit_with(|| SimEvent::TaskComplete {
             at: now,
             workflow: job,
             instance: inst,
             stage,
             container: cid.0,
         });
-        let global_instance = self.global_instance(job, inst);
-        let dag = &self.jobs[job].dag;
         let instance = &mut self.instances[job][inst];
         instance.tasks_left[stage] -= 1;
         if instance.tasks_left[stage] > 0 {
             return;
         }
         // Stage complete.
-        self.params.telemetry.emit_with(|| SimEvent::StageComplete {
+        self.telemetry.emit_with(|| SimEvent::StageComplete {
             at: now,
             workflow: job,
             instance: inst,
             stage,
         });
+        if self.home[job] == self.shard {
+            self.home_stage_complete(job, inst, stage, now, now);
+        } else {
+            // The instance's DAG bookkeeping lives on its home shard.
+            self.outbox.push(ShardMsg::StageDone {
+                to: self.home[job],
+                job,
+                inst,
+                stage,
+                finished: now,
+            });
+        }
+    }
+
+    /// Home-shard half of stage completion: DAG bookkeeping, workflow
+    /// records, and dispatch of newly-ready dependent stages. In the
+    /// sequential loop every stage completes here directly.
+    /// `finished` is the stage's true completion time on its owner shard
+    /// (== `now` except for cross-shard completions, which are processed
+    /// at the synchronization boundary after they happened); it stamps
+    /// workflow records so reported latency carries no handoff
+    /// quantization. Dependent stages still dispatch at `now` — work
+    /// cannot start before the notification arrives.
+    fn home_stage_complete(
+        &mut self,
+        job: usize,
+        inst: usize,
+        stage: usize,
+        finished: SimTime,
+        now: SimTime,
+    ) {
+        let global_instance = self.global_instance(job, inst);
+        let dag = &self.jobs[job].dag;
         let instance = &mut self.instances[job][inst];
         instance.stages_left -= 1;
         if instance.stages_left == 0 {
@@ -1046,7 +1374,7 @@ impl<'a> RunState<'a> {
             let record = WorkflowRecord {
                 instance: global_instance,
                 arrived: instance.arrived,
-                finished: now,
+                finished,
                 cold_starts: instance.cold_starts,
                 invocations: instance.invocations,
             };
@@ -1067,7 +1395,7 @@ impl<'a> RunState<'a> {
             // Handoff fault: the dependent stage's dispatch is delayed.
             if let Some(delay) = self.faults.next_handoff() {
                 let function = dag.stage(d).function;
-                self.params.telemetry.emit_with(|| SimEvent::FaultInjected {
+                self.telemetry.emit_with(|| SimEvent::FaultInjected {
                     at: now,
                     kind_of: FaultKind::HandoffDelay,
                     function: function.0,
@@ -1083,7 +1411,7 @@ impl<'a> RunState<'a> {
                     },
                 );
             } else {
-                self.start_stage(job, inst, d, now);
+                self.dispatch_stage(job, inst, d, now);
             }
         }
     }
@@ -1098,18 +1426,7 @@ impl<'a> RunState<'a> {
             .params
             .registry
             .iter()
-            .map(|(fid, _)| {
-                let (booting, idle, busy) = self.cluster.counts(fid);
-                FnWindowStats {
-                    function: fid,
-                    invocations: self.window_invocations.get(&fid).copied().unwrap_or(0),
-                    peak_concurrency: self.window_peak.get(&fid).copied().unwrap_or(0),
-                    booting: booting as u32,
-                    idle: idle as u32,
-                    busy: busy as u32,
-                    failed_boots: self.window_boot_failures.get(&fid).copied().unwrap_or(0),
-                }
-            })
+            .map(|(fid, _)| self.stats_for(fid))
             .collect();
         let obs = PoolObservation {
             now,
@@ -1122,19 +1439,44 @@ impl<'a> RunState<'a> {
             .push((now, self.cluster.reserved_memory_mb()));
         let decisions = controller.tick(&obs);
         for d in decisions {
-            // Reap stale idle containers first.
-            self.cluster.reap_idle(d.function, d.keep_alive, now);
-            if let Some(target) = d.prewarm_target {
-                self.apply_prewarm_target(d.function, target, d.shrink, now);
-            }
+            self.apply_decision(&d, now);
         }
-        self.window_invocations.clear();
-        self.window_peak.clear();
-        self.window_boot_failures.clear();
+        self.clear_window();
         let next = now + self.params.tick;
         if next <= horizon {
             self.queue.push(next, Event::PoolTick);
         }
+    }
+
+    /// Window stats for one function, from this state's counters and
+    /// cluster slice. The sharded driver sums these across shards.
+    pub(crate) fn stats_for(&self, fid: FunctionId) -> FnWindowStats {
+        let (booting, idle, busy) = self.cluster.counts(fid);
+        FnWindowStats {
+            function: fid,
+            invocations: self.window_invocations.get(fid.0).copied().unwrap_or(0),
+            peak_concurrency: self.window_peak.get(fid.0).copied().unwrap_or(0),
+            booting: booting as u32,
+            idle: idle as u32,
+            busy: busy as u32,
+            failed_boots: self.window_boot_failures.get(fid.0).copied().unwrap_or(0),
+        }
+    }
+
+    /// Applies one pool decision — reap stale idle containers first, then
+    /// grow or shrink toward the pre-warm target — to this state's cluster.
+    pub(crate) fn apply_decision(&mut self, d: &PoolDecision, now: SimTime) {
+        self.cluster.reap_idle(d.function, d.keep_alive, now);
+        if let Some(target) = d.prewarm_target {
+            self.apply_prewarm_target(d.function, target, d.shrink, now);
+        }
+    }
+
+    /// Resets the per-window counters at a pool tick.
+    pub(crate) fn clear_window(&mut self) {
+        self.window_invocations.fill(0);
+        self.window_peak.fill(0);
+        self.window_boot_failures.fill(0);
     }
 
     fn apply_prewarm_target(
@@ -1147,9 +1489,8 @@ impl<'a> RunState<'a> {
         let (booting, idle, _) = self.cluster.counts(function);
         let available = booting + idle;
         if available < target {
-            let config = match self.config_of.get(&function) {
-                Some(c) => *c,
-                None => return,
+            let Some(config) = self.config_of.get(function.0).copied().flatten() else {
+                return;
             };
             let spec = self.params.registry.spec(function);
             for _ in 0..(target - available) {
@@ -1167,7 +1508,7 @@ impl<'a> RunState<'a> {
         }
     }
 
-    fn drain_pending(&mut self, now: SimTime) {
+    pub(crate) fn drain_pending(&mut self, now: SimTime) {
         // Retry queued tasks (FIFO); stop at the first that still can't run
         // to preserve ordering fairness.
         while let Some(task) = self.pending.front().copied() {
@@ -1183,10 +1524,13 @@ impl<'a> RunState<'a> {
             }
             self.pending.pop_front();
             // Undo the double count in start_task (the task was already
-            // counted as an invocation and as outstanding demand).
-            *self.window_invocations.entry(function).or_insert(1) -= 1;
+            // counted as an invocation and as outstanding demand). The
+            // window counter saturates because a pool tick may have cleared
+            // the window while the task sat queued.
+            self.window_invocations[function.0] =
+                self.window_invocations[function.0].saturating_sub(1);
             self.instances[task.job][task.inst].invocations -= 1;
-            *self.demand_now.entry(function).or_insert(1) -= 1;
+            self.demand_now[function.0] -= 1;
             self.start_task(task, now);
         }
     }
@@ -1422,12 +1766,120 @@ mod tests {
     }
 
     #[test]
+    fn profile_config_censors_unfinished_samples_once() {
+        // 600 s of work per invocation: with one profiling window the
+        // horizon lands at `last arrival + 480 s`, so neither instance in
+        // the burst can finish and both must be censored.
+        let (mut sim, dag, configs) = setup(600_000.0);
+        let samples = sim.profile_config(&dag, &configs, 1, true, 1.0, 1.0);
+        // Exactly one entry per launched instance — censored samples are
+        // reported once, never dropped and never double-counted.
+        assert_eq!(samples.len(), 2);
+        // The censored latency is the elapsed-time lower bound
+        // `horizon - arrival`: arrivals at 150 s and 158 s, horizon at
+        // 158 + 480 = 638 s.
+        let mut lats: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        lats.sort_by(f64::total_cmp);
+        assert_eq!(lats, vec![480.0, 488.0]);
+        for (lat, cost) in &samples {
+            // Cost is horizon-capped: the full 600 s execution would bill
+            // 600 cpu·s + 600 GB·s = 1200 at unit prices, but only the
+            // simulated prefix (< 488 s of 600 s) may be charged...
+            assert!(*cost < 1150.0, "cost {cost} must be horizon-capped");
+            // ...while staying at least the censored elapsed time, so a
+            // searcher still sees the region as expensive.
+            assert!(*cost >= *lat, "cost {cost} below censored floor {lat}");
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let (mut sim, dag, configs) = setup(100.0);
         let arrivals = vec![SimTime::from_secs(1), SimTime::from_secs(5)];
         let a = sim.run_workflow_trace(&dag, &configs, &arrivals, SimTime::from_secs(60));
         let b = sim.run_workflow_trace(&dag, &configs, &arrivals, SimTime::from_secs(60));
         assert_eq!(a, b);
+    }
+
+    /// A workload wide enough to exercise several shards: six functions,
+    /// three two-stage chains, interleaved arrivals.
+    fn sharded_setup() -> (FunctionRegistry, Vec<WorkflowJob>) {
+        let mut registry = FunctionRegistry::new();
+        let fns: Vec<_> = (0..6)
+            .map(|i| {
+                registry.register(
+                    FunctionSpec::new(format!("f{i}"))
+                        .with_work_ms(80.0 + 20.0 * i as f64)
+                        .with_cold_start(300.0, 200.0)
+                        .with_exec_cv(0.1),
+                )
+            })
+            .collect();
+        let jobs: Vec<WorkflowJob> = (0..3)
+            .map(|c| {
+                let dag = WorkflowDag::chain(format!("chain{c}"), vec![fns[2 * c], fns[2 * c + 1]]);
+                let configs = StageConfigs::uniform(&dag, ResourceConfig::default());
+                let arrivals = (0..40)
+                    .map(|i| SimTime::from_millis(1_000 + 700 * i + 137 * c as u64))
+                    .collect();
+                WorkflowJob::new(dag, configs, arrivals)
+            })
+            .collect();
+        (registry, jobs)
+    }
+
+    fn run_sharded_setup(shards: usize) -> RunReport {
+        let (registry, jobs) = sharded_setup();
+        let mut sim = FaasSim::builder()
+            .workers(4, 16.0, 32_768)
+            .registry(registry)
+            .noise(NoiseModel::quiet())
+            .seed(9)
+            .shards(shards)
+            .build();
+        let mut controller = FixedPrewarm::provider_default();
+        sim.run(&jobs, &mut controller, SimTime::from_secs(300))
+    }
+
+    #[test]
+    fn sharded_run_completes_every_workflow() {
+        for shards in [1, 2, 4] {
+            let report = run_sharded_setup(shards);
+            assert_eq!(
+                report.workflows.len(),
+                120,
+                "all instances complete at {shards} shards"
+            );
+            assert_eq!(report.unfinished, 0);
+            // Two invocations per chain instance.
+            let total: u32 = report.workflows.iter().map(|w| w.invocations).sum();
+            assert_eq!(total, 240);
+            assert!(report.events_processed > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_given_seed() {
+        for shards in [2, 4] {
+            let a = run_sharded_setup(shards);
+            let b = run_sharded_setup(shards);
+            assert_eq!(a, b, "sharded run must replay identically at {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_latencies_track_sequential() {
+        // Different shard counts are different deterministic models, but
+        // on a lightly loaded cluster they must agree statistically:
+        // handoff quantization adds at most one 1 s window per stage edge.
+        let seq = run_sharded_setup(1);
+        let par = run_sharded_setup(4);
+        let mean_seq = seq.mean_latency_secs();
+        let mean_par = par.mean_latency_secs();
+        assert!(
+            (mean_par - mean_seq).abs() < 1.5,
+            "mean latency diverged: sequential {mean_seq} vs 4 shards {mean_par}"
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct MatrixConfig {
     pub policies: Vec<PolicyKind>,
     /// Seed replicates (each cell runs once per seed).
     pub seeds: Vec<u64>,
+    /// Event-loop shards per cell run (see [`FaasSim`]'s `shards`). The
+    /// committed report pins 1 — the sequential reference model — so its
+    /// bytes stay comparable across releases; sharded-path equivalence is
+    /// asserted by the determinism test matrix instead.
+    pub shards: usize,
 }
 
 impl MatrixConfig {
@@ -37,6 +42,7 @@ impl MatrixConfig {
             scenarios: ScenarioSpec::all_kinds(90, 3.0),
             policies: PolicyKind::ALL.to_vec(),
             seeds: vec![1, 2, 3, 4, 5, 6],
+            shards: 1,
         }
     }
 
@@ -46,7 +52,16 @@ impl MatrixConfig {
             scenarios: ScenarioSpec::all_kinds(25, 3.0),
             policies: PolicyKind::ALL.to_vec(),
             seeds: vec![1, 2, 3],
+            shards: 1,
         }
+    }
+
+    /// This config with every cell run through `shards` parallel event
+    /// loops (each shard count is its own deterministic model).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
     }
 }
 
@@ -80,7 +95,7 @@ pub struct CellMetrics {
 
 /// Scores one cell-seed: instantiate, build the policy, run, reduce.
 pub fn evaluate(spec: &ScenarioSpec, policy: PolicyKind, seed: u64) -> CellMetrics {
-    evaluate_with_rates(spec, policy, seed, default_fault_rates())
+    evaluate_cell(spec, policy, seed, default_fault_rates(), 1)
 }
 
 /// [`evaluate`] with explicit fault rates for the faulted row (how the
@@ -91,6 +106,18 @@ pub fn evaluate_with_rates(
     seed: u64,
     rates: FaultRates,
 ) -> CellMetrics {
+    evaluate_cell(spec, policy, seed, rates, 1)
+}
+
+/// The general cell scorer: explicit fault rates and shard count. This is
+/// how [`run_matrix`] routes the matrix through the sharded simulator.
+pub fn evaluate_cell(
+    spec: &ScenarioSpec,
+    policy: PolicyKind,
+    seed: u64,
+    rates: FaultRates,
+    shards: usize,
+) -> CellMetrics {
     let inst = spec.instantiate_with_rates(seed, rates);
     let mut controller = policy.build(&inst);
     let mut sim = FaasSim::builder()
@@ -100,6 +127,7 @@ pub fn evaluate_with_rates(
         .seed(seed)
         .faults(inst.faults.clone())
         .retry_policy(inst.retry.clone())
+        .shards(shards)
         .build();
     let report = sim.run(&inst.jobs, controller.as_mut(), spec.horizon());
 
@@ -192,6 +220,8 @@ pub struct MatrixReport {
     pub policies: Vec<PolicyKind>,
     /// Seed replicates as configured.
     pub seeds: Vec<u64>,
+    /// Event-loop shards per cell run.
+    pub shards: usize,
     /// Cells, scenario-major in config order.
     pub cells: Vec<Cell>,
 }
@@ -209,7 +239,7 @@ pub fn run_matrix(config: &MatrixConfig) -> MatrixReport {
         }
     }
     let scores = par_map(&work, |_, (spec, policy, seed)| {
-        evaluate(spec, *policy, *seed)
+        evaluate_cell(spec, *policy, *seed, default_fault_rates(), config.shards)
     });
     let per_cell = config.seeds.len();
     let cells = scores
@@ -225,6 +255,7 @@ pub fn run_matrix(config: &MatrixConfig) -> MatrixReport {
         specs: config.scenarios.clone(),
         policies: config.policies.clone(),
         seeds: config.seeds.clone(),
+        shards: config.shards,
         cells,
     }
 }
@@ -351,6 +382,7 @@ impl MatrixReport {
         json!({
             "schema": "aquatope.matrix_report.v1",
             "seeds": self.seeds.clone(),
+            "shards": self.shards as u64,
             "scenarios": scenarios,
             "policies": policies,
             "cells": cells,
@@ -392,6 +424,7 @@ mod tests {
             scenarios: vec![ScenarioSpec::new(ScenarioKind::Diurnal, 8, 3.0)],
             policies: vec![PolicyKind::Fixed, PolicyKind::Oracle],
             seeds: vec![1, 2],
+            shards: 1,
         }
     }
 
@@ -440,6 +473,23 @@ mod tests {
         // One comparison (oracle vs fixed) plus oracle vs aquatope is
         // absent (no aquatope cell in the tiny config).
         assert_eq!(v["comparisons"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sharded_matrix_is_deterministic_and_sane() {
+        let cfg = tiny().with_shards(2);
+        let a = run_matrix(&cfg);
+        let b = run_matrix(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.shards, 2);
+        assert_eq!(a.to_json()["shards"], serde_json::json!(2));
+        for c in &a.cells {
+            for m in &c.per_seed {
+                assert!(m.qos_violation_rate >= 0.0 && m.qos_violation_rate <= 1.0);
+                assert!(m.cost_gb_s.is_finite() && m.cost_gb_s >= 0.0);
+                assert!(m.p99_s >= m.p50_s);
+            }
+        }
     }
 
     #[test]

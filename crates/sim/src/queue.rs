@@ -73,6 +73,27 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Like [`EventQueue::new`] but with heap space for `capacity` events
+    /// reserved up front, so a run whose arrival count is known in advance
+    /// never reallocates mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves space for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is clamped to the current clock so that the
@@ -173,6 +194,22 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_reserves_and_behaves_identically() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(64);
+        assert!(b.capacity() >= 64);
+        for i in (0..50u64).rev() {
+            a.push(SimTime::from_millis(i), i);
+            b.push(SimTime::from_millis(i), i);
+        }
+        assert!(b.capacity() >= 64, "pre-sized heap must not shrink");
+        while let Some(x) = a.pop() {
+            assert_eq!(Some(x), b.pop());
+        }
+        assert!(b.pop().is_none());
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!     function: 0,
 //!     container: 42,
 //! });
-//! assert_eq!(rec.borrow().events().len(), 1);
+//! assert_eq!(rec.lock().unwrap().events().len(), 1);
 //! ```
 
 pub mod diff;

@@ -1,12 +1,11 @@
 //! Pluggable event sinks and the cheap [`Telemetry`] handle the simulator
 //! threads through its hot path.
 
-use std::cell::RefCell;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::SimEvent;
 
@@ -24,7 +23,11 @@ pub trait EventSink {
 }
 
 /// A shared, interiorly-mutable sink handle.
-pub type SharedSink = Rc<RefCell<dyn EventSink>>;
+///
+/// `Send` so a [`Telemetry`] clone can ride inside per-shard simulator
+/// state across the `par_map` worker threads; the mutex is uncontended in
+/// practice because each shard writes to its own private recorder.
+pub type SharedSink = Arc<Mutex<dyn EventSink + Send>>;
 
 /// The handle the simulator and controllers emit through.
 ///
@@ -70,10 +73,10 @@ impl Telemetry {
     ///
     /// let (tel, rec) = Telemetry::attach(Recorder::unbounded());
     /// assert!(tel.is_enabled());
-    /// assert!(rec.borrow().events().is_empty());
+    /// assert!(rec.lock().unwrap().events().is_empty());
     /// ```
-    pub fn attach<S: EventSink + 'static>(sink: S) -> (Telemetry, Rc<RefCell<S>>) {
-        let shared = Rc::new(RefCell::new(sink));
+    pub fn attach<S: EventSink + Send + 'static>(sink: S) -> (Telemetry, Arc<Mutex<S>>) {
+        let shared = Arc::new(Mutex::new(sink));
         (
             Telemetry {
                 sink: Some(shared.clone()),
@@ -83,7 +86,7 @@ impl Telemetry {
     }
 
     /// Shorthand for [`Telemetry::attach`] with an unbounded [`Recorder`].
-    pub fn recording() -> (Telemetry, Rc<RefCell<Recorder>>) {
+    pub fn recording() -> (Telemetry, Arc<Mutex<Recorder>>) {
         Telemetry::attach(Recorder::unbounded())
     }
 
@@ -95,7 +98,7 @@ impl Telemetry {
     /// Emits an already-built event.
     pub fn emit(&self, event: &SimEvent) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(event);
+            sink.lock().unwrap().record(event);
         }
     }
 
@@ -105,14 +108,14 @@ impl Telemetry {
     #[inline]
     pub fn emit_with<F: FnOnce() -> SimEvent>(&self, build: F) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(&build());
+            sink.lock().unwrap().record(&build());
         }
     }
 
     /// Flushes the attached sink, if any.
     pub fn flush(&self) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().flush();
+            sink.lock().unwrap().flush();
         }
     }
 }
@@ -270,13 +273,13 @@ impl Fanout {
 impl EventSink for Fanout {
     fn record(&mut self, event: &SimEvent) {
         for sink in &self.sinks {
-            sink.borrow_mut().record(event);
+            sink.lock().unwrap().record(event);
         }
     }
 
     fn flush(&mut self) {
         for sink in &self.sinks {
-            sink.borrow_mut().flush();
+            sink.lock().unwrap().flush();
         }
     }
 }
@@ -312,7 +315,7 @@ mod tests {
         for i in 0..5 {
             tel.emit(&hit(i));
         }
-        let evs = rec.borrow().events();
+        let evs = rec.lock().unwrap().events();
         assert_eq!(evs.len(), 5);
         assert_eq!(evs[0].at(), SimTime::from_micros(0));
         assert_eq!(evs[4].at(), SimTime::from_micros(4));
@@ -324,7 +327,7 @@ mod tests {
         for i in 0..7 {
             tel.emit(&hit(i));
         }
-        let rec = rec.borrow();
+        let rec = rec.lock().unwrap();
         assert_eq!(rec.total_seen(), 7);
         let evs = rec.events();
         assert_eq!(evs.len(), 3);
@@ -339,8 +342,12 @@ mod tests {
         tel.emit(&hit(2));
         tel.flush();
         drop(tel);
-        let sink = Rc::try_unwrap(sink).ok().expect("sole owner");
-        let bytes = sink.into_inner().into_inner();
+        let sink = Arc::try_unwrap(sink)
+            .map_err(|_| ())
+            .expect("sole owner")
+            .into_inner()
+            .expect("unpoisoned");
+        let bytes = sink.into_inner();
         let text = String::from_utf8(bytes).expect("utf8");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -349,15 +356,15 @@ mod tests {
 
     #[test]
     fn fanout_reaches_every_sink() {
-        let a = Rc::new(RefCell::new(Recorder::unbounded()));
-        let b = Rc::new(RefCell::new(Recorder::unbounded()));
-        let tel = Telemetry::new(Rc::new(RefCell::new(Fanout::new(vec![
-            a.clone(),
-            b.clone(),
+        let a: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::unbounded()));
+        let b: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::unbounded()));
+        let tel = Telemetry::new(Arc::new(Mutex::new(Fanout::new(vec![
+            a.clone() as SharedSink,
+            b.clone() as SharedSink,
         ]))));
         tel.emit(&hit(9));
-        assert_eq!(a.borrow().events().len(), 1);
-        assert_eq!(b.borrow().events().len(), 1);
+        assert_eq!(a.lock().unwrap().events().len(), 1);
+        assert_eq!(b.lock().unwrap().events().len(), 1);
     }
 
     #[test]
@@ -366,6 +373,6 @@ mod tests {
         let tel2 = tel.clone();
         tel.emit(&hit(1));
         tel2.emit(&hit(2));
-        assert_eq!(rec.borrow().events().len(), 2);
+        assert_eq!(rec.lock().unwrap().events().len(), 2);
     }
 }

@@ -10,6 +10,8 @@
 //!   CV-controlled renewal traces for the Fig. 10 sweep.
 //! * [`loadgen`] — open-loop workload assembly (the Locust role) and
 //!   per-window concurrency series extraction for training predictors.
+//! * [`azure`] — cluster-scale Azure-like workload synthesis (~1 k apps
+//!   with Zipf popularity) feeding the BENCH_SIM throughput gate.
 //!
 //! # Examples
 //!
@@ -23,11 +25,13 @@
 //! ```
 
 pub mod apps;
+pub mod azure;
 pub mod graph;
 pub mod loadgen;
 pub mod trace;
 
 pub use apps::{App, AppKind};
+pub use azure::{azure_scale, AzureScaleConfig, AzureWorkload};
 pub use graph::SocialGraph;
 pub use loadgen::{concurrency_series, make_job};
 pub use trace::{RateTraceConfig, TraceBundle};

@@ -10,23 +10,21 @@ use aquatope::faas::prelude::*;
 use aquatope::faas::types::ResourceConfig;
 use aquatope::telemetry::{diff_jsonl, Fanout, InvariantChecker, JsonlWriter, Recorder, Telemetry};
 use aquatope::workflows::apps;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn trace(seed: u64, out: Option<&str>) -> String {
     let mut registry = FunctionRegistry::new();
     let app = apps::ml_pipeline(&mut registry);
 
-    let rec = Rc::new(RefCell::new(Recorder::unbounded()));
-    let checker = Rc::new(RefCell::new(InvariantChecker::new(4, 65_536.0)));
-    let mut sinks: Vec<Rc<RefCell<dyn aquatope::telemetry::EventSink>>> =
-        vec![rec.clone(), checker.clone()];
+    let rec = Arc::new(Mutex::new(Recorder::unbounded()));
+    let checker = Arc::new(Mutex::new(InvariantChecker::new(4, 65_536.0)));
+    let mut sinks: Vec<aquatope::telemetry::SharedSink> = vec![rec.clone(), checker.clone()];
     if let Some(path) = out {
-        sinks.push(Rc::new(RefCell::new(
+        sinks.push(Arc::new(Mutex::new(
             JsonlWriter::create(path).expect("open trace file"),
         )));
     }
-    let tel = Telemetry::new(Rc::new(RefCell::new(Fanout::new(sinks))));
+    let tel = Telemetry::new(Arc::new(Mutex::new(Fanout::new(sinks))));
 
     let mut sim = FaasSim::builder()
         .workers(4, 40.0, 65_536)
@@ -40,8 +38,8 @@ fn trace(seed: u64, out: Option<&str>) -> String {
     sim.run_workflow_trace(&app.dag, &configs, &arrivals, SimTime::from_secs(400));
     tel.flush();
 
-    checker.borrow().assert_ok();
-    let jsonl = rec.borrow().to_jsonl();
+    checker.lock().unwrap().assert_ok();
+    let jsonl = rec.lock().unwrap().to_jsonl();
     jsonl
 }
 

@@ -8,8 +8,7 @@
 //! byte of the fault-free trace), differential same-seed replays, and the
 //! `incremental_refit` on/off equivalence under faults.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use aquatope::alloc::{AquatopeRm, AquatopeRmConfig, ResourceManager, SimEvaluator};
 use aquatope::faas::prelude::*;
@@ -67,14 +66,14 @@ struct ChaosCase {
 
 /// Runs one randomized case with recorder + invariant checker attached and
 /// returns `(trace, report, checker, arrivals_in_horizon, horizon)`.
-fn run_case(case: &ChaosCase) -> (String, RunReport, Rc<RefCell<InvariantChecker>>, usize) {
+fn run_case(case: &ChaosCase) -> (String, RunReport, Arc<Mutex<InvariantChecker>>, usize) {
     let (registry, fns) = registry3();
     let dag = random_dag(case.shape, case.width, &fns);
-    let rec = Rc::new(RefCell::new(Recorder::unbounded()));
-    let checker = Rc::new(RefCell::new(InvariantChecker::new(WORKERS, MEM_MB as f64)));
-    let tel = Telemetry::new(Rc::new(RefCell::new(Fanout::new(vec![
-        rec.clone(),
-        checker.clone(),
+    let rec = Arc::new(Mutex::new(Recorder::unbounded()));
+    let checker = Arc::new(Mutex::new(InvariantChecker::new(WORKERS, MEM_MB as f64)));
+    let tel = Telemetry::new(Arc::new(Mutex::new(Fanout::new(vec![
+        rec.clone() as aquatope::telemetry::SharedSink,
+        checker.clone() as aquatope::telemetry::SharedSink,
     ]))));
     let mut sim = FaasSim::builder()
         .workers(WORKERS, 24.0, MEM_MB)
@@ -92,7 +91,7 @@ fn run_case(case: &ChaosCase) -> (String, RunReport, Rc<RefCell<InvariantChecker
     let horizon = *arrivals.last().unwrap() + SimDuration::from_secs(180);
     let in_horizon = arrivals.iter().filter(|t| **t <= horizon).count();
     let report = sim.run_workflow_trace(&dag, &configs, &arrivals, horizon);
-    let trace = rec.borrow().to_jsonl();
+    let trace = rec.lock().unwrap().to_jsonl();
     (trace, report, checker, in_horizon)
 }
 
@@ -166,7 +165,7 @@ proptest! {
         prop_assert!(report.memory_gb_seconds >= 0.0);
         prop_assert!(report.busy_memory_gb_seconds >= 0.0);
 
-        let checker = checker.borrow();
+        let checker = checker.lock().unwrap();
         prop_assert!(checker.events_seen() > 0);
         prop_assert!(
             checker.is_ok(),
@@ -227,7 +226,7 @@ fn trace_ml_pipeline(plan: FaultPlan, retry: RetryPolicy) -> String {
     let configs = StageConfigs::uniform(&app.dag, ResourceConfig::default());
     let arrivals: Vec<SimTime> = (1..=30u64).map(|i| SimTime::from_secs(i * 7)).collect();
     sim.run_workflow_trace(&app.dag, &configs, &arrivals, SimTime::from_secs(400));
-    let jsonl = rec.borrow().to_jsonl();
+    let jsonl = rec.lock().unwrap().to_jsonl();
     jsonl
 }
 

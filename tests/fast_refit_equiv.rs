@@ -36,7 +36,7 @@ fn framework_trace(make_app: fn(&mut FunctionRegistry) -> App) -> String {
         &[],
         tel,
     );
-    let jsonl = rec.borrow().to_jsonl();
+    let jsonl = rec.lock().unwrap().to_jsonl();
     jsonl
 }
 

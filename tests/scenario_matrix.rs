@@ -28,6 +28,7 @@ fn golden_config() -> MatrixConfig {
         ],
         policies: vec![PolicyKind::Fixed, PolicyKind::SlackAware, PolicyKind::Rl],
         seeds: vec![11, 12],
+        shards: 1,
     }
 }
 
@@ -94,6 +95,7 @@ fn sanity_ordering_holds_on_every_scenario() {
         scenarios: ScenarioSpec::all_kinds(30, 3.0),
         policies: vec![PolicyKind::Fixed, PolicyKind::Aquatope, PolicyKind::Oracle],
         seeds: vec![1, 2, 3],
+        shards: 1,
     };
     let report = run_matrix(&config);
     let violations = report.sanity_violations();
@@ -106,6 +108,7 @@ fn statistical_layer_verdicts_on_the_sanity_matrix() {
         scenarios: vec![ScenarioSpec::new(ScenarioKind::Faulted, 30, 3.0)],
         policies: vec![PolicyKind::Fixed, PolicyKind::Oracle],
         seeds: vec![1, 2, 3, 4, 5, 6],
+        shards: 1,
     };
     let report = run_matrix(&config);
     let c = report.compare("faulted", "oracle", "fixed").unwrap();

@@ -4,8 +4,7 @@
 //! Golden files live in `tests/golden/`. After an *intentional* scheduling
 //! change, regenerate them with `BLESS=1 cargo test --test telemetry_trace`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use aquatope::core::{run_framework_traced, AquatopeConfig, ClusterSpec, Framework, Workload};
 use aquatope::faas::prelude::*;
@@ -29,7 +28,7 @@ fn trace_app(make_app: fn(&mut FunctionRegistry) -> App, seed: u64) -> String {
     let configs = StageConfigs::uniform(&app.dag, ResourceConfig::default());
     let arrivals: Vec<SimTime> = (1..=30u64).map(|i| SimTime::from_secs(i * 7)).collect();
     sim.run_workflow_trace(&app.dag, &configs, &arrivals, SimTime::from_secs(400));
-    let jsonl = rec.borrow().to_jsonl();
+    let jsonl = rec.lock().unwrap().to_jsonl();
     jsonl
 }
 
@@ -106,7 +105,7 @@ fn invariants_hold_on_plain_replay() {
     let configs = StageConfigs::uniform(&app.dag, ResourceConfig::default());
     let arrivals: Vec<SimTime> = (1..=40u64).map(|i| SimTime::from_secs(i * 5)).collect();
     sim.run_workflow_trace(&app.dag, &configs, &arrivals, SimTime::from_secs(300));
-    let checker = checker.borrow();
+    let checker = checker.lock().unwrap();
     assert!(
         checker.events_seen() > 100,
         "checker saw {} events",
@@ -125,14 +124,14 @@ fn framework_run_emits_all_layers_and_upholds_invariants() {
     }];
     let cluster = ClusterSpec::default();
 
-    let rec = Rc::new(RefCell::new(Recorder::unbounded()));
-    let checker = Rc::new(RefCell::new(InvariantChecker::new(
+    let rec = Arc::new(Mutex::new(Recorder::unbounded()));
+    let checker = Arc::new(Mutex::new(InvariantChecker::new(
         cluster.workers,
         cluster.memory_mb_per_worker as f64,
     )));
-    let tel = Telemetry::new(Rc::new(RefCell::new(Fanout::new(vec![
-        rec.clone(),
-        checker.clone(),
+    let tel = Telemetry::new(Arc::new(Mutex::new(Fanout::new(vec![
+        rec.clone() as aquatope::telemetry::SharedSink,
+        checker.clone() as aquatope::telemetry::SharedSink,
     ]))));
 
     let report = run_framework_traced(
@@ -147,7 +146,7 @@ fn framework_run_emits_all_layers_and_upholds_invariants() {
     );
     assert!(report.completed > 20);
 
-    let events = rec.borrow().events();
+    let events = rec.lock().unwrap().events();
     let count = |pred: fn(&SimEvent) -> bool| events.iter().filter(|e| pred(e)).count();
     assert!(
         count(|e| matches!(e, SimEvent::BoIteration { .. })) > 0,
@@ -168,7 +167,7 @@ fn framework_run_emits_all_layers_and_upholds_invariants() {
         "{violations} violation events for {arrived} arrivals"
     );
 
-    let checker = checker.borrow();
+    let checker = checker.lock().unwrap();
     assert!(checker.events_seen() > 0);
     checker.assert_ok();
 }

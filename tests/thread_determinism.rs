@@ -1,12 +1,16 @@
-//! Seed stability across worker-thread counts: the same workload and
-//! fault plan must replay to a byte-identical JSONL trace whether the
-//! parallel kernels run on 1, 2, or 8 threads.
+//! Seed stability across worker-thread counts and shard counts: for each
+//! simulator shard count, the same workload and fault plan must replay to
+//! a byte-identical JSONL trace whether the parallel kernels run on 1, 2,
+//! or 8 threads.
 //!
-//! The pool's per-function model work fans out through
-//! `aqua_sim::par_map_owned`, which reads `AQUA_THREADS` per call — the
-//! only thing a thread-count change may affect is wall clock, never a
-//! decision. Faults are active so the fault streams, retries, and kills
-//! are covered by the guarantee too.
+//! The pool's per-function model work — and, for `shards >= 2`, the
+//! per-shard event loops — fans out through `aqua_sim::par_map_owned`,
+//! which reads `AQUA_THREADS` per call: the only thing a thread-count
+//! change may affect is wall clock, never a decision. Shard counts are
+//! **not** compared to each other — each count is its own deterministic
+//! model (per-shard RNG and fault streams; see `DESIGN.md`, "Sharded
+//! execution"). Faults are active so the fault streams, retries, and
+//! kills are covered by the guarantee too.
 
 use aquatope::faas::prelude::*;
 use aquatope::faas::sim::WorkflowJob;
@@ -17,9 +21,9 @@ use aquatope::telemetry::{diff_jsonl, Telemetry};
 use aquatope::workflows::apps;
 
 /// Runs the faulted `ml_pipeline` workload under the AQUATOPE pool (the
-/// code path that actually fans work out across threads) and returns the
-/// JSONL trace.
-fn faulted_pool_trace() -> String {
+/// code path that actually fans work out across threads) at the given
+/// simulator shard count and returns the JSONL trace.
+fn faulted_pool_trace(shards: usize) -> String {
     let mut registry = FunctionRegistry::new();
     let app = apps::ml_pipeline(&mut registry);
     let (tel, rec) = Telemetry::recording();
@@ -45,6 +49,7 @@ fn faulted_pool_trace() -> String {
         .faults(plan)
         .retry_policy(retry)
         .telemetry(tel.clone())
+        .shards(shards)
         .build();
     let configs = StageConfigs::uniform(&app.dag, ResourceConfig::default());
     let arrivals: Vec<SimTime> = (1..=25u64).map(|i| SimTime::from_secs(i * 9)).collect();
@@ -55,34 +60,41 @@ fn faulted_pool_trace() -> String {
     };
     let mut pool = AquatopePool::new(cfg, &[&app.dag]).with_telemetry(tel);
     sim.run(&[job], &mut pool, SimTime::from_secs(400));
-    let jsonl = rec.borrow().to_jsonl();
+    let jsonl = rec.lock().unwrap().to_jsonl();
     jsonl
 }
 
-/// One test (not three) because `AQUA_THREADS` is process-global state:
-/// the settings must be applied sequentially, never concurrently with
-/// another test's parallel region.
+/// One test (not a matrix of tests) because `AQUA_THREADS` is
+/// process-global state: the settings must be applied sequentially, never
+/// concurrently with another test's parallel region.
 #[test]
-fn faulted_trace_is_identical_across_thread_counts() {
-    let mut traces = Vec::new();
-    for threads in ["1", "2", "8"] {
-        // SAFETY: single-threaded at this point in the test; the env var
-        // is read per par_map call, so setting it between runs is safe.
-        unsafe { std::env::set_var("AQUA_THREADS", threads) };
-        traces.push((threads, faulted_pool_trace()));
-    }
-    unsafe { std::env::remove_var("AQUA_THREADS") };
-    let (_, base) = &traces[0];
-    assert!(!base.is_empty(), "runs must emit events");
-    assert!(
-        base.contains("\"type\":\"fault_injected\""),
-        "fault plan must actually fire for the guarantee to mean anything"
-    );
-    for (threads, trace) in &traces[1..] {
-        assert_eq!(
-            base, trace,
-            "AQUA_THREADS={threads} diverged from the single-threaded trace"
+fn faulted_trace_is_identical_across_thread_counts_per_shard_count() {
+    // 4 workers in the cluster, so 4 shards still leaves one worker per
+    // shard.
+    for shards in [1usize, 2, 4] {
+        let mut traces = Vec::new();
+        for threads in ["1", "2", "8"] {
+            // SAFETY: single-threaded at this point in the test; the env
+            // var is read per par_map call, so setting it between runs is
+            // safe.
+            unsafe { std::env::set_var("AQUA_THREADS", threads) };
+            traces.push((threads, faulted_pool_trace(shards)));
+        }
+        unsafe { std::env::remove_var("AQUA_THREADS") };
+        let (_, base) = &traces[0];
+        assert!(!base.is_empty(), "runs must emit events");
+        assert!(
+            base.contains("\"type\":\"fault_injected\""),
+            "fault plan must actually fire for the guarantee to mean \
+             anything (shards={shards})"
         );
-        assert!(diff_jsonl(base, trace).is_none());
+        for (threads, trace) in &traces[1..] {
+            assert_eq!(
+                base, trace,
+                "shards={shards} AQUA_THREADS={threads} diverged from the \
+                 single-threaded trace"
+            );
+            assert!(diff_jsonl(base, trace).is_none());
+        }
     }
 }

@@ -35,12 +35,14 @@
 pub mod aquatope;
 pub mod baselines;
 pub mod evaluator;
+pub mod online;
 pub mod oracle;
 pub mod testkit;
 
 pub use aquatope::{AquatopeRm, AquatopeRmConfig};
 pub use baselines::{AutoscaleRm, Clite, RandomSearch};
 pub use evaluator::{ConfigEvaluator, SampleResult, SimEvaluator};
+pub use online::{OnlineLatencyModel, OnlineModelStats};
 pub use oracle::OracleSearch;
 
 use aqua_faas::StageConfigs;

@@ -1,0 +1,310 @@
+//! Online (service-clock) latency modelling with budgeted incremental
+//! refits.
+//!
+//! The batch resource managers fit their GPs inside one `optimize` call;
+//! a live control plane instead sees a *stream* of completed invocations
+//! and must fold them into its models without ever blocking the request
+//! path. [`OnlineLatencyModel`] is the alloc crate's service-facing entry
+//! point for that: completions are **buffered** (O(1), request path), and
+//! a refit scheduler running on its own cadence calls
+//! [`OnlineLatencyModel::refit`] per application, which drains the buffer
+//! through [`Gp::extend`] — the O(n²) rank-1 `Cholesky::extend` append,
+//! with the full hyperparameter grid search only every
+//! [`GpConfig::refit_every`] appends. A sliding window
+//! ([`Gp::refit_subset`]) caps the training set so per-append cost stays
+//! bounded over an unbounded run.
+//!
+//! Inputs are `(config ∈ [0,1]³, t ∈ [0,1])`: the normalized resource
+//! coordinates plus a normalized-time coordinate. The time coordinate
+//! both models drift (recent observations dominate nearby predictions)
+//! and keeps the kernel matrix non-singular when the same configuration
+//! is observed repeatedly — the usual failure mode of an online GP fed
+//! production traffic.
+
+use std::collections::HashMap;
+
+use aqua_gp::{Gp, GpConfig};
+
+/// One buffered observation: normalized input coordinates and an observed
+/// latency (seconds).
+#[derive(Debug, Clone, PartialEq)]
+struct PendingObs {
+    x: Vec<f64>,
+    latency: f64,
+}
+
+/// Per-application online model state.
+#[derive(Debug, Clone, Default)]
+struct AppModel {
+    gp: Option<Gp>,
+    pending: Vec<PendingObs>,
+    /// Completions recorded since the last successful refit.
+    staleness: u64,
+    /// Warm-up observations held until there are enough to fit.
+    warmup: Vec<PendingObs>,
+}
+
+/// Counters describing the work an [`OnlineLatencyModel`] has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineModelStats {
+    /// Observations recorded (buffered).
+    pub observed: u64,
+    /// Observations folded into a GP.
+    pub absorbed: u64,
+    /// Sliding-window compactions applied.
+    pub compactions: u64,
+    /// Appends rejected by the GP (singular kernel); dropped.
+    pub rejected: u64,
+}
+
+/// Streaming per-application latency models with incremental GP refits.
+#[derive(Debug, Clone)]
+pub struct OnlineLatencyModel {
+    apps: HashMap<usize, AppModel>,
+    config: GpConfig,
+    /// Training-set size cap; exceeding it triggers a sliding-window
+    /// compaction keeping the most recent half.
+    window: usize,
+    /// Observations needed before the first fit.
+    min_fit: usize,
+    /// Horizon (seconds) the time coordinate is normalized by.
+    time_horizon: f64,
+    stats: OnlineModelStats,
+}
+
+impl OnlineLatencyModel {
+    /// A model set with the given GP config, training-window cap, and
+    /// time-normalization horizon in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window ≥ 8` and `time_horizon > 0`.
+    pub fn new(config: GpConfig, window: usize, time_horizon: f64) -> Self {
+        assert!(window >= 8, "window must hold at least 8 observations");
+        assert!(time_horizon > 0.0, "time horizon must be positive");
+        OnlineLatencyModel {
+            apps: HashMap::new(),
+            config,
+            window,
+            min_fit: 4,
+            time_horizon,
+            stats: OnlineModelStats::default(),
+        }
+    }
+
+    /// Sensible service defaults: a 64-point window and a 1-hour time
+    /// horizon. The hyperparameter grid search (24 full Cholesky fits)
+    /// runs every 32nd append rather than the batch default of 8 —
+    /// an online model absorbs thousands of appends per hour, and at
+    /// that volume the search dominates total refit cost while the
+    /// hyperparameters barely move between consecutive windows.
+    pub fn service_default() -> Self {
+        let config = GpConfig {
+            refit_every: 32,
+            ..GpConfig::default()
+        };
+        OnlineLatencyModel::new(config, 64, 3600.0)
+    }
+
+    /// Records one completed invocation of `app`: resource coordinates
+    /// `u ∈ [0,1]³` (or `3·stages`), completion time `at_secs` on the
+    /// service clock, observed end-to-end latency in seconds. O(1); no GP
+    /// work happens here.
+    pub fn observe(&mut self, app: usize, u: &[f64], at_secs: f64, latency_secs: f64) {
+        let mut x = Vec::with_capacity(u.len() + 1);
+        x.extend_from_slice(u);
+        x.push((at_secs / self.time_horizon).clamp(0.0, 1.0));
+        let entry = self.apps.entry(app).or_default();
+        entry.pending.push(PendingObs {
+            x,
+            latency: latency_secs,
+        });
+        entry.staleness += 1;
+        self.stats.observed += 1;
+    }
+
+    /// Completions recorded for `app` since its last successful refit —
+    /// the priority key a refit scheduler sorts by.
+    pub fn staleness(&self, app: usize) -> u64 {
+        self.apps.get(&app).map_or(0, |m| m.staleness)
+    }
+
+    /// Applications with at least one buffered observation, sorted by
+    /// (staleness descending, app id ascending) — deterministic refit
+    /// order for a budgeted scheduler.
+    pub fn pending_apps(&self) -> Vec<usize> {
+        let mut apps: Vec<(u64, usize)> = self
+            .apps
+            .iter()
+            .filter(|(_, m)| !m.pending.is_empty())
+            .map(|(&id, m)| (m.staleness, id))
+            .collect();
+        apps.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        apps.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Drains `app`'s buffer into its GP: warm-up observations accumulate
+    /// until the first [`Gp::fit`]; afterwards each observation is a
+    /// rank-1 [`Gp::extend`] append (full grid search every
+    /// `refit_every`-th). Exceeding the window cap triggers a
+    /// [`Gp::refit_subset`] compaction keeping the newest half. Returns
+    /// the number of observations absorbed.
+    pub fn refit(&mut self, app: usize) -> usize {
+        let Some(model) = self.apps.get_mut(&app) else {
+            return 0;
+        };
+        let drained: Vec<PendingObs> = model.pending.drain(..).collect();
+        let mut absorbed = 0;
+        for obs in drained {
+            match &mut model.gp {
+                None => {
+                    model.warmup.push(obs);
+                    absorbed += 1;
+                    if model.warmup.len() >= self.min_fit {
+                        let xs: Vec<Vec<f64>> = model.warmup.iter().map(|o| o.x.clone()).collect();
+                        let ys: Vec<f64> = model.warmup.iter().map(|o| o.latency).collect();
+                        match Gp::fit(xs, ys, self.config.clone()) {
+                            Ok(gp) => {
+                                model.warmup.clear();
+                                model.gp = Some(gp);
+                            }
+                            Err(_) => {
+                                // Keep accumulating; more spread may fix a
+                                // singular kernel.
+                            }
+                        }
+                    }
+                }
+                Some(gp) => {
+                    if gp.extend(obs.x, obs.latency).is_ok() {
+                        absorbed += 1;
+                    } else {
+                        self.stats.rejected += 1;
+                    }
+                    if gp.len() > self.window {
+                        let keep: Vec<usize> = (gp.len() - self.window / 2..gp.len()).collect();
+                        if let Ok(compact) = gp.refit_subset(&keep) {
+                            *gp = compact;
+                            self.stats.compactions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        model.staleness = 0;
+        self.stats.absorbed += absorbed as u64;
+        absorbed
+    }
+
+    /// Predicted `(mean, variance)` latency for `app` at coordinates `u`
+    /// and service time `at_secs`, or `None` before the first fit.
+    pub fn predict(&self, app: usize, u: &[f64], at_secs: f64) -> Option<(f64, f64)> {
+        let gp = self.apps.get(&app)?.gp.as_ref()?;
+        let mut x = Vec::with_capacity(u.len() + 1);
+        x.extend_from_slice(u);
+        x.push((at_secs / self.time_horizon).clamp(0.0, 1.0));
+        Some(gp.predict(&x))
+    }
+
+    /// Training points currently held for `app` (0 before the first fit).
+    pub fn model_size(&self, app: usize) -> usize {
+        self.apps
+            .get(&app)
+            .and_then(|m| m.gp.as_ref())
+            .map_or(0, |gp| gp.len())
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> OnlineModelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(model: &mut OnlineLatencyModel, app: usize, n: usize, offset: f64) {
+        for i in 0..n {
+            let v = (i as f64 / n.max(2) as f64 + offset).fract();
+            model.observe(app, &[v, 1.0 - v, 0.5], i as f64 * 10.0, 1.0 + v);
+        }
+    }
+
+    #[test]
+    fn buffering_is_decoupled_from_fitting() {
+        let mut m = OnlineLatencyModel::service_default();
+        feed(&mut m, 0, 6, 0.05);
+        assert!(
+            m.predict(0, &[0.5, 0.5, 0.5], 0.0).is_none(),
+            "no refit yet"
+        );
+        assert_eq!(m.staleness(0), 6);
+        let absorbed = m.refit(0);
+        assert_eq!(absorbed, 6);
+        assert_eq!(m.staleness(0), 0);
+        assert!(m.predict(0, &[0.5, 0.5, 0.5], 0.0).is_some());
+    }
+
+    #[test]
+    fn pending_apps_sorts_stalest_first_then_id() {
+        let mut m = OnlineLatencyModel::service_default();
+        feed(&mut m, 2, 3, 0.0);
+        feed(&mut m, 0, 5, 0.1);
+        feed(&mut m, 1, 5, 0.2);
+        assert_eq!(m.pending_apps(), vec![0, 1, 2]);
+        m.refit(0);
+        assert_eq!(m.pending_apps(), vec![1, 2]);
+    }
+
+    #[test]
+    fn window_cap_bounds_model_size() {
+        let mut m = OnlineLatencyModel::new(GpConfig::default(), 16, 3600.0);
+        for batch in 0..10 {
+            feed(&mut m, 0, 5, batch as f64 * 0.37);
+            m.refit(0);
+        }
+        assert!(
+            m.model_size(0) <= 16,
+            "window cap violated: {}",
+            m.model_size(0)
+        );
+        assert!(m.stats().compactions > 0, "cap was exercised");
+    }
+
+    #[test]
+    fn repeated_identical_configs_do_not_kill_the_model() {
+        // Without the time coordinate these would be duplicate rows and a
+        // singular kernel; with it the model keeps absorbing.
+        let mut m = OnlineLatencyModel::service_default();
+        for i in 0..12 {
+            m.observe(0, &[0.5, 0.5, 0.5], i as f64 * 60.0, 1.2);
+        }
+        m.refit(0);
+        let (mean, _) = m.predict(0, &[0.5, 0.5, 0.5], 720.0).expect("fitted");
+        assert!((mean - 1.2).abs() < 0.2, "mean {mean}");
+        assert_eq!(m.stats().rejected, 0);
+    }
+
+    #[test]
+    fn prediction_tracks_observed_latency() {
+        let mut m = OnlineLatencyModel::service_default();
+        // Latency rises with the first coordinate.
+        for i in 0..20 {
+            let v = i as f64 / 20.0;
+            m.observe(0, &[v, 0.5, 0.5], i as f64, 1.0 + 2.0 * v);
+        }
+        m.refit(0);
+        let (lo, _) = m.predict(0, &[0.1, 0.5, 0.5], 20.0).unwrap();
+        let (hi, _) = m.predict(0, &[0.9, 0.5, 0.5], 20.0).unwrap();
+        assert!(hi > lo, "monotone trend not captured: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn unknown_app_is_harmless() {
+        let mut m = OnlineLatencyModel::service_default();
+        assert_eq!(m.refit(99), 0);
+        assert_eq!(m.staleness(99), 0);
+        assert!(m.predict(99, &[0.5, 0.5, 0.5], 0.0).is_none());
+    }
+}

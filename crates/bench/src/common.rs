@@ -35,6 +35,26 @@ impl Scale {
     }
 }
 
+/// Peak resident set size of this process in MiB (`VmHWM`), or 0.0 when
+/// `/proc` is unavailable.
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            if let Some(kb) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                return kb / 1024.0;
+            }
+        }
+    }
+    0.0
+}
+
 /// Median wall-clock nanoseconds of `reps` timed runs of `f`.
 pub fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
     let mut times: Vec<u128> = (0..reps)

@@ -29,6 +29,7 @@ pub mod gp_bench;
 pub mod matrix;
 pub mod nn_bench;
 pub mod sim_bench;
+pub mod svc_bench;
 pub mod table1;
 
 pub use common::{write_json, Scale};

@@ -16,12 +16,19 @@
 //!   throughput over a shard-count sweep → `BENCH_SIM.json` (`--smoke`
 //!   → `target/BENCH_SIM_SMOKE.json`). Exits non-zero if best events/sec
 //!   falls below a sanity floor.
-//! * `cargo run -p aqua-bench --release -- all` — GP + NN + SIM records
-//!   in one invocation.
+//! * `cargo run -p aqua-bench --release -- svc` — long-running
+//!   control-plane service under the Azure-scale open-loop load driver →
+//!   `BENCH_SVC.json` (`--smoke` → `target/BENCH_SVC_SMOKE.json`). Exits
+//!   non-zero if the sustained simulated-invocation rate falls below the
+//!   floor (100k/s full, 20k/s smoke) or the shutdown leaves orphaned
+//!   containers.
+//! * `cargo run -p aqua-bench --release -- all` — GP + NN + SIM + SVC
+//!   records in one invocation.
 //!
 //! All records carry `"schema": "aquatope.bench.v1"` and a `"kind"`
-//! field (`gp` / `nn` / `sim`) so downstream tooling can dispatch on one
-//! tag. Debug timings are not meaningful; always run with `--release`.
+//! field (`gp` / `nn` / `sim` / `svc`) so downstream tooling can dispatch
+//! on one tag. Debug timings are not meaningful; always run with
+//! `--release`.
 
 fn write_record(name: &str, record: &serde_json::Value) {
     let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
@@ -49,6 +56,39 @@ fn run_sim(smoke: bool) {
         eprintln!(
             "sim throughput sanity floor violated: best {best:.0} events/sec < {SIM_EVENTS_PER_SEC_FLOOR:.0}"
         );
+        std::process::exit(1);
+    }
+}
+
+/// Floor on the service's sustained simulated-invocation rate. The full
+/// trace must clear 100k invocations/sec (the acceptance headline); smoke
+/// runs are too short to amortize startup, so their floor is lower.
+const SVC_INVOCATIONS_PER_SEC_FLOOR: f64 = 100_000.0;
+const SVC_INVOCATIONS_PER_SEC_FLOOR_SMOKE: f64 = 20_000.0;
+
+fn run_svc(smoke: bool) {
+    let record = aqua_bench::svc_bench::run(smoke);
+    let name = if smoke {
+        "target/BENCH_SVC_SMOKE.json"
+    } else {
+        "BENCH_SVC.json"
+    };
+    write_record(name, &record);
+    let rate = aqua_bench::svc_bench::invocations_per_sec(&record);
+    let floor = if smoke {
+        SVC_INVOCATIONS_PER_SEC_FLOOR_SMOKE
+    } else {
+        SVC_INVOCATIONS_PER_SEC_FLOOR
+    };
+    if rate < floor {
+        eprintln!("service throughput floor violated: {rate:.0} invocations/sec < {floor:.0}");
+        std::process::exit(1);
+    }
+    let orphans = record["live_containers_at_exit"]
+        .as_f64()
+        .unwrap_or(f64::MAX);
+    if orphans != 0.0 {
+        eprintln!("graceful shutdown left {orphans} orphaned containers");
         std::process::exit(1);
     }
 }
@@ -89,6 +129,7 @@ fn main() {
             }
         }
         "sim" => run_sim(smoke),
+        "svc" => run_svc(smoke),
         "all" => {
             write_record("BENCH_GP.json", &aqua_bench::gp_bench::run());
             let name = if smoke {
@@ -98,10 +139,11 @@ fn main() {
             };
             write_record(name, &aqua_bench::nn_bench::run(smoke));
             run_sim(smoke);
+            run_svc(smoke);
         }
         other => {
             eprintln!(
-                "unknown benchmark '{other}' (expected 'gp', 'nn', 'matrix', 'sim', or 'all')"
+                "unknown benchmark '{other}' (expected 'gp', 'nn', 'matrix', 'sim', 'svc', or 'all')"
             );
             std::process::exit(2);
         }

@@ -22,30 +22,10 @@ use aqua_sim::SimTime;
 use aqua_workflows::azure::{azure_scale, AzureScaleConfig};
 use serde_json::json;
 
-use crate::common::print_table;
+use crate::common::{peak_rss_mb, print_table};
 
 /// Shard counts on the scaling curve. 1 is the sequential reference loop.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-/// Peak resident set size of this process in MiB (`VmHWM`), or 0.0 when
-/// `/proc` is unavailable.
-fn peak_rss_mb() -> f64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0.0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            if let Some(kb) = rest
-                .split_whitespace()
-                .next()
-                .and_then(|v| v.parse::<f64>().ok())
-            {
-                return kb / 1024.0;
-            }
-        }
-    }
-    0.0
-}
 
 /// Runs the scaling sweep and returns the `BENCH_SIM.json` record.
 /// `smoke` swaps in a CI-sized workload with the same shape.

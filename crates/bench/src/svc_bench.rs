@@ -1,0 +1,138 @@
+//! Control-plane service throughput benchmark (`BENCH_SVC.json`).
+//!
+//! Runs the `aqua-service` open-loop load driver over the Azure-scale
+//! trace and records the sustained wall-clock rates: simulated
+//! invocations per second (the headline — the acceptance floor on the
+//! full trace is 100k/s), reactor events per second, end-to-end service
+//! latency percentiles, the shed rate, and peak RSS. The run is
+//! deterministic in everything but the wall-clock denominators.
+
+use aqua_faas::FaultPlan;
+use aqua_pool::HistogramPolicy;
+use aqua_service::{drive, ServiceConfig};
+use aqua_workflows::azure::AzureScaleConfig;
+use serde_json::json;
+
+use crate::common::{peak_rss_mb, print_table};
+
+/// Runs the load driver and returns the `BENCH_SVC.json` record. `smoke`
+/// swaps in the CI-sized trace with the same shape.
+pub fn run(smoke: bool) -> serde_json::Value {
+    let azure = if smoke {
+        AzureScaleConfig::smoke()
+    } else {
+        AzureScaleConfig::full()
+    };
+    println!(
+        "service workload: {} apps, {} min trace",
+        azure.apps, azure.minutes
+    );
+    let report = drive(
+        &azure,
+        ServiceConfig::default(),
+        Box::new(HistogramPolicy::default()),
+        &FaultPlan::disabled(),
+    );
+    let svc = &report.service;
+    let shed_rate = {
+        let offered = svc.admission.admitted + svc.admission.shed_arrivals;
+        if offered == 0 {
+            0.0
+        } else {
+            (svc.admission.shed_arrivals + svc.admission.shed_tasks) as f64 / offered as f64
+        }
+    };
+    let peak_rss = peak_rss_mb();
+
+    print_table(
+        "control-plane service throughput",
+        &[
+            "inv/s",
+            "events/s",
+            "wall s",
+            "sim s",
+            "completed",
+            "shed",
+            "P50 ms",
+            "P99 ms",
+        ],
+        &[vec![
+            format!("{:.0}", report.invocations_per_sec),
+            format!("{:.0}", report.events_per_sec),
+            format!("{:.2}", report.wall_secs),
+            format!("{:.0}", report.sim_secs),
+            format!("{}", svc.completed),
+            format!("{:.4}", shed_rate),
+            format!("{:.1}", svc.latency.p50 * 1e3),
+            format!("{:.1}", svc.latency.p99 * 1e3),
+        ]],
+    );
+    println!("peak RSS: {peak_rss:.0} MiB");
+
+    json!({
+        "schema": "aquatope.bench.v1",
+        "kind": "svc",
+        "smoke": smoke,
+        "workload": {
+            "apps": azure.apps,
+            "minutes": azure.minutes,
+            "total_rpm": azure.total_rpm,
+            "trace_arrivals": report.trace_arrivals,
+            "trace_invocations": report.trace_invocations,
+        },
+        "invocations_per_sec": report.invocations_per_sec,
+        "events_per_sec": report.events_per_sec,
+        "wall_secs": report.wall_secs,
+        "sim_secs": report.sim_secs,
+        "completed": svc.completed,
+        "rejected_workflows": svc.rejected_workflows,
+        "invocations_executed": svc.invocations_executed,
+        "events_processed": svc.events_processed,
+        "shed_rate": shed_rate,
+        "shed_arrivals": svc.admission.shed_arrivals,
+        "shed_tasks": svc.admission.shed_tasks,
+        "latency_secs": {
+            "mean": svc.latency.mean,
+            "p50": svc.latency.p50,
+            "p90": svc.latency.p90,
+            "p99": svc.latency.p99,
+            "max": svc.latency.max,
+        },
+        "pool": {
+            "warm_hits": svc.pool.warm_hits,
+            "demand_boots": svc.pool.demand_boots,
+            "prewarm_boots": svc.pool.prewarm_boots,
+            "boot_failures": svc.pool.boot_failures,
+            "reaped": svc.pool.reaped,
+            "shrunk": svc.pool.shrunk,
+            "semaphore_deferrals": svc.pool.semaphore_deferrals,
+            "memory_deferrals": svc.pool.memory_deferrals,
+        },
+        "refit": {
+            "ticks": svc.refit.ticks,
+            "refits": svc.refit.refits,
+            "absorbed": svc.refit.absorbed,
+            "deferred": svc.refit.deferred,
+        },
+        "live_containers_at_exit": svc.live_containers_at_exit,
+        "stranded_instances": svc.stranded_instances,
+        "peak_rss_mb": peak_rss,
+    })
+}
+
+/// Extracts the headline rate from a record (for the floor gate).
+pub fn invocations_per_sec(record: &serde_json::Value) -> f64 {
+    record["invocations_per_sec"].as_f64().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_extraction_reads_the_record() {
+        let r = json!({ "invocations_per_sec": 123.0 });
+        assert_eq!(invocations_per_sec(&r), 123.0);
+        assert_eq!(invocations_per_sec(&json!({})), 0.0);
+    }
+}

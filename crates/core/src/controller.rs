@@ -1,16 +1,22 @@
-//! The AQUATOPE controller: plan per-app resources, then run the workload
-//! mix under the dynamic pre-warmed pool.
+//! The AQUATOPE controller's batch-run driver: plan per-app resources,
+//! then run the workload mix under the dynamic pre-warmed pool.
+//!
+//! All *decisions* (resource-manager search, fallback plans, pool-policy
+//! construction) live in [`crate::decision::DecisionEngine`]; this module
+//! only hosts them for batch simulation runs. The control-plane service
+//! (`aqua-service`) hosts the same engine for live traffic.
 
-use aqua_alloc::{AquatopeRm, ConfigEvaluator, ResourceManager, SimEvaluator};
 use aqua_faas::fault::{FaultPlan, RetryPolicy};
 use aqua_faas::sim::WorkflowJob;
-use aqua_faas::{FaasSim, FunctionRegistry, NoiseModel, StageConfigs};
-use aqua_pool::AquatopePool;
+use aqua_faas::{FaasSim, FunctionRegistry, NoiseModel};
 use aqua_sim::SimTime;
 use aqua_workflows::App;
 
 use crate::config::{AquatopeConfig, ClusterSpec};
+use crate::decision::DecisionEngine;
 use crate::report::EndToEndReport;
+
+pub use crate::decision::AppPlan;
 
 /// One application plus its invocation trace.
 #[derive(Debug, Clone)]
@@ -21,25 +27,10 @@ pub struct Workload {
     pub arrivals: Vec<SimTime>,
 }
 
-/// The resource plan the controller selected for one application.
-#[derive(Debug, Clone)]
-pub struct AppPlan {
-    /// Application name.
-    pub app: String,
-    /// Chosen per-stage configuration.
-    pub configs: StageConfigs,
-    /// Cost observed for the chosen configuration during search.
-    pub expected_cost: f64,
-    /// Latency observed for the chosen configuration during search.
-    pub expected_latency: f64,
-    /// Evaluations the search spent.
-    pub search_evaluations: usize,
-}
-
 /// The AQUATOPE controller (Fig. 1).
 #[derive(Debug, Clone)]
 pub struct Aquatope {
-    config: AquatopeConfig,
+    engine: DecisionEngine,
     faults: FaultPlan,
     retry: RetryPolicy,
 }
@@ -48,7 +39,7 @@ impl Aquatope {
     /// Creates a controller.
     pub fn new(config: AquatopeConfig) -> Self {
         Aquatope {
-            config,
+            engine: DecisionEngine::new(config),
             faults: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
         }
@@ -66,7 +57,12 @@ impl Aquatope {
 
     /// The active configuration.
     pub fn config(&self) -> &AquatopeConfig {
-        &self.config
+        self.engine.config()
+    }
+
+    /// The decision engine this controller hosts.
+    pub fn engine(&self) -> &DecisionEngine {
+        &self.engine
     }
 
     /// Builds the simulator for a cluster spec (shared by plan/execute so
@@ -101,41 +97,7 @@ impl Aquatope {
         cluster: ClusterSpec,
     ) -> AppPlan {
         let sim = self.make_sim(registry, cluster, NoiseModel::production());
-        let mut eval = SimEvaluator::new(
-            sim,
-            app.dag.clone(),
-            self.config.space,
-            self.config.profile_samples,
-            true,
-        )
-        .with_prices(self.config.price_cpu, self.config.price_mem);
-        let mut rm = AquatopeRm::with_config(self.config.seed, self.config.rm.clone());
-        let outcome = rm.optimize(&mut eval, app.qos.as_secs_f64(), self.config.search_budget);
-        let evaluations = outcome.evaluations();
-        match outcome.best {
-            Some((configs, cost, lat)) => AppPlan {
-                app: app.dag.name().to_string(),
-                configs,
-                expected_cost: cost,
-                expected_latency: lat,
-                search_evaluations: evaluations,
-            },
-            None => {
-                // Nothing feasible found: fall back to max resources.
-                let dim = eval.dim();
-                let mut u = vec![1.0; dim];
-                for s in 0..dim / 3 {
-                    u[3 * s + 2] = 0.0;
-                }
-                AppPlan {
-                    app: app.dag.name().to_string(),
-                    configs: StageConfigs::decode(&self.config.space, &u),
-                    expected_cost: f64::NAN,
-                    expected_latency: f64::NAN,
-                    search_evaluations: evaluations,
-                }
-            }
-        }
+        self.engine.plan_app(sim, app)
     }
 
     /// Plans every application.
@@ -171,10 +133,11 @@ impl Aquatope {
             })
             .collect();
         let dags: Vec<&aqua_faas::WorkflowDag> = workloads.iter().map(|w| &w.app.dag).collect();
-        let mut pool = AquatopePool::new(self.config.pool.clone(), &dags);
+        let mut pool = self.engine.make_pool(&dags);
         let raw = sim.run(&jobs, &mut pool, horizon);
         let violation = violation_rate(&raw, workloads, horizon);
-        EndToEndReport::from_run(raw, violation, self.config.price_cpu, self.config.price_mem)
+        let cfg = self.engine.config();
+        EndToEndReport::from_run(raw, violation, cfg.price_cpu, cfg.price_mem)
     }
 
     /// Full pipeline: plan, then execute.

@@ -34,11 +34,13 @@
 
 pub mod config;
 pub mod controller;
+pub mod decision;
 pub mod frameworks;
 pub mod report;
 
 pub use config::{AquatopeConfig, ClusterSpec};
 pub use controller::{AppPlan, Aquatope, Workload};
+pub use decision::DecisionEngine;
 pub use frameworks::{run_framework, run_framework_traced, run_framework_with_history, Framework};
 pub use report::EndToEndReport;
 

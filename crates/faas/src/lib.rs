@@ -47,6 +47,7 @@ pub mod fault;
 pub mod function;
 pub mod interference;
 pub mod metrics;
+pub mod runtime;
 pub(crate) mod shard;
 pub mod sim;
 pub mod types;
@@ -58,10 +59,11 @@ pub use fault::{FaultPlan, FaultRates, FaultState, RetryPolicy};
 pub use function::{FunctionRegistry, FunctionSpec};
 pub use interference::NoiseModel;
 pub use metrics::{InvocationRecord, RunReport, WorkflowRecord};
+pub use runtime::{BootTicket, ContainerRuntime, RuntimeStats, SimContainerRuntime};
 pub use shard::last_parallel_slack;
 pub use sim::{
-    replacement_target, FaasSim, FaasSimBuilder, FixedPrewarm, PoolDecision, PoolObservation,
-    PrewarmController, WorkflowJob,
+    replacement_target, FaasSim, FaasSimBuilder, FixedPrewarm, FnWindowStats, PoolDecision,
+    PoolObservation, PrewarmController, WorkflowJob,
 };
 pub use types::{ContainerId, FunctionId, ResourceConfig, StageConfigs, WorkerId};
 pub use workflow::{Stage, WorkflowDag};

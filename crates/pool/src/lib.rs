@@ -36,12 +36,14 @@ pub mod aquatope;
 pub mod baselines;
 pub mod histogram;
 pub mod rl;
+pub mod service;
 pub mod slack;
 
 pub use aquatope::{AquaLitePool, AquatopePool, AquatopePoolConfig};
 pub use baselines::{FaasCachePolicy, IceBreakerPolicy, KeepAlivePolicy, ReactiveAutoscale};
 pub use histogram::HistogramPolicy;
 pub use rl::{RlConfig, RlPoolPolicy};
+pub use service::LivePoolSignal;
 pub use slack::{SlackAwarePolicy, SlackConfig};
 
 use aqua_forecast::{SeriesPoint, TriggerKind};

@@ -1,0 +1,206 @@
+//! Service-facing (non-sim-clock) pool observation accumulation.
+//!
+//! Inside the batch simulator, [`PoolObservation`]s are assembled by the
+//! event loop from the cluster's own ledgers. A live control plane has no
+//! simulator cluster — it owns the containers itself — so it needs a way
+//! to *accumulate* the same per-window statistics from the raw signals it
+//! sees (task arrivals, boots failing, containers changing state) and
+//! hand any [`aqua_faas::PrewarmController`] an observation that is
+//! indistinguishable from a simulator tick. [`LivePoolSignal`] is that
+//! accumulator: the service feeds it signals as they happen, then calls
+//! [`LivePoolSignal::observe`] once per control window to cut the window
+//! and obtain the observation.
+//!
+//! Keeping this in the pool crate (rather than the service) means every
+//! policy in the zoo is service-hosted for free: the policies only ever
+//! see `PoolObservation`, which this module produces bit-compatibly.
+
+use aqua_faas::{ClusterSnapshot, FnWindowStats, PoolObservation};
+use aqua_faas::{FunctionId, ResourceConfig};
+use aqua_sim::{SimDuration, SimTime};
+
+/// Accumulates live per-function window statistics and cuts
+/// [`PoolObservation`]s for a [`aqua_faas::PrewarmController`].
+#[derive(Debug, Clone)]
+pub struct LivePoolSignal {
+    functions: usize,
+    total_memory_mb: f64,
+    /// Invocations that became runnable this window, per function.
+    invocations: Vec<u32>,
+    /// Current number of in-flight (busy-equivalent) invocations.
+    in_flight: Vec<u32>,
+    /// Peak of `in_flight` within the window.
+    peak: Vec<u32>,
+    /// Boot failures observed this window.
+    failed_boots: Vec<u32>,
+    /// Window start time.
+    window_start: SimTime,
+}
+
+impl LivePoolSignal {
+    /// A signal accumulator for `functions` functions on a cluster with
+    /// `total_memory_mb` of memory, starting its first window at `start`.
+    pub fn new(functions: usize, total_memory_mb: f64, start: SimTime) -> Self {
+        LivePoolSignal {
+            functions,
+            total_memory_mb,
+            invocations: vec![0; functions],
+            in_flight: vec![0; functions],
+            peak: vec![0; functions],
+            failed_boots: vec![0; functions],
+            window_start: start,
+        }
+    }
+
+    /// Records an invocation of `function` becoming runnable and entering
+    /// execution (or a queue slot counted against concurrency).
+    pub fn on_dispatch(&mut self, function: FunctionId) {
+        self.invocations[function.0] += 1;
+        self.in_flight[function.0] += 1;
+        self.peak[function.0] = self.peak[function.0].max(self.in_flight[function.0]);
+    }
+
+    /// Records the completion (or rejection after dispatch) of one
+    /// in-flight invocation of `function`.
+    pub fn on_complete(&mut self, function: FunctionId) {
+        self.in_flight[function.0] = self.in_flight[function.0].saturating_sub(1);
+    }
+
+    /// Records a failed container boot for `function`.
+    pub fn on_boot_failure(&mut self, function: FunctionId) {
+        self.failed_boots[function.0] += 1;
+    }
+
+    /// Current in-flight count for `function` (the live analogue of the
+    /// cluster's busy-container count).
+    pub fn in_flight(&self, function: FunctionId) -> u32 {
+        self.in_flight[function.0]
+    }
+
+    /// Cuts the window at `now` and builds the observation a
+    /// [`aqua_faas::PrewarmController`] expects. The caller supplies the
+    /// container ledger view (`idle`/`booting` per function plus reserved
+    /// memory and live-container totals) because the warm pool, not the
+    /// signal accumulator, owns containers. Window counters reset; the
+    /// next window starts at `now`.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        idle: &[u32],
+        booting: &[u32],
+        reserved_memory_mb: f64,
+        containers: usize,
+    ) -> PoolObservation {
+        assert_eq!(idle.len(), self.functions, "idle ledger length");
+        assert_eq!(booting.len(), self.functions, "booting ledger length");
+        let stats = (0..self.functions)
+            .map(|i| FnWindowStats {
+                function: FunctionId(i),
+                invocations: self.invocations[i],
+                peak_concurrency: self.peak[i],
+                booting: booting[i],
+                idle: idle[i],
+                busy: self.in_flight[i],
+                failed_boots: self.failed_boots[i],
+            })
+            .collect();
+        let obs = PoolObservation {
+            now,
+            window: now - self.window_start,
+            stats,
+            cluster: ClusterSnapshot {
+                reserved_memory_mb,
+                total_memory_mb: self.total_memory_mb,
+                containers,
+            },
+        };
+        self.invocations.iter_mut().for_each(|v| *v = 0);
+        self.failed_boots.iter_mut().for_each(|v| *v = 0);
+        // Peak concurrency restarts from the carried-over in-flight level,
+        // exactly as the simulator's window accounting does.
+        self.peak.copy_from_slice(&self.in_flight);
+        self.window_start = now;
+        obs
+    }
+
+    /// Memory one container of `config` reserves — the unit the service
+    /// uses to maintain `reserved_memory_mb` for [`LivePoolSignal::observe`].
+    pub fn container_memory_mb(config: &ResourceConfig) -> f64 {
+        config.memory_mb
+    }
+
+    /// Number of functions tracked.
+    pub fn functions(&self) -> usize {
+        self.functions
+    }
+
+    /// The default control-window length the service ticks policies at
+    /// (matches the simulator's 1 s default tick).
+    pub fn default_window() -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_counters_accumulate_and_reset() {
+        let mut sig = LivePoolSignal::new(2, 4096.0, SimTime::ZERO);
+        let f0 = FunctionId(0);
+        let f1 = FunctionId(1);
+        sig.on_dispatch(f0);
+        sig.on_dispatch(f0);
+        sig.on_complete(f0);
+        sig.on_dispatch(f1);
+        sig.on_boot_failure(f1);
+
+        let obs = sig.observe(SimTime::from_secs(1), &[3, 0], &[1, 2], 512.0, 6);
+        assert_eq!(obs.window, SimDuration::from_secs(1));
+        assert_eq!(obs.stats[0].invocations, 2);
+        assert_eq!(obs.stats[0].peak_concurrency, 2);
+        assert_eq!(obs.stats[0].busy, 1);
+        assert_eq!(obs.stats[0].idle, 3);
+        assert_eq!(obs.stats[0].booting, 1);
+        assert_eq!(obs.stats[0].failed_boots, 0);
+        assert_eq!(obs.stats[1].invocations, 1);
+        assert_eq!(obs.stats[1].failed_boots, 1);
+        assert_eq!(obs.cluster.reserved_memory_mb, 512.0);
+        assert_eq!(obs.cluster.total_memory_mb, 4096.0);
+        assert_eq!(obs.cluster.containers, 6);
+
+        // Next window: per-window counters reset, in-flight carries over.
+        let obs2 = sig.observe(SimTime::from_secs(2), &[0, 0], &[0, 0], 0.0, 0);
+        assert_eq!(obs2.stats[0].invocations, 0);
+        assert_eq!(obs2.stats[0].failed_boots, 0);
+        assert_eq!(obs2.stats[0].busy, 1, "in-flight carries across windows");
+        assert_eq!(
+            obs2.stats[0].peak_concurrency, 1,
+            "peak restarts at carry-over"
+        );
+        assert_eq!(obs2.stats[1].failed_boots, 0);
+    }
+
+    #[test]
+    fn observation_feeds_a_real_policy() {
+        use aqua_faas::PrewarmController;
+
+        let mut sig = LivePoolSignal::new(1, 16_384.0, SimTime::ZERO);
+        for _ in 0..8 {
+            sig.on_dispatch(FunctionId(0));
+        }
+        let obs = sig.observe(SimTime::from_secs(1), &[0], &[0], 0.0, 8);
+        let mut policy = crate::ReactiveAutoscale::default();
+        let decisions = policy.tick(&obs);
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].function, FunctionId(0));
+    }
+
+    #[test]
+    fn complete_never_underflows() {
+        let mut sig = LivePoolSignal::new(1, 1024.0, SimTime::ZERO);
+        sig.on_complete(FunctionId(0));
+        assert_eq!(sig.in_flight(FunctionId(0)), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Admission control and load shedding.
+//!
+//! Two bounded resources protect the control plane from overload:
+//!
+//! * a **workflow in-flight cap** — an arrival beyond it is shed at the
+//!   front door (cheapest possible rejection, nothing was dispatched);
+//! * **bounded per-function task queues** — a task that finds neither a
+//!   warm container nor boot capacity waits in its function's queue, and
+//!   a full queue sheds the task (aborting its workflow instance).
+//!
+//! Every shed increments a counter; the load driver reports the shed
+//! rate alongside latency percentiles, because an overloaded service
+//! that silently queues unboundedly would report beautiful percentiles
+//! for the requests it ever finishes.
+
+/// Bounds for [`Admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum workflow instances in flight at once.
+    pub max_inflight: usize,
+    /// Maximum waiting tasks per function queue.
+    pub queue_cap: usize,
+}
+
+impl Default for AdmissionConfig {
+    /// Generous service defaults: shedding should mean overload, not
+    /// normal operation.
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 100_000,
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// Shedding and admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Workflow instances admitted.
+    pub admitted: u64,
+    /// Arrivals shed at the in-flight cap.
+    pub shed_arrivals: u64,
+    /// Tasks shed at a full function queue (each aborts its workflow).
+    pub shed_tasks: u64,
+    /// Admitted instances that finished (completed or aborted).
+    pub finished: u64,
+}
+
+/// The admission/concurrency limiter.
+#[derive(Debug, Clone, Default)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    inflight: usize,
+    stats: AdmissionStats,
+}
+
+impl Admission {
+    /// A limiter with the given bounds.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            inflight: 0,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Tries to admit one workflow instance. `false` = shed (counted).
+    pub fn try_admit(&mut self) -> bool {
+        if self.inflight >= self.cfg.max_inflight {
+            self.stats.shed_arrivals += 1;
+            return false;
+        }
+        self.inflight += 1;
+        self.stats.admitted += 1;
+        true
+    }
+
+    /// Whether a task may join a function queue currently holding
+    /// `queue_len` waiters. `false` = shed (counted).
+    pub fn may_queue(&mut self, queue_len: usize) -> bool {
+        if queue_len >= self.cfg.queue_cap {
+            self.stats.shed_tasks += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Marks one in-flight instance finished (completed or aborted).
+    pub fn finish(&mut self) {
+        debug_assert!(self.inflight > 0, "finish without admit");
+        self.inflight = self.inflight.saturating_sub(1);
+        self.stats.finished += 1;
+    }
+
+    /// Instances currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// Fraction of arrivals shed at the front door (0 when none arrived).
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.stats.admitted + self.stats.shed_arrivals;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.stats.shed_arrivals as f64 / arrivals as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_inflight_and_counts_sheds() {
+        let mut a = Admission::new(AdmissionConfig {
+            max_inflight: 2,
+            queue_cap: 1,
+        });
+        assert!(a.try_admit());
+        assert!(a.try_admit());
+        assert!(!a.try_admit(), "third admit over the cap");
+        assert_eq!(a.inflight(), 2);
+        a.finish();
+        assert!(a.try_admit(), "slot freed by finish");
+        let s = a.stats();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.shed_arrivals, 1);
+        assert!((a.shed_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_cap_sheds_tasks() {
+        let mut a = Admission::new(AdmissionConfig {
+            max_inflight: 10,
+            queue_cap: 2,
+        });
+        assert!(a.may_queue(0));
+        assert!(a.may_queue(1));
+        assert!(!a.may_queue(2));
+        assert_eq!(a.stats().shed_tasks, 1);
+    }
+
+    #[test]
+    fn empty_limiter_sheds_nothing() {
+        let a = Admission::new(AdmissionConfig::default());
+        assert_eq!(a.shed_rate(), 0.0);
+        assert_eq!(a.inflight(), 0);
+    }
+}

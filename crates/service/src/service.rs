@@ -1,0 +1,890 @@
+//! The control plane: a long-running service process around the reactor.
+//!
+//! [`ControlPlane`] hosts everything the batch simulator used to drive in
+//! one shot, as a resident event loop:
+//!
+//! * **request path** — workflow arrivals are admitted ([`Admission`]),
+//!   their root stages dispatched against the warm pool
+//!   ([`WarmPoolManager`]), and stage completions unlock dependents until
+//!   the workflow finishes;
+//! * **warm-pool control** — a policy tick cuts a [`aqua_pool::LivePoolSignal`]
+//!   window once per second and feeds any [`PrewarmController`], and a
+//!   filler tick works toward the resulting pre-warm targets under the
+//!   boot semaphore;
+//! * **model maintenance** — workflow latencies stream into an
+//!   [`OnlineLatencyModel`] in O(1); the [`RefitScheduler`] folds them
+//!   into the GP on its own budgeted cadence, never on the request path;
+//! * **graceful shutdown** — a `Shutdown` event flips the plane into
+//!   drain mode: intake stops, periodic ticks stop re-arming, demand
+//!   boots stay allowed so queued work can finish, and once the reactor
+//!   runs dry a final sweep kills every remaining container and asserts
+//!   the runtime ledger reads zero.
+//!
+//! Everything is deterministic given the [`ServiceConfig`] seed and the
+//! fault plan: the reactor pops in `(time, insertion)` order and all
+//! sampling flows through forked [`aqua_sim::SimRng`] streams.
+
+use std::collections::VecDeque;
+
+use aqua_alloc::{OnlineLatencyModel, OnlineModelStats};
+use aqua_faas::runtime::{BootTicket, RuntimeStats};
+use aqua_faas::types::ConfigSpace;
+use aqua_faas::{
+    ContainerId, FaultPlan, FunctionId, FunctionRegistry, NoiseModel, PrewarmController,
+    SimContainerRuntime, StageConfigs, WorkflowDag, WorkflowJob,
+};
+use aqua_pool::LivePoolSignal;
+use aqua_sim::{LatencySummary, SimDuration, SimTime};
+use aqua_telemetry::{EventSink, LiveSink, LiveStats, SimEvent};
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionStats};
+use crate::fxhash::FxHashMap;
+use crate::reactor::Reactor;
+use crate::refit::{RefitScheduler, RefitStats};
+use crate::warm_pool::{Acquired, WarmPoolConfig, WarmPoolManager, WarmPoolStats};
+
+/// Events the control plane's reactor delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcEvent {
+    /// The `k`-th arrival of `job` (lazily re-armed: handling arrival `k`
+    /// schedules arrival `k + 1`, so the reactor heap stays O(jobs), not
+    /// O(total arrivals)).
+    Arrival { job: usize, k: usize },
+    /// A container boot finished warm.
+    BootDone { container: ContainerId },
+    /// A container boot failed at the moment it would have turned warm.
+    BootFailed { container: ContainerId },
+    /// One task execution finished on `container`.
+    ExecDone {
+        wf: u64,
+        stage: usize,
+        container: ContainerId,
+    },
+    /// Cut a pool-signal window and run the pre-warm policy.
+    PolicyTick,
+    /// Run the warm-pool filler task.
+    FillerTick,
+    /// Run the budgeted model-refit scheduler.
+    RefitTick,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+/// Tunables for [`ControlPlane`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Warm-pool sizing (semaphore width, keep-alive, memory budget).
+    pub pool: WarmPoolConfig,
+    /// Admission bounds (in-flight cap, queue caps).
+    pub admission: AdmissionConfig,
+    /// Pre-warm policy control window.
+    pub policy_window: SimDuration,
+    /// Filler-task cadence (shorter than the policy window so targets are
+    /// approached smoothly within one window).
+    pub filler_interval: SimDuration,
+    /// Model-refit cadence.
+    pub refit_interval: SimDuration,
+    /// Maximum apps refit per refit tick.
+    pub refit_budget: usize,
+    /// Feed every n-th completed workflow per app into the latency model
+    /// (bounds GP growth under heavy traffic).
+    pub model_sample_every: u64,
+    /// Virtual time at which graceful shutdown begins.
+    pub run_for: SimDuration,
+    /// Seed for the runtime's boot/exec sampling streams.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            pool: WarmPoolConfig::default(),
+            admission: AdmissionConfig::default(),
+            policy_window: LivePoolSignal::default_window(),
+            filler_interval: SimDuration::from_millis(200),
+            refit_interval: SimDuration::from_secs(10),
+            refit_budget: 4,
+            model_sample_every: 32,
+            run_for: SimDuration::from_secs(3600),
+            seed: 0xA9_5EED,
+        }
+    }
+}
+
+/// End-of-run report of a [`ControlPlane`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Virtual time when the loop ran dry.
+    pub sim_horizon: SimTime,
+    /// Reactor events delivered over the whole run.
+    pub events_processed: u64,
+    /// Workflow instances that completed every stage.
+    pub completed: u64,
+    /// Admitted instances aborted because a task was shed at a full queue.
+    pub rejected_workflows: u64,
+    /// Arrival events ignored because they fired during drain.
+    pub arrivals_skipped_in_drain: u64,
+    /// Task executions completed.
+    pub invocations_executed: u64,
+    /// End-to-end workflow latency summary, seconds.
+    pub latency: LatencySummary,
+    /// Admission/shedding counters.
+    pub admission: AdmissionStats,
+    /// Warm-pool counters.
+    pub pool: WarmPoolStats,
+    /// Container-runtime counters.
+    pub runtime: RuntimeStats,
+    /// Refit-scheduler counters.
+    pub refit: RefitStats,
+    /// Online-model counters.
+    pub model: OnlineModelStats,
+    /// Telemetry counters when a sink was attached.
+    pub telemetry: Option<LiveStats>,
+    /// Runtime ledger size after the shutdown sweep (0 = clean).
+    pub live_containers_at_exit: usize,
+    /// Containers the final sweep had to kill.
+    pub swept_at_exit: usize,
+    /// Workflow instances still open when the loop ran dry (0 = clean).
+    pub stranded_instances: usize,
+}
+
+/// Per-job static state the plane derives once at construction.
+struct JobState {
+    dag: WorkflowDag,
+    arrivals: Vec<SimTime>,
+    /// `dependents[s]` = stages unblocked by stage `s` completing.
+    dependents: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    /// Stage-0 config normalized into `[0,1]^3` — the model coordinate
+    /// for this app's workflow latency observations.
+    u: [f64; 3],
+    completions: u64,
+}
+
+/// One in-flight workflow instance.
+struct WfInstance {
+    job: usize,
+    admitted_at: SimTime,
+    /// Tasks left per stage.
+    remaining: Vec<u32>,
+    /// Unmet dependencies per stage.
+    deps_left: Vec<u32>,
+    stages_left: u32,
+    /// Tasks dispatched or queued and not yet retired.
+    outstanding: u32,
+    aborted: bool,
+}
+
+/// The long-running AQUATOPE control plane.
+pub struct ControlPlane {
+    cfg: ServiceConfig,
+    reactor: Reactor<SvcEvent>,
+    pool: WarmPoolManager,
+    admission: Admission,
+    signal: LivePoolSignal,
+    policy: Box<dyn PrewarmController>,
+    model: OnlineLatencyModel,
+    refit: RefitScheduler,
+    jobs: Vec<JobState>,
+    instances: FxHashMap<u64, WfInstance>,
+    next_instance: u64,
+    /// Per-function queues of `(instance, stage)` tasks waiting for a
+    /// container.
+    pending: Vec<VecDeque<(u64, usize)>>,
+    /// Functions whose waiters found no capacity, in discovery order.
+    starved: VecDeque<FunctionId>,
+    starved_flag: Vec<bool>,
+    draining: bool,
+    telemetry: Option<LiveSink<Box<dyn EventSink + Send>>>,
+    latencies: Vec<f64>,
+    completed: u64,
+    rejected: u64,
+    skipped_in_drain: u64,
+    invocations_executed: u64,
+}
+
+/// Normalizes a stage-0 config into the default [`ConfigSpace`] unit cube.
+fn stage0_u(configs: &StageConfigs) -> [f64; 3] {
+    let cs = ConfigSpace::default();
+    let c = configs.stage(0);
+    let norm = |v: f64, (lo, hi): (f64, f64)| ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    [
+        norm(c.cpu, cs.cpu),
+        norm(c.memory_mb, cs.memory_mb),
+        norm(c.concurrency as f64, (1.0, cs.concurrency_max as f64)),
+    ]
+}
+
+impl ControlPlane {
+    /// A control plane serving `jobs` over `registry`'s functions, with
+    /// `policy` deciding pre-warm targets and `faults` driving boot
+    /// failures.
+    ///
+    /// Each function's containers boot under the config of the first
+    /// job stage that uses it (jobs come popularity-ordered from the
+    /// workload generators, so popular apps pin their functions' shapes).
+    pub fn new(
+        registry: FunctionRegistry,
+        jobs: Vec<WorkflowJob>,
+        policy: Box<dyn PrewarmController>,
+        faults: &FaultPlan,
+        cfg: ServiceConfig,
+    ) -> Self {
+        let functions = registry.len();
+        let mut configs = vec![aqua_faas::ResourceConfig::default(); functions];
+        let mut pinned = vec![false; functions];
+        for job in &jobs {
+            for (i, s) in job.dag.stages().enumerate() {
+                if !pinned[s.function.0] {
+                    pinned[s.function.0] = true;
+                    configs[s.function.0] = job.configs.stage(i);
+                }
+            }
+        }
+        let runtime = SimContainerRuntime::new(registry, NoiseModel::default(), cfg.seed, faults);
+        let jobs: Vec<JobState> = jobs
+            .into_iter()
+            .map(|job| JobState {
+                dependents: job.dag.dependents(),
+                roots: job.dag.roots(),
+                u: stage0_u(&job.configs),
+                dag: job.dag,
+                arrivals: job.arrivals,
+                completions: 0,
+            })
+            .collect();
+        ControlPlane {
+            reactor: Reactor::with_capacity(jobs.len() + 64),
+            pool: WarmPoolManager::new(cfg.pool, Box::new(runtime), configs),
+            admission: Admission::new(cfg.admission),
+            signal: LivePoolSignal::new(functions, cfg.pool.memory_budget_mb, SimTime::ZERO),
+            policy,
+            model: OnlineLatencyModel::service_default(),
+            refit: RefitScheduler::new(cfg.refit_interval, cfg.refit_budget),
+            jobs,
+            instances: FxHashMap::default(),
+            next_instance: 0,
+            pending: (0..functions).map(|_| VecDeque::new()).collect(),
+            starved: VecDeque::new(),
+            starved_flag: vec![false; functions],
+            draining: false,
+            telemetry: None,
+            latencies: Vec::new(),
+            completed: 0,
+            rejected: 0,
+            skipped_in_drain: 0,
+            invocations_executed: 0,
+            cfg,
+        }
+    }
+
+    /// Attaches a live telemetry sink flushed every `flush_every` events.
+    /// Only coarse container-lifecycle events (warm hits, cold-start
+    /// begins) are emitted, keeping the request path cheap.
+    pub fn attach_telemetry(&mut self, sink: Box<dyn EventSink + Send>, flush_every: u64) {
+        self.telemetry = Some(LiveSink::new(sink, flush_every));
+    }
+
+    /// Runs the service to completion: arrivals are injected lazily, the
+    /// periodic ticks re-arm themselves, `Shutdown` fires at
+    /// [`ServiceConfig::run_for`], and the loop exits when the drain
+    /// finishes. Consumes the plane and returns its report.
+    pub fn run(mut self) -> ServiceReport {
+        for j in 0..self.jobs.len() {
+            if let Some(&t) = self.jobs[j].arrivals.first() {
+                self.reactor.at(t, SvcEvent::Arrival { job: j, k: 0 });
+            }
+        }
+        self.reactor
+            .after(self.cfg.policy_window, SvcEvent::PolicyTick);
+        self.reactor
+            .after(self.cfg.filler_interval, SvcEvent::FillerTick);
+        self.reactor
+            .after(self.cfg.refit_interval, SvcEvent::RefitTick);
+        self.reactor.after(self.cfg.run_for, SvcEvent::Shutdown);
+        while let Some((now, ev)) = self.reactor.next() {
+            self.handle(now, ev);
+        }
+        self.finish()
+    }
+
+    fn handle(&mut self, now: SimTime, ev: SvcEvent) {
+        match ev {
+            SvcEvent::Arrival { job, k } => {
+                if self.draining {
+                    self.skipped_in_drain += 1;
+                    return;
+                }
+                if let Some(&t) = self.jobs[job].arrivals.get(k + 1) {
+                    self.reactor.at(t, SvcEvent::Arrival { job, k: k + 1 });
+                }
+                self.admit(job, now);
+            }
+            SvcEvent::BootDone { container } => {
+                let (f, _) = self.pool.on_boot_done(container, now);
+                self.serve_pending(f, now);
+                self.relieve_starved(now);
+            }
+            SvcEvent::BootFailed { container } => {
+                let f = self.pool.on_boot_failed(container);
+                self.signal.on_boot_failure(f);
+                // Replacement boots for waiters the failed boot was
+                // covering, then let other starved functions at the
+                // freed memory.
+                self.cover(f, now);
+                self.relieve_starved(now);
+            }
+            SvcEvent::ExecDone {
+                wf,
+                stage,
+                container,
+            } => {
+                let f = {
+                    let job = self.instances.get(&wf).expect("exec-done orphan").job;
+                    self.jobs[job].dag.stage(stage).function
+                };
+                self.pool.release(container, now);
+                self.signal.on_complete(f);
+                self.invocations_executed += 1;
+                self.serve_pending(f, now);
+                self.relieve_starved(now);
+                self.task_complete(wf, stage, now);
+            }
+            SvcEvent::PolicyTick => {
+                let idle = self.pool.idle_counts();
+                let booting = self.pool.booting_counts();
+                let obs = self.signal.observe(
+                    now,
+                    &idle,
+                    &booting,
+                    self.pool.reserved_memory_mb(),
+                    self.pool.live_containers(),
+                );
+                let decisions = self.policy.tick(&obs);
+                self.pool.apply_decisions(&decisions);
+                if !self.draining {
+                    self.reactor
+                        .after(self.cfg.policy_window, SvcEvent::PolicyTick);
+                }
+            }
+            SvcEvent::FillerTick => {
+                let tickets = self.pool.filler_tick(now);
+                for t in &tickets {
+                    self.emit_cold_start(t, now, true);
+                    self.schedule_boot(t);
+                }
+                // Keep-alive reaping may have freed memory for starved
+                // waiters even when no boot started.
+                self.relieve_starved(now);
+                if !self.draining {
+                    self.reactor
+                        .after(self.cfg.filler_interval, SvcEvent::FillerTick);
+                }
+            }
+            SvcEvent::RefitTick => {
+                self.refit.tick(&mut self.model);
+                if !self.draining {
+                    self.reactor
+                        .after(self.cfg.refit_interval, SvcEvent::RefitTick);
+                }
+            }
+            SvcEvent::Shutdown => {
+                self.draining = true;
+                self.pool.begin_drain();
+                self.relieve_starved(now);
+            }
+        }
+    }
+
+    fn admit(&mut self, job: usize, now: SimTime) {
+        if !self.admission.try_admit() {
+            return; // shed at the front door, counted by the limiter
+        }
+        let id = self.next_instance;
+        self.next_instance += 1;
+        let dag = &self.jobs[job].dag;
+        self.instances.insert(
+            id,
+            WfInstance {
+                job,
+                admitted_at: now,
+                remaining: dag.stages().map(|s| s.tasks).collect(),
+                deps_left: dag.stages().map(|s| s.deps.len() as u32).collect(),
+                stages_left: dag.num_stages() as u32,
+                outstanding: 0,
+                aborted: false,
+            },
+        );
+        // Indexed loop: `dispatch_stage` needs `&mut self`, and cloning the
+        // root list here would put an allocation on every admission.
+        for r in 0..self.jobs[job].roots.len() {
+            let s = self.jobs[job].roots[r];
+            if !self.dispatch_stage(id, s, now) {
+                break;
+            }
+        }
+    }
+
+    /// Dispatches every task of one stage. Returns `false` when the
+    /// instance was aborted part-way (a task was shed).
+    fn dispatch_stage(&mut self, wf: u64, stage: usize, now: SimTime) -> bool {
+        let (f, tasks) = {
+            let job = self
+                .instances
+                .get(&wf)
+                .expect("dispatch for gone instance")
+                .job;
+            let s = self.jobs[job].dag.stage(stage);
+            (s.function, s.tasks)
+        };
+        for _ in 0..tasks {
+            if !self.dispatch_task(wf, stage, f, now) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dispatches one task: warm container, else demand boot, else queue,
+    /// else shed (aborting the instance). Returns `false` on shed.
+    fn dispatch_task(&mut self, wf: u64, stage: usize, f: FunctionId, now: SimTime) -> bool {
+        self.signal.on_dispatch(f);
+        match self.pool.acquire(f, now) {
+            Acquired::Warm(id) => {
+                self.bump_outstanding(wf);
+                self.start_exec(wf, stage, f, id, now);
+                true
+            }
+            Acquired::Cold(ticket) => {
+                self.bump_outstanding(wf);
+                self.emit_cold_start(&ticket, now, false);
+                self.schedule_boot(&ticket);
+                self.pending[f.0].push_back((wf, stage));
+                true
+            }
+            Acquired::NoCapacity => {
+                if self.admission.may_queue(self.pending[f.0].len()) {
+                    self.bump_outstanding(wf);
+                    self.pending[f.0].push_back((wf, stage));
+                    self.mark_starved(f);
+                    true
+                } else {
+                    self.signal.on_complete(f); // undo the dispatch count
+                    self.abort(wf);
+                    false
+                }
+            }
+        }
+    }
+
+    fn bump_outstanding(&mut self, wf: u64) {
+        self.instances
+            .get_mut(&wf)
+            .expect("outstanding bump for gone instance")
+            .outstanding += 1;
+    }
+
+    fn start_exec(
+        &mut self,
+        wf: u64,
+        stage: usize,
+        f: FunctionId,
+        container: ContainerId,
+        now: SimTime,
+    ) {
+        let d = self.pool.sample_exec(f);
+        self.reactor.after(
+            d,
+            SvcEvent::ExecDone {
+                wf,
+                stage,
+                container,
+            },
+        );
+        if let Some(t) = &mut self.telemetry {
+            t.record(&SimEvent::WarmHit {
+                at: now,
+                function: f.0,
+                container: container.0,
+            });
+        }
+    }
+
+    fn schedule_boot(&mut self, t: &BootTicket) {
+        let ev = if t.fails {
+            SvcEvent::BootFailed {
+                container: t.container,
+            }
+        } else {
+            SvcEvent::BootDone {
+                container: t.container,
+            }
+        };
+        self.reactor.after(t.boot, ev);
+    }
+
+    fn emit_cold_start(&mut self, ticket: &BootTicket, now: SimTime, prewarmed: bool) {
+        let memory_mb = self.pool.config(ticket.function).memory_mb;
+        if let Some(t) = &mut self.telemetry {
+            t.record(&SimEvent::ColdStartBegin {
+                at: now,
+                function: ticket.function.0,
+                container: ticket.container.0,
+                worker: 0,
+                memory_mb,
+                slots: 1,
+                prewarmed,
+            });
+        }
+    }
+
+    /// Serves waiting tasks from idle containers until one side runs out.
+    fn serve_pending(&mut self, f: FunctionId, now: SimTime) {
+        while self.pool.idle_count(f) > 0 {
+            let Some((wf, stage)) = self.pending[f.0].pop_front() else {
+                return;
+            };
+            let alive = self.instances.get(&wf).map(|i| !i.aborted).unwrap_or(false);
+            if !alive {
+                // Dead waiter: retire it without consuming a container.
+                self.signal.on_complete(f);
+                self.retire_aborted_task(wf);
+                continue;
+            }
+            match self.pool.acquire(f, now) {
+                Acquired::Warm(id) => self.start_exec(wf, stage, f, id, now),
+                _ => unreachable!("idle_count > 0 guarantees a warm acquire"),
+            }
+        }
+    }
+
+    /// Makes sure every waiter of `f` is covered by a booting container,
+    /// starting demand boots as memory allows.
+    fn cover(&mut self, f: FunctionId, now: SimTime) {
+        self.serve_pending(f, now);
+        while self.pending[f.0].len() > self.pool.booting_count(f) as usize {
+            match self.pool.acquire(f, now) {
+                Acquired::Warm(_) => unreachable!("serve_pending drained idle first"),
+                Acquired::Cold(t) => {
+                    self.emit_cold_start(&t, now, false);
+                    self.schedule_boot(&t);
+                }
+                Acquired::NoCapacity => {
+                    self.mark_starved(f);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn mark_starved(&mut self, f: FunctionId) {
+        if !self.starved_flag[f.0] {
+            self.starved_flag[f.0] = true;
+            self.starved.push_back(f);
+        }
+    }
+
+    /// Gives each starved function one chance at newly-freed capacity, in
+    /// discovery order; stops at the first function that stays starved.
+    fn relieve_starved(&mut self, now: SimTime) {
+        for _ in 0..self.starved.len() {
+            let Some(f) = self.starved.pop_front() else {
+                break;
+            };
+            self.starved_flag[f.0] = false;
+            self.cover(f, now);
+            if self.starved_flag[f.0] {
+                break;
+            }
+        }
+    }
+
+    /// Retires one outstanding task of an aborted instance, finishing the
+    /// instance when its last task drains.
+    fn retire_aborted_task(&mut self, wf: u64) {
+        let done = {
+            let inst = self
+                .instances
+                .get_mut(&wf)
+                .expect("retire for gone instance");
+            inst.outstanding -= 1;
+            inst.aborted && inst.outstanding == 0
+        };
+        if done {
+            self.instances.remove(&wf);
+            self.admission.finish();
+        }
+    }
+
+    fn abort(&mut self, wf: u64) {
+        let finish_now = {
+            let inst = self.instances.get_mut(&wf).expect("abort of gone instance");
+            if inst.aborted {
+                return;
+            }
+            inst.aborted = true;
+            inst.outstanding == 0
+        };
+        self.rejected += 1;
+        if finish_now {
+            self.instances.remove(&wf);
+            self.admission.finish();
+        }
+    }
+
+    fn task_complete(&mut self, wf: u64, stage: usize, now: SimTime) {
+        let (aborted, stage_done, wf_done, job) = {
+            let inst = self
+                .instances
+                .get_mut(&wf)
+                .expect("completion for gone instance");
+            if inst.aborted {
+                (true, false, false, inst.job)
+            } else {
+                inst.outstanding -= 1;
+                inst.remaining[stage] -= 1;
+                let sd = inst.remaining[stage] == 0;
+                if sd {
+                    inst.stages_left -= 1;
+                }
+                (false, sd, sd && inst.stages_left == 0, inst.job)
+            }
+        };
+        if aborted {
+            self.retire_aborted_task(wf);
+            return;
+        }
+        if wf_done {
+            let inst = self.instances.remove(&wf).expect("double completion");
+            self.admission.finish();
+            self.completed += 1;
+            let latency = (now - inst.admitted_at).as_secs_f64();
+            self.latencies.push(latency);
+            let js = &mut self.jobs[job];
+            js.completions += 1;
+            if js.completions.is_multiple_of(self.cfg.model_sample_every) {
+                let u = js.u;
+                self.model.observe(job, &u, now.as_secs_f64(), latency);
+            }
+            return;
+        }
+        if !stage_done {
+            return;
+        }
+        // Indexed loop for the same reason as `admit`: stage completions
+        // are hot, and the dependent list is immutable while we dispatch.
+        for di in 0..self.jobs[job].dependents[stage].len() {
+            let d = self.jobs[job].dependents[stage][di];
+            let ready = {
+                let Some(inst) = self.instances.get_mut(&wf) else {
+                    break;
+                };
+                if inst.aborted {
+                    break;
+                }
+                inst.deps_left[d] -= 1;
+                inst.deps_left[d] == 0
+            };
+            if ready && !self.dispatch_stage(wf, d, now) {
+                break;
+            }
+        }
+    }
+
+    fn finish(mut self) -> ServiceReport {
+        let stranded = self.instances.len();
+        let swept = self.pool.shutdown_sweep();
+        let live = self.pool.live_containers();
+        if let Some(t) = &mut self.telemetry {
+            t.flush();
+        }
+        ServiceReport {
+            sim_horizon: self.reactor.now(),
+            events_processed: self.reactor.processed(),
+            completed: self.completed,
+            rejected_workflows: self.rejected,
+            arrivals_skipped_in_drain: self.skipped_in_drain,
+            invocations_executed: self.invocations_executed,
+            latency: LatencySummary::of(&self.latencies),
+            admission: self.admission.stats(),
+            pool: self.pool.stats(),
+            runtime: self.pool.runtime_stats(),
+            refit: self.refit.stats(),
+            model: self.model.stats(),
+            telemetry: self.telemetry.as_ref().map(|t| t.stats()),
+            live_containers_at_exit: live,
+            swept_at_exit: swept,
+            stranded_instances: stranded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_faas::{FunctionSpec, StageConfigs};
+
+    fn chain_jobs(apps: usize, arrivals_per_app: usize) -> (FunctionRegistry, Vec<WorkflowJob>) {
+        let mut reg = FunctionRegistry::new();
+        let mut jobs = Vec::new();
+        for a in 0..apps {
+            let f = reg.register(FunctionSpec::new(format!("f{a}")).with_work_ms(40.0));
+            let dag = WorkflowDag::chain(format!("app{a}"), vec![f]);
+            let configs = StageConfigs::uniform(&dag, aqua_faas::ResourceConfig::default());
+            let arrivals = (0..arrivals_per_app)
+                .map(|i| SimTime::from_millis(500 * (i as u64 + 1) + 37 * a as u64))
+                .collect();
+            jobs.push(WorkflowJob {
+                dag,
+                configs,
+                arrivals,
+            });
+        }
+        (reg, jobs)
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            run_for: SimDuration::from_secs(120),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_every_arrival_and_shuts_down_clean() {
+        let (reg, jobs) = chain_jobs(3, 20);
+        let plane = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            small_cfg(),
+        );
+        let report = plane.run();
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.rejected_workflows, 0);
+        assert_eq!(report.live_containers_at_exit, 0, "no orphaned containers");
+        assert_eq!(report.stranded_instances, 0);
+        assert_eq!(report.invocations_executed, 60);
+        assert!(report.latency.p50 > 0.0);
+        assert_eq!(report.admission.admitted, 60);
+        assert_eq!(report.admission.finished, 60);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (reg, jobs) = chain_jobs(4, 15);
+            ControlPlane::new(
+                reg,
+                jobs,
+                Box::new(aqua_pool::HistogramPolicy::default()),
+                &FaultPlan::disabled(),
+                small_cfg(),
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.runtime, b.runtime);
+    }
+
+    #[test]
+    fn multi_stage_chains_respect_dependencies() {
+        let mut reg = FunctionRegistry::new();
+        let f0 = reg.register(FunctionSpec::new("extract").with_work_ms(30.0));
+        let f1 = reg.register(FunctionSpec::new("transform").with_work_ms(30.0));
+        let dag = WorkflowDag::chain("etl", vec![f0, f1]);
+        let configs = StageConfigs::uniform(&dag, aqua_faas::ResourceConfig::default());
+        let jobs = vec![WorkflowJob {
+            dag,
+            configs,
+            arrivals: (0..10).map(|i| SimTime::from_secs(i + 1)).collect(),
+        }];
+        let report = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            small_cfg(),
+        )
+        .run();
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.invocations_executed, 20, "two stages per workflow");
+        assert_eq!(report.live_containers_at_exit, 0);
+    }
+
+    #[test]
+    fn tight_admission_sheds_instead_of_queueing_unboundedly() {
+        let (reg, jobs) = chain_jobs(2, 40);
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig {
+                max_inflight: 1,
+                queue_cap: 1,
+            },
+            ..small_cfg()
+        };
+        let report = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            cfg,
+        )
+        .run();
+        assert!(report.admission.shed_arrivals > 0, "cap must bite");
+        assert_eq!(
+            report.admission.admitted + report.admission.shed_arrivals,
+            80
+        );
+        assert_eq!(report.live_containers_at_exit, 0);
+        assert_eq!(report.stranded_instances, 0);
+    }
+
+    #[test]
+    fn latency_sampling_feeds_the_online_model() {
+        let (reg, jobs) = chain_jobs(1, 30);
+        let cfg = ServiceConfig {
+            model_sample_every: 2,
+            refit_interval: SimDuration::from_secs(5),
+            ..small_cfg()
+        };
+        let report = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            cfg,
+        )
+        .run();
+        assert_eq!(report.completed, 30);
+        assert_eq!(report.model.observed, 15, "every 2nd completion sampled");
+        assert!(report.refit.ticks > 0);
+        assert!(report.refit.absorbed > 0, "refits folded observations in");
+    }
+
+    #[test]
+    fn telemetry_sees_warm_hits_and_cold_starts() {
+        let (reg, jobs) = chain_jobs(2, 10);
+        let mut plane = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            small_cfg(),
+        );
+        plane.attach_telemetry(Box::new(aqua_telemetry::Recorder::unbounded()), 64);
+        let report = plane.run();
+        let live = report.telemetry.expect("sink attached");
+        assert!(live.kind("cold_start_begin") > 0);
+        assert!(live.kind("warm_hit") > 0);
+        assert_eq!(
+            live.kind("warm_hit") + live.kind("cold_start_begin"),
+            live.events
+        );
+    }
+}

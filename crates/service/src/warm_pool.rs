@@ -1,0 +1,624 @@
+//! The warm-pool manager: per-function container pools with a background
+//! filler task, a boot-concurrency semaphore, and drain-aware shutdown.
+//!
+//! The manager owns the [`ContainerRuntime`] and all container ledgers
+//! (idle / booting / busy, plus a memory budget). Control is split the
+//! same way the simulator splits it:
+//!
+//! * a **policy** ([`aqua_faas::PrewarmController`]) decides per-function
+//!   pre-warm *targets* and keep-alives once per control window — the
+//!   service applies its decisions via [`WarmPoolManager::apply_decisions`];
+//! * the **filler task** ([`WarmPoolManager::filler_tick`], scheduled by
+//!   the reactor on its own shorter cadence) works toward those targets:
+//!   it reaps keep-alive-expired idle containers, shrinks over-target
+//!   pools when the policy asked for it, and boots replacements —
+//!   never more than [`WarmPoolConfig::max_concurrent_boots`] pre-warm
+//!   boots in flight at once (the boot semaphore). Demand boots (a
+//!   request is waiting) bypass the semaphore: user-facing latency beats
+//!   background-boot smoothing, but they still respect the memory budget.
+//!
+//! During shutdown ([`WarmPoolManager::begin_drain`]) the filler stops
+//! creating pre-warm capacity; demand boots stay allowed so queued work
+//! can still drain. [`WarmPoolManager::shutdown_sweep`] then reaps every
+//! remaining container — after the service's event loop runs dry, the
+//! runtime ledger must read zero or containers leaked.
+
+use std::collections::VecDeque;
+
+use aqua_faas::runtime::{BootTicket, ContainerRuntime};
+use aqua_faas::{FunctionId, PoolDecision, ResourceConfig};
+use aqua_sim::{SimDuration, SimTime};
+
+use crate::fxhash::FxHashMap;
+
+/// Sizing knobs for the warm pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmPoolConfig {
+    /// Boot semaphore: maximum pre-warm boots in flight at once across
+    /// all functions.
+    pub max_concurrent_boots: usize,
+    /// Filler floor: minimum idle-plus-booting containers per function
+    /// with a nonzero pre-warm target.
+    pub min_idle: usize,
+    /// Keep-alive applied before the policy's first decision.
+    pub default_keep_alive: SimDuration,
+    /// Total memory the pool may reserve, MiB.
+    pub memory_budget_mb: f64,
+}
+
+impl Default for WarmPoolConfig {
+    fn default() -> Self {
+        WarmPoolConfig {
+            max_concurrent_boots: 64,
+            min_idle: 0,
+            default_keep_alive: SimDuration::from_secs(600),
+            memory_budget_mb: 256.0 * 16.0 * 1024.0,
+        }
+    }
+}
+
+/// Why a boot was started — determines semaphore accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootPurpose {
+    /// A request is waiting on this container.
+    Demand,
+    /// The filler is building headroom toward a pre-warm target.
+    Prewarm,
+}
+
+/// Result of asking the pool for a container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquired {
+    /// A warm container was available; it is now busy.
+    Warm(aqua_faas::ContainerId),
+    /// A demand boot was started; schedule its completion and queue the
+    /// task.
+    Cold(BootTicket),
+    /// No warm container and no memory headroom to boot: queue or shed.
+    NoCapacity,
+}
+
+/// Pool-manager lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmPoolStats {
+    /// Acquisitions served from a warm container.
+    pub warm_hits: u64,
+    /// Demand boots started.
+    pub demand_boots: u64,
+    /// Pre-warm boots started by the filler.
+    pub prewarm_boots: u64,
+    /// Boots that failed (ticket said so and the failure landed).
+    pub boot_failures: u64,
+    /// Idle containers reaped by keep-alive expiry.
+    pub reaped: u64,
+    /// Idle containers killed by policy shrink decisions.
+    pub shrunk: u64,
+    /// Pre-warm boots the filler wanted but the semaphore deferred.
+    pub semaphore_deferrals: u64,
+    /// Pre-warm boots the filler wanted but the memory budget denied.
+    pub memory_deferrals: u64,
+    /// Containers killed by the final shutdown sweep.
+    pub swept: u64,
+}
+
+/// Per-function pool state.
+#[derive(Debug, Clone, Default)]
+struct FnPool {
+    /// Warm idle containers, most recently used last (LIFO reuse keeps
+    /// the warmest container hot and lets the oldest expire).
+    idle: VecDeque<(aqua_faas::ContainerId, SimTime)>,
+    /// Containers currently booting (either purpose).
+    booting: u32,
+    /// Policy pre-warm target (`None` = demand-driven only).
+    target: Option<usize>,
+    /// Keep-alive horizon for idle containers.
+    keep_alive: SimDuration,
+    /// Whether the policy allows killing over-target idle containers.
+    shrink: bool,
+}
+
+/// The warm-pool manager.
+pub struct WarmPoolManager {
+    cfg: WarmPoolConfig,
+    runtime: Box<dyn ContainerRuntime>,
+    pools: Vec<FnPool>,
+    configs: Vec<ResourceConfig>,
+    /// Purpose of each in-flight boot, keyed by container id.
+    boot_purpose: FxHashMap<aqua_faas::ContainerId, (FunctionId, BootPurpose)>,
+    /// Busy containers and the function they serve.
+    busy: FxHashMap<aqua_faas::ContainerId, FunctionId>,
+    /// Pre-warm boots currently in flight (semaphore counter).
+    prewarm_inflight: usize,
+    reserved_memory_mb: f64,
+    draining: bool,
+    stats: WarmPoolStats,
+}
+
+impl WarmPoolManager {
+    /// A pool manager over `runtime` with one canonical [`ResourceConfig`]
+    /// per function.
+    pub fn new(
+        cfg: WarmPoolConfig,
+        runtime: Box<dyn ContainerRuntime>,
+        configs: Vec<ResourceConfig>,
+    ) -> Self {
+        let pools = configs
+            .iter()
+            .map(|_| FnPool {
+                keep_alive: cfg.default_keep_alive,
+                ..FnPool::default()
+            })
+            .collect();
+        WarmPoolManager {
+            cfg,
+            runtime,
+            pools,
+            configs,
+            boot_purpose: FxHashMap::default(),
+            busy: FxHashMap::default(),
+            prewarm_inflight: 0,
+            reserved_memory_mb: 0.0,
+            draining: false,
+            stats: WarmPoolStats::default(),
+        }
+    }
+
+    /// Number of functions managed.
+    pub fn functions(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The canonical config a function's containers boot with.
+    pub fn config(&self, f: FunctionId) -> &ResourceConfig {
+        &self.configs[f.0]
+    }
+
+    /// Tries to serve a task: warm container, else a demand boot, else
+    /// [`Acquired::NoCapacity`].
+    pub fn acquire(&mut self, f: FunctionId, _now: SimTime) -> Acquired {
+        if let Some((id, _)) = self.pools[f.0].idle.pop_back() {
+            self.busy.insert(id, f);
+            self.stats.warm_hits += 1;
+            return Acquired::Warm(id);
+        }
+        match self.start_boot(f, BootPurpose::Demand) {
+            Some(ticket) => Acquired::Cold(ticket),
+            None => Acquired::NoCapacity,
+        }
+    }
+
+    /// Samples one warm execution for `f` under its canonical config.
+    pub fn sample_exec(&mut self, f: FunctionId) -> SimDuration {
+        let cfg = self.configs[f.0];
+        self.runtime.exec(f, &cfg)
+    }
+
+    /// Returns a busy container to the idle pool.
+    pub fn release(&mut self, container: aqua_faas::ContainerId, now: SimTime) {
+        let f = self
+            .busy
+            .remove(&container)
+            .expect("release of a container that is not busy");
+        self.pools[f.0].idle.push_back((container, now));
+    }
+
+    /// Marks a finished boot warm-idle; returns the function and purpose
+    /// so the service can match waiting tasks.
+    pub fn on_boot_done(
+        &mut self,
+        container: aqua_faas::ContainerId,
+        now: SimTime,
+    ) -> (FunctionId, BootPurpose) {
+        let (f, purpose) = self
+            .boot_purpose
+            .remove(&container)
+            .expect("boot-done for unknown container");
+        self.finish_boot_accounting(f, purpose);
+        self.pools[f.0].idle.push_back((container, now));
+        (f, purpose)
+    }
+
+    /// Handles a failed boot: the container is reaped immediately and its
+    /// memory freed. Returns the function so the service can record the
+    /// failure and consider a replacement.
+    pub fn on_boot_failed(&mut self, container: aqua_faas::ContainerId) -> FunctionId {
+        let (f, purpose) = self
+            .boot_purpose
+            .remove(&container)
+            .expect("boot-failed for unknown container");
+        self.finish_boot_accounting(f, purpose);
+        self.free_container(f);
+        assert!(self.runtime.kill(container), "failed boot not on ledger");
+        self.stats.boot_failures += 1;
+        f
+    }
+
+    /// Applies one control window's policy decisions (targets,
+    /// keep-alives, shrink permissions). The filler works toward them on
+    /// its own cadence.
+    pub fn apply_decisions(&mut self, decisions: &[PoolDecision]) {
+        for d in decisions {
+            let pool = &mut self.pools[d.function.0];
+            pool.target = d.prewarm_target;
+            pool.keep_alive = d.keep_alive;
+            pool.shrink = d.shrink;
+        }
+    }
+
+    /// One background filler pass: reap expired idle containers, shrink
+    /// over-target pools where allowed, then boot toward targets within
+    /// the boot semaphore and memory budget. Returns the pre-warm boot
+    /// tickets started (the service schedules their completions).
+    pub fn filler_tick(&mut self, now: SimTime) -> Vec<BootTicket> {
+        let mut tickets = Vec::new();
+        for i in 0..self.pools.len() {
+            let f = FunctionId(i);
+            // Keep-alive reaping: idle front is oldest.
+            let keep_alive = self.pools[i].keep_alive;
+            while let Some(&(id, since)) = self.pools[i].idle.front() {
+                if now - since >= keep_alive {
+                    self.pools[i].idle.pop_front();
+                    self.free_container(f);
+                    assert!(self.runtime.kill(id), "reaped container not on ledger");
+                    self.stats.reaped += 1;
+                } else {
+                    break;
+                }
+            }
+            let target = self.pools[i].target;
+            // Policy-sanctioned shrink of over-target idle capacity.
+            if self.pools[i].shrink {
+                let target = target.unwrap_or(0);
+                while self.pools[i].idle.len() + self.pools[i].booting as usize > target {
+                    let Some((id, _)) = self.pools[i].idle.pop_front() else {
+                        break;
+                    };
+                    self.free_container(f);
+                    assert!(self.runtime.kill(id), "shrunk container not on ledger");
+                    self.stats.shrunk += 1;
+                }
+            }
+            // Pre-warm boots toward the target (never during drain).
+            if self.draining {
+                continue;
+            }
+            let desired = match target {
+                Some(t) => t.max(self.cfg.min_idle),
+                None => continue,
+            };
+            let have = self.pools[i].idle.len() + self.pools[i].booting as usize;
+            let mut deficit = desired.saturating_sub(have);
+            while deficit > 0 {
+                if self.prewarm_inflight >= self.cfg.max_concurrent_boots {
+                    self.stats.semaphore_deferrals += deficit as u64;
+                    break;
+                }
+                match self.start_boot(f, BootPurpose::Prewarm) {
+                    Some(t) => tickets.push(t),
+                    None => {
+                        self.stats.memory_deferrals += deficit as u64;
+                        break;
+                    }
+                }
+                deficit -= 1;
+            }
+        }
+        tickets
+    }
+
+    /// Enters drain mode: the filler stops creating pre-warm capacity.
+    /// Demand boots remain allowed so queued work can finish.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Kills every remaining container (idle, booting, busy). Call after
+    /// the event loop has drained; any busy/booting entry at that point
+    /// is a leak this sweep both cleans up and reports.
+    pub fn shutdown_sweep(&mut self) -> usize {
+        let mut killed = 0;
+        for i in 0..self.pools.len() {
+            let f = FunctionId(i);
+            while let Some((id, _)) = self.pools[i].idle.pop_front() {
+                self.free_container(f);
+                assert!(self.runtime.kill(id), "swept container not on ledger");
+                killed += 1;
+            }
+        }
+        // Anything still booting or busy after a drained loop is a bug;
+        // sweep it so the ledger ends clean, and count it.
+        for (id, (f, purpose)) in std::mem::take(&mut self.boot_purpose) {
+            self.finish_boot_accounting(f, purpose);
+            self.free_container(f);
+            let _ = self.runtime.kill(id);
+            killed += 1;
+        }
+        for (id, f) in std::mem::take(&mut self.busy) {
+            self.free_container(f);
+            let _ = self.runtime.kill(id);
+            killed += 1;
+        }
+        self.stats.swept += killed as u64;
+        killed
+    }
+
+    /// Live containers on the runtime ledger (0 after a clean shutdown).
+    pub fn live_containers(&self) -> usize {
+        self.runtime.live()
+    }
+
+    /// Memory currently reserved, MiB.
+    pub fn reserved_memory_mb(&self) -> f64 {
+        self.reserved_memory_mb
+    }
+
+    /// Per-function idle counts (for [`aqua_pool::LivePoolSignal::observe`]).
+    pub fn idle_counts(&self) -> Vec<u32> {
+        self.pools.iter().map(|p| p.idle.len() as u32).collect()
+    }
+
+    /// Idle containers for one function (allocation-free hot-path query).
+    pub fn idle_count(&self, f: FunctionId) -> usize {
+        self.pools[f.0].idle.len()
+    }
+
+    /// Containers of `f` currently booting (either purpose).
+    pub fn booting_count(&self, f: FunctionId) -> u32 {
+        self.pools[f.0].booting
+    }
+
+    /// Per-function booting counts.
+    pub fn booting_counts(&self) -> Vec<u32> {
+        self.pools.iter().map(|p| p.booting).collect()
+    }
+
+    /// Pre-warm boots currently holding the semaphore.
+    pub fn prewarm_inflight(&self) -> usize {
+        self.prewarm_inflight
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WarmPoolStats {
+        self.stats
+    }
+
+    /// The underlying runtime's lifetime counters.
+    pub fn runtime_stats(&self) -> aqua_faas::runtime::RuntimeStats {
+        self.runtime.stats()
+    }
+
+    fn start_boot(&mut self, f: FunctionId, purpose: BootPurpose) -> Option<BootTicket> {
+        let cfg = self.configs[f.0];
+        if self.reserved_memory_mb + cfg.memory_mb > self.cfg.memory_budget_mb {
+            return None;
+        }
+        let ticket = self.runtime.boot(f, &cfg);
+        self.reserved_memory_mb += cfg.memory_mb;
+        self.pools[f.0].booting += 1;
+        self.boot_purpose.insert(ticket.container, (f, purpose));
+        match purpose {
+            BootPurpose::Demand => self.stats.demand_boots += 1,
+            BootPurpose::Prewarm => {
+                self.prewarm_inflight += 1;
+                self.stats.prewarm_boots += 1;
+            }
+        }
+        Some(ticket)
+    }
+
+    fn finish_boot_accounting(&mut self, f: FunctionId, purpose: BootPurpose) {
+        self.pools[f.0].booting -= 1;
+        if purpose == BootPurpose::Prewarm {
+            self.prewarm_inflight -= 1;
+        }
+    }
+
+    fn free_container(&mut self, f: FunctionId) {
+        self.reserved_memory_mb = (self.reserved_memory_mb - self.configs[f.0].memory_mb).max(0.0);
+    }
+}
+
+impl std::fmt::Debug for WarmPoolManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmPoolManager")
+            .field("functions", &self.pools.len())
+            .field("live", &self.runtime.live())
+            .field("reserved_memory_mb", &self.reserved_memory_mb)
+            .field("prewarm_inflight", &self.prewarm_inflight)
+            .field("draining", &self.draining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_faas::runtime::SimContainerRuntime;
+    use aqua_faas::{FaultPlan, FunctionRegistry, FunctionSpec, NoiseModel};
+
+    fn pool(max_boots: usize, budget_mb: f64) -> WarmPoolManager {
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new("f0"));
+        reg.register(FunctionSpec::new("f1"));
+        let rt = SimContainerRuntime::new(reg, NoiseModel::quiet(), 7, &FaultPlan::disabled());
+        WarmPoolManager::new(
+            WarmPoolConfig {
+                max_concurrent_boots: max_boots,
+                min_idle: 0,
+                default_keep_alive: SimDuration::from_secs(600),
+                memory_budget_mb: budget_mb,
+            },
+            Box::new(rt),
+            vec![ResourceConfig::default(); 2],
+        )
+    }
+
+    fn target(f: usize, n: usize) -> PoolDecision {
+        PoolDecision {
+            function: FunctionId(f),
+            prewarm_target: Some(n),
+            keep_alive: SimDuration::from_secs(600),
+            shrink: false,
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_acquisition() {
+        let mut p = pool(8, 1e9);
+        let f = FunctionId(0);
+        let t0 = SimTime::ZERO;
+        let Acquired::Cold(ticket) = p.acquire(f, t0) else {
+            panic!("empty pool must boot");
+        };
+        p.on_boot_done(ticket.container, t0);
+        let Acquired::Warm(id) = p.acquire(f, t0) else {
+            panic!("booted container must be reusable");
+        };
+        assert_eq!(id, ticket.container);
+        p.release(id, t0);
+        assert_eq!(p.idle_counts(), vec![1, 0]);
+        assert_eq!(p.stats().warm_hits, 1);
+        assert_eq!(p.stats().demand_boots, 1);
+    }
+
+    #[test]
+    fn filler_respects_the_boot_semaphore() {
+        let mut p = pool(3, 1e9);
+        p.apply_decisions(&[target(0, 10)]);
+        let tickets = p.filler_tick(SimTime::ZERO);
+        assert_eq!(tickets.len(), 3, "semaphore caps pre-warm boots");
+        assert_eq!(p.prewarm_inflight(), 3);
+        assert!(p.stats().semaphore_deferrals > 0);
+        // Semaphore slots free as boots land; the next tick continues.
+        for t in &tickets {
+            p.on_boot_done(t.container, SimTime::from_secs(1));
+        }
+        assert_eq!(p.prewarm_inflight(), 0);
+        let more = p.filler_tick(SimTime::from_secs(1));
+        assert_eq!(more.len(), 3);
+        assert_eq!(p.idle_counts()[0], 3);
+    }
+
+    #[test]
+    fn demand_boots_bypass_the_semaphore_but_not_memory() {
+        let mut p = pool(1, 3.5 * 1024.0);
+        p.apply_decisions(&[target(0, 5)]);
+        let _ = p.filler_tick(SimTime::ZERO); // 1 pre-warm boot holds the semaphore
+        let Acquired::Cold(_) = p.acquire(FunctionId(0), SimTime::ZERO) else {
+            panic!("demand boot must bypass the semaphore");
+        };
+        let Acquired::Cold(_) = p.acquire(FunctionId(0), SimTime::ZERO) else {
+            panic!("budget still has room for a third container");
+        };
+        // 3 × 1024 MiB reserved; a fourth container exceeds 3.5 GiB.
+        assert_eq!(
+            p.acquire(FunctionId(0), SimTime::ZERO),
+            Acquired::NoCapacity
+        );
+    }
+
+    #[test]
+    fn keep_alive_reaps_expired_idle() {
+        let mut p = pool(8, 1e9);
+        let Acquired::Cold(t) = p.acquire(FunctionId(0), SimTime::ZERO) else {
+            panic!()
+        };
+        p.on_boot_done(t.container, SimTime::ZERO);
+        let Acquired::Warm(id) = p.acquire(FunctionId(0), SimTime::ZERO) else {
+            panic!()
+        };
+        p.release(id, SimTime::from_secs(10));
+        p.apply_decisions(&[PoolDecision {
+            function: FunctionId(0),
+            prewarm_target: None,
+            keep_alive: SimDuration::from_secs(60),
+            shrink: false,
+        }]);
+        let _ = p.filler_tick(SimTime::from_secs(30));
+        assert_eq!(p.idle_counts()[0], 1, "young idle survives");
+        let _ = p.filler_tick(SimTime::from_secs(90));
+        assert_eq!(p.idle_counts()[0], 0, "expired idle reaped");
+        assert_eq!(p.stats().reaped, 1);
+        assert_eq!(p.live_containers(), 0);
+    }
+
+    #[test]
+    fn drain_stops_prewarm_but_allows_demand() {
+        let mut p = pool(8, 1e9);
+        p.apply_decisions(&[target(0, 4)]);
+        p.begin_drain();
+        assert!(
+            p.filler_tick(SimTime::ZERO).is_empty(),
+            "no pre-warm in drain"
+        );
+        match p.acquire(FunctionId(0), SimTime::ZERO) {
+            Acquired::Cold(_) => {}
+            other => panic!("demand boot must stay allowed in drain: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_boot_frees_memory_and_ledger() {
+        use aqua_faas::FaultRates;
+        let mut reg = FunctionRegistry::new();
+        reg.register(FunctionSpec::new("f"));
+        let plan = FaultPlan::from_seed(
+            1,
+            FaultRates {
+                boot_fail: 1.0,
+                ..FaultRates::default()
+            },
+        );
+        let rt = SimContainerRuntime::new(reg, NoiseModel::quiet(), 7, &plan);
+        let mut p = WarmPoolManager::new(
+            WarmPoolConfig::default(),
+            Box::new(rt),
+            vec![ResourceConfig::default()],
+        );
+        let Acquired::Cold(t) = p.acquire(FunctionId(0), SimTime::ZERO) else {
+            panic!()
+        };
+        assert!(t.fails);
+        let f = p.on_boot_failed(t.container);
+        assert_eq!(f, FunctionId(0));
+        assert_eq!(p.reserved_memory_mb(), 0.0);
+        assert_eq!(p.live_containers(), 0);
+        assert_eq!(p.stats().boot_failures, 1);
+    }
+
+    #[test]
+    fn shutdown_sweep_clears_everything() {
+        let mut p = pool(8, 1e9);
+        p.apply_decisions(&[target(0, 3), target(1, 2)]);
+        let tickets = p.filler_tick(SimTime::ZERO);
+        for t in &tickets {
+            p.on_boot_done(t.container, SimTime::ZERO);
+        }
+        assert_eq!(p.live_containers(), 5);
+        p.begin_drain();
+        let killed = p.shutdown_sweep();
+        assert_eq!(killed, 5);
+        assert_eq!(p.live_containers(), 0, "zero orphaned containers");
+        assert_eq!(p.reserved_memory_mb(), 0.0);
+    }
+
+    #[test]
+    fn shrink_decision_kills_over_target_idle() {
+        let mut p = pool(8, 1e9);
+        p.apply_decisions(&[target(0, 4)]);
+        let tickets = p.filler_tick(SimTime::ZERO);
+        for t in &tickets {
+            p.on_boot_done(t.container, SimTime::ZERO);
+        }
+        assert_eq!(p.idle_counts()[0], 4);
+        p.apply_decisions(&[PoolDecision {
+            function: FunctionId(0),
+            prewarm_target: Some(1),
+            keep_alive: SimDuration::from_secs(600),
+            shrink: true,
+        }]);
+        let _ = p.filler_tick(SimTime::from_secs(1));
+        assert_eq!(p.idle_counts()[0], 1);
+        assert_eq!(p.stats().shrunk, 3);
+    }
+}

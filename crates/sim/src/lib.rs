@@ -22,10 +22,12 @@ pub mod dist;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
+pub mod stats;
 pub mod time;
 
 pub use dist::{arrivals_with_cv, Exponential, Gamma, HyperExp, LogNormal, Pareto, PoissonProcess};
 pub use parallel::{par_map, par_map_owned};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use stats::{mean_ci95, sign_test_p, Comparison, LatencySummary};
 pub use time::{SimDuration, SimTime};

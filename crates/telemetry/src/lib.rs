@@ -39,9 +39,11 @@
 pub mod diff;
 pub mod event;
 pub mod invariant;
+pub mod live;
 pub mod sink;
 
 pub use diff::{diff_jsonl, diff_traces, Divergence};
 pub use event::{EvictionReason, FaultKind, SimEvent};
 pub use invariant::InvariantChecker;
+pub use live::{LiveSink, LiveStats};
 pub use sink::{EventSink, Fanout, JsonlWriter, Recorder, SharedSink, Telemetry};

@@ -1,0 +1,184 @@
+//! Live (non-replay) sink mode for a long-running control plane.
+//!
+//! Replay sinks ([`crate::Recorder`], [`crate::JsonlWriter`]) assume a
+//! bounded run: buffer everything, flush once at the end. A service that
+//! never ends needs the opposite contract — bounded memory, periodic
+//! flushes, and cheap aggregate counters that can be scraped while events
+//! keep streaming. [`LiveSink`] provides that: it wraps any downstream
+//! [`EventSink`], forwards every event, force-flushes the downstream every
+//! `flush_every` events, and maintains per-kind counters (keyed by
+//! [`SimEvent::kind`]) readable at any time without stopping the stream.
+
+use std::collections::BTreeMap;
+
+use crate::event::SimEvent;
+use crate::sink::EventSink;
+
+/// Aggregate counters scraped from a [`LiveSink`] while it runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Events seen, total.
+    pub events: u64,
+    /// Flushes forced by the periodic cadence (excludes terminal flush).
+    pub periodic_flushes: u64,
+    /// Events seen per [`SimEvent::kind`] tag, sorted by kind.
+    pub by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl LiveStats {
+    /// Count for one event kind (0 when never seen).
+    pub fn kind(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// An [`EventSink`] adapter for long-running processes: forwards to a
+/// downstream sink, flushes it every `flush_every` events, and keeps
+/// scrapeable per-kind counters.
+pub struct LiveSink<S> {
+    downstream: S,
+    flush_every: u64,
+    since_flush: u64,
+    stats: LiveStats,
+}
+
+impl<S: EventSink> LiveSink<S> {
+    /// Wraps `downstream`, flushing it after every `flush_every` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flush_every` is zero.
+    pub fn new(downstream: S, flush_every: u64) -> Self {
+        assert!(flush_every > 0, "flush cadence must be positive");
+        LiveSink {
+            downstream,
+            flush_every,
+            since_flush: 0,
+            stats: LiveStats::default(),
+        }
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> LiveStats {
+        self.stats.clone()
+    }
+
+    /// Borrows the downstream sink (e.g. to inspect a wrapped recorder).
+    pub fn downstream(&self) -> &S {
+        &self.downstream
+    }
+
+    /// Consumes the adapter, flushing and returning the downstream sink.
+    pub fn into_downstream(mut self) -> S {
+        self.downstream.flush();
+        self.downstream
+    }
+}
+
+impl<S: EventSink> EventSink for LiveSink<S> {
+    fn record(&mut self, event: &SimEvent) {
+        self.stats.events += 1;
+        *self.stats.by_kind.entry(event.kind()).or_insert(0) += 1;
+        self.downstream.record(event);
+        self.since_flush += 1;
+        if self.since_flush >= self.flush_every {
+            self.since_flush = 0;
+            self.stats.periodic_flushes += 1;
+            self.downstream.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.since_flush = 0;
+        self.downstream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Recorder;
+    use aqua_sim::SimTime;
+
+    /// A sink that counts flushes, for asserting the cadence.
+    #[derive(Default)]
+    struct FlushCounter {
+        records: u64,
+        flushes: u64,
+    }
+
+    impl EventSink for FlushCounter {
+        fn record(&mut self, _event: &SimEvent) {
+            self.records += 1;
+        }
+        fn flush(&mut self) {
+            self.flushes += 1;
+        }
+    }
+
+    fn hit(us: u64) -> SimEvent {
+        SimEvent::WarmHit {
+            at: SimTime::from_micros(us),
+            function: 0,
+            container: us,
+        }
+    }
+
+    fn cold(us: u64) -> SimEvent {
+        SimEvent::ColdStartBegin {
+            at: SimTime::from_micros(us),
+            function: 0,
+            container: us,
+            worker: 0,
+            memory_mb: 128.0,
+            slots: 1,
+            prewarmed: false,
+        }
+    }
+
+    #[test]
+    fn flushes_on_cadence_and_counts_kinds() {
+        let mut live = LiveSink::new(FlushCounter::default(), 3);
+        for i in 0..7 {
+            live.record(&hit(i));
+        }
+        live.record(&cold(7));
+        let stats = live.stats();
+        assert_eq!(stats.events, 8);
+        assert_eq!(stats.kind("warm_hit"), 7);
+        assert_eq!(stats.kind("cold_start_begin"), 1);
+        assert_eq!(stats.kind("never_seen"), 0);
+        // 8 events at cadence 3 → flushes after events 3 and 6.
+        assert_eq!(stats.periodic_flushes, 2);
+        assert_eq!(live.downstream().flushes, 2);
+        assert_eq!(live.downstream().records, 8);
+    }
+
+    #[test]
+    fn explicit_flush_resets_the_cadence() {
+        let mut live = LiveSink::new(FlushCounter::default(), 3);
+        live.record(&hit(0));
+        live.record(&hit(1));
+        live.flush();
+        // The cadence restarted: two more events stay under the threshold.
+        live.record(&hit(2));
+        live.record(&hit(3));
+        assert_eq!(live.stats().periodic_flushes, 0);
+        assert_eq!(live.downstream().flushes, 1);
+    }
+
+    #[test]
+    fn into_downstream_flushes_and_returns_the_wrapped_sink() {
+        let mut live = LiveSink::new(Recorder::unbounded(), 1000);
+        live.record(&hit(0));
+        live.record(&hit(1));
+        let rec = live.into_downstream();
+        assert_eq!(rec.events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush cadence must be positive")]
+    fn zero_cadence_is_rejected() {
+        let _ = LiveSink::new(Recorder::unbounded(), 0);
+    }
+}

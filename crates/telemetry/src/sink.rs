@@ -22,6 +22,16 @@ pub trait EventSink {
     fn flush(&mut self) {}
 }
 
+impl EventSink for Box<dyn EventSink + Send> {
+    fn record(&mut self, event: &SimEvent) {
+        (**self).record(event)
+    }
+
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+}
+
 /// A shared, interiorly-mutable sink handle.
 ///
 /// `Send` so a [`Telemetry`] clone can ride inside per-shard simulator

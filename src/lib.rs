@@ -17,6 +17,7 @@ pub use aqua_linalg as linalg;
 pub use aqua_nn as nn;
 pub use aqua_pool as pool;
 pub use aqua_scenarios as scenarios;
+pub use aqua_service as service;
 pub use aqua_sim as sim;
 pub use aqua_telemetry as telemetry;
 pub use aqua_workflows as workflows;

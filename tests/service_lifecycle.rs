@@ -1,0 +1,167 @@
+//! Lifecycle tests for the control-plane service: graceful shutdown
+//! drains in-flight work, the filler task replenishes under injected
+//! boot failures while respecting the boot semaphore, and a zero-rate
+//! fault plan is a strict no-op on service behavior.
+
+use aquatope::faas::{
+    FaultPlan, FaultRates, FunctionRegistry, FunctionSpec, ResourceConfig, StageConfigs,
+    WorkflowDag, WorkflowJob,
+};
+use aquatope::pool::{HistogramPolicy, ReactiveAutoscale};
+use aquatope::service::{ControlPlane, ServiceConfig, ServiceReport, WarmPoolConfig};
+use aquatope::sim::{SimDuration, SimTime};
+
+/// `apps` single-stage jobs, each with `n` arrivals spread over ~n/2 s.
+fn workload(apps: usize, n: usize) -> (FunctionRegistry, Vec<WorkflowJob>) {
+    let mut reg = FunctionRegistry::new();
+    let mut jobs = Vec::new();
+    for a in 0..apps {
+        let f = reg.register(FunctionSpec::new(format!("fn{a}")).with_work_ms(60.0));
+        let dag = WorkflowDag::chain(format!("app{a}"), vec![f]);
+        let configs = StageConfigs::uniform(&dag, ResourceConfig::default());
+        let arrivals = (0..n)
+            .map(|i| SimTime::from_millis(500 * i as u64 + 100 + 53 * a as u64))
+            .collect();
+        jobs.push(WorkflowJob {
+            dag,
+            configs,
+            arrivals,
+        });
+    }
+    (reg, jobs)
+}
+
+fn run_with(faults: &FaultPlan, cfg: ServiceConfig) -> ServiceReport {
+    let (reg, jobs) = workload(4, 30);
+    ControlPlane::new(reg, jobs, Box::new(HistogramPolicy::default()), faults, cfg).run()
+}
+
+fn short_cfg() -> ServiceConfig {
+    ServiceConfig {
+        run_for: SimDuration::from_secs(30),
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn shutdown_drains_all_inflight_work() {
+    // Shutdown fires at 30 s; arrivals continue to ~15 s, so plenty of
+    // work is in flight when the horizon is reached on slower settings.
+    // Every admitted instance must resolve (complete or abort) and the
+    // container ledger must read zero.
+    let report = run_with(&FaultPlan::disabled(), short_cfg());
+    assert_eq!(report.completed, 120, "all admitted workflows finished");
+    assert_eq!(report.stranded_instances, 0, "drain left no open instances");
+    assert_eq!(
+        report.live_containers_at_exit, 0,
+        "graceful shutdown leaves zero orphaned containers"
+    );
+    assert_eq!(
+        report.admission.admitted, report.admission.finished,
+        "every admission was balanced by a finish"
+    );
+    assert_eq!(report.runtime.boots, report.runtime.kills);
+}
+
+#[test]
+fn shutdown_mid_burst_still_drains() {
+    // Cut the horizon into the middle of the arrival trace: later
+    // arrivals are skipped, but everything admitted before the cut
+    // drains to completion.
+    let cfg = ServiceConfig {
+        run_for: SimDuration::from_secs(5),
+        ..ServiceConfig::default()
+    };
+    let report = run_with(&FaultPlan::disabled(), cfg);
+    assert!(report.arrivals_skipped_in_drain > 0, "cut lands mid-trace");
+    assert!(report.completed > 0);
+    assert_eq!(report.stranded_instances, 0);
+    assert_eq!(report.live_containers_at_exit, 0);
+    assert_eq!(report.admission.admitted, report.admission.finished);
+}
+
+#[test]
+fn filler_replenishes_under_injected_boot_failures() {
+    // A third of boots fail. The pool's replacement path (failure →
+    // freed memory → replacement demand boot for uncovered waiters) and
+    // the filler's target-chasing must still finish every workflow.
+    let plan = FaultPlan::from_seed(
+        11,
+        FaultRates {
+            boot_fail: 0.33,
+            ..FaultRates::default()
+        },
+    );
+    let report = run_with(&plan, short_cfg());
+    assert!(
+        report.pool.boot_failures > 0,
+        "the fault plan must actually fire"
+    );
+    assert_eq!(
+        report.completed, 120,
+        "boot failures delay but never strand workflows"
+    );
+    assert_eq!(report.stranded_instances, 0);
+    assert_eq!(report.live_containers_at_exit, 0);
+    assert_eq!(
+        report.runtime.boots, report.runtime.kills,
+        "every booted container (failed ones included) was reaped"
+    );
+}
+
+#[test]
+fn filler_respects_the_boot_semaphore_under_failures() {
+    // A 2-wide boot semaphore against an eager autoscale policy: the
+    // filler must defer pre-warm boots rather than exceed the width, and
+    // the deferral counter must show it happened.
+    let plan = FaultPlan::from_seed(
+        7,
+        FaultRates {
+            boot_fail: 0.25,
+            ..FaultRates::default()
+        },
+    );
+    let (reg, jobs) = workload(6, 20);
+    let cfg = ServiceConfig {
+        pool: WarmPoolConfig {
+            max_concurrent_boots: 2,
+            min_idle: 2,
+            ..WarmPoolConfig::default()
+        },
+        run_for: SimDuration::from_secs(30),
+        ..ServiceConfig::default()
+    };
+    let report = ControlPlane::new(
+        reg,
+        jobs,
+        Box::new(ReactiveAutoscale::default()),
+        &plan,
+        cfg,
+    )
+    .run();
+    assert!(
+        report.pool.semaphore_deferrals > 0,
+        "a 2-wide semaphore against 6 eager functions must defer"
+    );
+    assert!(report.pool.prewarm_boots > 0, "the filler did boot");
+    assert_eq!(report.completed, 120);
+    assert_eq!(report.live_containers_at_exit, 0);
+}
+
+#[test]
+fn zero_rate_fault_plan_is_a_noop() {
+    // A zero-rate plan must be indistinguishable from FaultPlan::disabled()
+    // in every deterministic counter (wall-clock fields are excluded by
+    // comparing the service report, which has none).
+    let zero = FaultPlan::from_seed(99, FaultRates::default());
+    let a = run_with(&FaultPlan::disabled(), short_cfg());
+    let b = run_with(&zero, short_cfg());
+    assert_eq!(a.pool.boot_failures, 0);
+    assert_eq!(b.pool.boot_failures, 0);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.pool, b.pool);
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.admission, b.admission);
+}

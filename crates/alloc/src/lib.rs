@@ -42,7 +42,7 @@ pub mod testkit;
 pub use aquatope::{AquatopeRm, AquatopeRmConfig};
 pub use baselines::{AutoscaleRm, Clite, RandomSearch};
 pub use evaluator::{ConfigEvaluator, SampleResult, SimEvaluator};
-pub use online::{OnlineLatencyModel, OnlineModelStats};
+pub use online::{OnlineLatencyModel, OnlineModelStats, SurrogateTier, TierSwitch};
 pub use oracle::OracleSearch;
 
 use aqua_faas::StageConfigs;

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use aqua_gp::{Gp, GpConfig};
+use aqua_gp::{Gp, GpConfig, SparseGp};
 
 /// One buffered observation: normalized input coordinates and an observed
 /// latency (seconds).
@@ -33,15 +33,49 @@ struct PendingObs {
     latency: f64,
 }
 
+/// Which surrogate tier an application's model currently runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateTier {
+    /// Exact GP: O(n²) per append, O(n²) per prediction.
+    Exact,
+    /// Sparse inducing-point GP: O(m²) per append and prediction.
+    Sparse,
+}
+
+/// One exact→sparse tier transition, recorded by [`OnlineLatencyModel::refit`]
+/// and drained by the host (the service emits a telemetry event per entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSwitch {
+    /// Application whose model switched.
+    pub app: usize,
+    /// Training-set size at the moment of the switch.
+    pub train: usize,
+    /// Inducing-set size of the new sparse model.
+    pub inducing: usize,
+}
+
+/// The fitted model behind one application, on either tier.
+#[derive(Debug, Clone)]
+enum TierGp {
+    Exact(Gp),
+    Sparse(SparseGp),
+}
+
 /// Per-application online model state.
 #[derive(Debug, Clone, Default)]
 struct AppModel {
-    gp: Option<Gp>,
+    model: Option<TierGp>,
     pending: Vec<PendingObs>,
     /// Completions recorded since the last successful refit.
     staleness: u64,
     /// Warm-up observations held until there are enough to fit.
     warmup: Vec<PendingObs>,
+    /// The observations currently inside the training window, mirrored
+    /// outside the GP so a tier switch or sparse rebuild can refit from
+    /// raw data. Kept in lockstep with the exact tier's training set.
+    history: Vec<PendingObs>,
+    /// Appends absorbed on the sparse tier since its last full rebuild.
+    sparse_appends: usize,
 }
 
 /// Counters describing the work an [`OnlineLatencyModel`] has done.
@@ -55,6 +89,8 @@ pub struct OnlineModelStats {
     pub compactions: u64,
     /// Appends rejected by the GP (singular kernel); dropped.
     pub rejected: u64,
+    /// Exact→sparse tier switches performed.
+    pub tier_switches: u64,
 }
 
 /// Streaming per-application latency models with incremental GP refits.
@@ -69,6 +105,13 @@ pub struct OnlineLatencyModel {
     min_fit: usize,
     /// Horizon (seconds) the time coordinate is normalized by.
     time_horizon: f64,
+    /// Training size past which refits switch an app's model to the
+    /// sparse tier. Windows at or below the threshold never switch.
+    tier_threshold: usize,
+    /// Inducing-set size for the sparse tier.
+    inducing: usize,
+    /// Tier switches not yet drained by the host.
+    switches: Vec<TierSwitch>,
     stats: OnlineModelStats,
 }
 
@@ -88,6 +131,9 @@ impl OnlineLatencyModel {
             window,
             min_fit: 4,
             time_horizon,
+            tier_threshold: 256,
+            inducing: 64,
+            switches: Vec::new(),
             stats: OnlineModelStats::default(),
         }
     }
@@ -104,6 +150,40 @@ impl OnlineLatencyModel {
             ..GpConfig::default()
         };
         OnlineLatencyModel::new(config, 64, 3600.0)
+    }
+
+    /// Service defaults sized for heavy per-app traffic: a 4096-point
+    /// window with the surrogate switching to the sparse tier once an
+    /// app's training set crosses 256 points. The exact tier's O(n²)
+    /// append and O(n³) periodic grid search would dominate refit budget
+    /// long before the window fills; past the threshold every append is
+    /// an O(m²) rank-1 update against `m = 64` inducing points.
+    pub fn scalable_default() -> Self {
+        let config = GpConfig {
+            refit_every: 32,
+            ..GpConfig::default()
+        };
+        OnlineLatencyModel::new(config, 4096, 3600.0)
+    }
+
+    /// Overrides the exact→sparse switch threshold (training-set size).
+    /// `usize::MAX` pins every app to the exact tier.
+    #[must_use]
+    pub fn with_tier_threshold(mut self, threshold: usize) -> Self {
+        self.tier_threshold = threshold;
+        self
+    }
+
+    /// Overrides the sparse tier's inducing-set size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inducing < 2` (the sparse fit would always fail).
+    #[must_use]
+    pub fn with_inducing(mut self, inducing: usize) -> Self {
+        assert!(inducing >= 2, "need at least 2 inducing points");
+        self.inducing = inducing;
+        self
     }
 
     /// Records one completed invocation of `app`: resource coordinates
@@ -143,11 +223,15 @@ impl OnlineLatencyModel {
         apps.into_iter().map(|(_, id)| id).collect()
     }
 
-    /// Drains `app`'s buffer into its GP: warm-up observations accumulate
-    /// until the first [`Gp::fit`]; afterwards each observation is a
-    /// rank-1 [`Gp::extend`] append (full grid search every
-    /// `refit_every`-th). Exceeding the window cap triggers a
-    /// [`Gp::refit_subset`] compaction keeping the newest half. Returns
+    /// Drains `app`'s buffer into its model: warm-up observations
+    /// accumulate until the first [`Gp::fit`]; afterwards each
+    /// observation is a rank-1 append — [`Gp::extend`] on the exact tier
+    /// (full grid search every `refit_every`-th), [`SparseGp::absorb`] on
+    /// the sparse tier. Exceeding the window cap triggers a compaction
+    /// keeping the newest half. A refit that leaves the exact tier's
+    /// training set above the tier threshold rebuilds the model as a
+    /// [`SparseGp`] inheriting the exact tier's kernel; the transition is
+    /// recorded for [`OnlineLatencyModel::drain_tier_switches`]. Returns
     /// the number of observations absorbed.
     pub fn refit(&mut self, app: usize) -> usize {
         let Some(model) = self.apps.get_mut(&app) else {
@@ -156,7 +240,7 @@ impl OnlineLatencyModel {
         let drained: Vec<PendingObs> = model.pending.drain(..).collect();
         let mut absorbed = 0;
         for obs in drained {
-            match &mut model.gp {
+            match &mut model.model {
                 None => {
                     model.warmup.push(obs);
                     absorbed += 1;
@@ -165,8 +249,8 @@ impl OnlineLatencyModel {
                         let ys: Vec<f64> = model.warmup.iter().map(|o| o.latency).collect();
                         match Gp::fit(xs, ys, self.config.clone()) {
                             Ok(gp) => {
-                                model.warmup.clear();
-                                model.gp = Some(gp);
+                                model.history = std::mem::take(&mut model.warmup);
+                                model.model = Some(TierGp::Exact(gp));
                             }
                             Err(_) => {
                                 // Keep accumulating; more spread may fix a
@@ -175,9 +259,10 @@ impl OnlineLatencyModel {
                         }
                     }
                 }
-                Some(gp) => {
-                    if gp.extend(obs.x, obs.latency).is_ok() {
+                Some(TierGp::Exact(gp)) => {
+                    if gp.extend(obs.x.clone(), obs.latency).is_ok() {
                         absorbed += 1;
+                        model.history.push(obs);
                     } else {
                         self.stats.rejected += 1;
                     }
@@ -185,7 +270,64 @@ impl OnlineLatencyModel {
                         let keep: Vec<usize> = (gp.len() - self.window / 2..gp.len()).collect();
                         if let Ok(compact) = gp.refit_subset(&keep) {
                             *gp = compact;
+                            let drop = model.history.len() - self.window / 2;
+                            model.history.drain(..drop);
                             self.stats.compactions += 1;
+                        }
+                    }
+                    if gp.len() > self.tier_threshold {
+                        let xs: Vec<Vec<f64>> = model.history.iter().map(|o| o.x.clone()).collect();
+                        let ys: Vec<f64> = model.history.iter().map(|o| o.latency).collect();
+                        // Inherit the exact tier's selected kernel — the
+                        // sparse fit is pure linear algebra, no search.
+                        if let Ok(sparse) = SparseGp::fit_points(
+                            &xs,
+                            &ys,
+                            *gp.kernel(),
+                            self.config.noise,
+                            self.inducing,
+                        ) {
+                            self.switches.push(TierSwitch {
+                                app,
+                                train: sparse.len(),
+                                inducing: sparse.support_size(),
+                            });
+                            self.stats.tier_switches += 1;
+                            model.sparse_appends = 0;
+                            model.model = Some(TierGp::Sparse(sparse));
+                        }
+                    }
+                }
+                Some(TierGp::Sparse(sgp)) => {
+                    sgp.absorb(&obs.x, obs.latency);
+                    absorbed += 1;
+                    model.history.push(obs);
+                    model.sparse_appends += 1;
+                    let compact = model.history.len() > self.window;
+                    let rebuild_due = self.config.refit_every > 0
+                        && model.sparse_appends >= self.config.refit_every;
+                    if compact {
+                        let drop = model.history.len() - self.window / 2;
+                        model.history.drain(..drop);
+                        self.stats.compactions += 1;
+                    }
+                    if compact || rebuild_due {
+                        // Full rebuild from the raw window: re-selects
+                        // inducing points and re-standardizes the target,
+                        // so absorb's frozen standardization tracks drift
+                        // at a bounded cadence. On failure the absorbed
+                        // model stands.
+                        let xs: Vec<Vec<f64>> = model.history.iter().map(|o| o.x.clone()).collect();
+                        let ys: Vec<f64> = model.history.iter().map(|o| o.latency).collect();
+                        if let Ok(next) = SparseGp::fit_points(
+                            &xs,
+                            &ys,
+                            *sgp.kernel(),
+                            self.config.noise,
+                            self.inducing,
+                        ) {
+                            *sgp = next;
+                            model.sparse_appends = 0;
                         }
                     }
                 }
@@ -199,19 +341,39 @@ impl OnlineLatencyModel {
     /// Predicted `(mean, variance)` latency for `app` at coordinates `u`
     /// and service time `at_secs`, or `None` before the first fit.
     pub fn predict(&self, app: usize, u: &[f64], at_secs: f64) -> Option<(f64, f64)> {
-        let gp = self.apps.get(&app)?.gp.as_ref()?;
+        let model = self.apps.get(&app)?.model.as_ref()?;
         let mut x = Vec::with_capacity(u.len() + 1);
         x.extend_from_slice(u);
         x.push((at_secs / self.time_horizon).clamp(0.0, 1.0));
-        Some(gp.predict(&x))
+        Some(match model {
+            TierGp::Exact(gp) => gp.predict(&x),
+            TierGp::Sparse(sgp) => sgp.predict(&x),
+        })
     }
 
     /// Training points currently held for `app` (0 before the first fit).
     pub fn model_size(&self, app: usize) -> usize {
-        self.apps
-            .get(&app)
-            .and_then(|m| m.gp.as_ref())
-            .map_or(0, |gp| gp.len())
+        self.apps.get(&app).map_or(0, |m| match &m.model {
+            Some(TierGp::Exact(gp)) => gp.len(),
+            Some(TierGp::Sparse(sgp)) => sgp.len(),
+            None => 0,
+        })
+    }
+
+    /// The tier `app`'s model currently runs on, or `None` before the
+    /// first fit.
+    pub fn tier(&self, app: usize) -> Option<SurrogateTier> {
+        self.apps.get(&app).and_then(|m| match m.model {
+            Some(TierGp::Exact(_)) => Some(SurrogateTier::Exact),
+            Some(TierGp::Sparse(_)) => Some(SurrogateTier::Sparse),
+            None => None,
+        })
+    }
+
+    /// Tier switches performed since the last drain, oldest first — the
+    /// host turns these into telemetry events.
+    pub fn drain_tier_switches(&mut self) -> Vec<TierSwitch> {
+        std::mem::take(&mut self.switches)
     }
 
     /// Work counters.
@@ -298,6 +460,69 @@ mod tests {
         let (lo, _) = m.predict(0, &[0.1, 0.5, 0.5], 20.0).unwrap();
         let (hi, _) = m.predict(0, &[0.9, 0.5, 0.5], 20.0).unwrap();
         assert!(hi > lo, "monotone trend not captured: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn crossing_the_threshold_switches_to_the_sparse_tier() {
+        let mut m = OnlineLatencyModel::new(GpConfig::default(), 128, 3600.0)
+            .with_tier_threshold(24)
+            .with_inducing(8);
+        feed(&mut m, 0, 20, 0.01);
+        m.refit(0);
+        assert_eq!(m.tier(0), Some(SurrogateTier::Exact));
+        assert!(m.drain_tier_switches().is_empty());
+
+        feed(&mut m, 0, 10, 0.43);
+        m.refit(0);
+        assert_eq!(m.tier(0), Some(SurrogateTier::Sparse));
+        let switches = m.drain_tier_switches();
+        assert_eq!(switches.len(), 1);
+        assert_eq!(switches[0].app, 0);
+        assert!(switches[0].train > 24, "switched at {}", switches[0].train);
+        assert_eq!(switches[0].inducing, 8);
+        assert_eq!(m.stats().tier_switches, 1);
+        assert!(m.drain_tier_switches().is_empty(), "drain is one-shot");
+
+        // The sparse tier keeps absorbing and predicting.
+        feed(&mut m, 0, 10, 0.77);
+        m.refit(0);
+        assert_eq!(m.tier(0), Some(SurrogateTier::Sparse));
+        assert_eq!(m.stats().tier_switches, 1, "no repeat switch");
+        let (lo, _) = m.predict(0, &[0.1, 0.9, 0.5], 400.0).unwrap();
+        let (hi, _) = m.predict(0, &[0.9, 0.1, 0.5], 400.0).unwrap();
+        assert!(hi > lo, "sparse tier lost the trend: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn default_threshold_is_unreachable_for_service_window() {
+        // service_default's window (64) sits below the tier threshold
+        // (256): existing service behavior stays on the exact tier.
+        let mut m = OnlineLatencyModel::service_default();
+        for batch in 0..8 {
+            feed(&mut m, 0, 20, batch as f64 * 0.13);
+            m.refit(0);
+        }
+        assert_eq!(m.tier(0), Some(SurrogateTier::Exact));
+        assert_eq!(m.stats().tier_switches, 0);
+        assert!(m.drain_tier_switches().is_empty());
+    }
+
+    #[test]
+    fn sparse_window_cap_bounds_history() {
+        let mut m = OnlineLatencyModel::new(GpConfig::default(), 32, 3600.0)
+            .with_tier_threshold(16)
+            .with_inducing(8);
+        for batch in 0..12 {
+            feed(&mut m, 0, 8, batch as f64 * 0.29);
+            m.refit(0);
+        }
+        assert_eq!(m.tier(0), Some(SurrogateTier::Sparse));
+        assert!(
+            m.model_size(0) <= 32,
+            "window cap violated: {}",
+            m.model_size(0)
+        );
+        assert!(m.stats().compactions > 0, "cap was exercised");
     }
 
     #[test]

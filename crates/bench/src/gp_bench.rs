@@ -1,29 +1,49 @@
 //! Machine-readable micro-benchmark of the BO engine's hot kernels —
 //! the record behind `BENCH_GP.json` (written by the `aqua-bench`
-//! binary, `cargo run -p aqua-bench --release`).
+//! binary, `cargo run -p aqua-bench --release -- gp`; `--smoke` writes a
+//! reduced CI variant to `target/BENCH_GP_SMOKE.json`).
 //!
-//! Three operations at n ∈ {16, 64, 256} training points (6-d inputs):
+//! Both surrogate tiers over a size sweep of 6-d training sets:
 //!
-//! * `gp_fit` — full fit: grid-search hyperparameter selection plus an
-//!   O(n³) Cholesky factorization per candidate.
-//! * `gp_extend` — incremental append via [`Gp::with_observation`]:
-//!   rank-1 Cholesky bordering, O(n²), hyperparameters reused.
-//! * `propose_batch` — one q=3 Kriging-believer batch proposal over a
-//!   24-candidate pool (the per-iteration acquisition cost).
+//! * `gp_fit` — exact full fit: grid-search hyperparameter selection
+//!   plus an O(n³) Cholesky factorization per candidate. Capped at
+//!   n=1024 (the 4096-point fit takes minutes — exactly the cost the
+//!   sparse tier exists to avoid).
+//! * `gp_extend` — exact incremental append via [`Gp::with_observation`]:
+//!   rank-1 Cholesky bordering, O(n²).
+//! * `propose_batch` — exact q=3 Kriging-believer batch proposal over a
+//!   24-candidate pool. Capped at n=256 (posterior sampling is O(n³)
+//!   per refresh).
+//! * `sparse_fit` — sparse-tier fit end to end ([`SparseGp::fit_auto`]):
+//!   pilot kernel selection on the m=64 inducing subset plus the
+//!   gemm-blocked n×m cross-kernel build.
+//! * `sparse_absorb` — one O(m²) rank-1 absorb ([`SparseGp::absorb`]).
+//! * `sparse_propose_batch` — the same q=3 proposal on the sparse tier,
+//!   across the full sweep; per-proposal cost is O(m²) per candidate,
+//!   independent of n.
 //!
-//! The headline ratio `speedup_extend_vs_fit_n256` compares growing a
-//! 256-point GP by one observation on the incremental path against the
-//! full refit the pre-fast-path engine ran every iteration.
+//! Headlines: `proposals_per_sec` (sparse proposals at the largest
+//! size) and `speedup_extend_vs_fit` (append vs full refit at the
+//! largest size where both were measured — not hard-coded to one n, so
+//! the ratio stays meaningful as the sweep grows).
 
-use aqua_gp::{propose_batch, Gp, GpConfig, Halton, NeiConfig};
+use aqua_gp::{propose_batch, Gp, GpConfig, Halton, NeiConfig, SparseGp, SparseGpConfig};
 use aqua_sim::SimRng;
-use serde_json::json;
+use serde_json::{json, Value};
 
 use crate::common::{median_ns, print_table};
 
-/// Training-set sizes exercised by the benchmark.
-pub const SIZES: [usize; 3] = [16, 64, 256];
+/// Training-set sizes exercised by the full benchmark.
+pub const SIZES: [usize; 5] = [16, 64, 256, 1024, 4096];
+/// Reduced sweep for `--smoke` CI runs (seconds, not minutes).
+pub const SMOKE_SIZES: [usize; 3] = [16, 64, 256];
 const DIM: usize = 6;
+/// Sparse-tier inducing-set size.
+pub const INDUCING: usize = 64;
+/// Largest n the exact grid-search fit (and extend) is measured at.
+const EXACT_FIT_CAP: usize = 1024;
+/// Largest n the exact batch proposal is measured at.
+const EXACT_PROPOSE_CAP: usize = 256;
 
 fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = SimRng::seed(seed);
@@ -37,71 +57,172 @@ fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     (xs, ys)
 }
 
-/// Runs the benchmark and returns the `BENCH_GP.json` record.
-pub fn run() -> serde_json::Value {
+fn fmt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |ns| ns.to_string())
+}
+
+fn insert(map: &mut Vec<(String, Value)>, n: usize, v: Option<u64>) {
+    if let Some(ns) = v {
+        map.push((n.to_string(), ns.into()));
+    }
+}
+
+/// Runs the benchmark and returns the `BENCH_GP.json` record. `smoke`
+/// shrinks the sweep and rep counts for CI.
+pub fn run(smoke: bool) -> serde_json::Value {
     let cfg = GpConfig {
         // Freeze hyperparameters so gp_extend measures the pure rank-1
         // path (cadence refits are amortized, not per-append).
         refit_every: 0,
         ..GpConfig::default()
     };
+    let sparse_cfg = SparseGpConfig {
+        inducing: INDUCING,
+        gp: cfg.clone(),
+    };
+    let sizes: &[usize] = if smoke { &SMOKE_SIZES } else { &SIZES };
+    let nei = NeiConfig { qmc_samples: 8 };
+    let cands = Halton::new(DIM).points(24);
+
     let mut rows = Vec::new();
-    let mut fit_ns = Vec::new();
-    let mut extend_ns = Vec::new();
-    let mut propose_ns = Vec::new();
-    for (i, &n) in SIZES.iter().enumerate() {
+    let mut fit_m = Vec::new();
+    let mut extend_m = Vec::new();
+    let mut propose_m = Vec::new();
+    let mut sfit_m = Vec::new();
+    let mut sabsorb_m = Vec::new();
+    let mut spropose_m = Vec::new();
+    // (n, fit, extend) pairs actually measured, for the speedup headline.
+    let mut speedup_pairs: Vec<(usize, u64, u64)> = Vec::new();
+    let mut sparse_propose_largest: Option<(usize, u64)> = None;
+
+    for (i, &n) in sizes.iter().enumerate() {
         // One extra point: the fit side of the speedup ratio refits all
         // n+1 points, exactly what the pre-fast-path loop did per append.
         let (xs, ys) = dataset(n + 1, 7 + i as u64);
-        let reps = if n >= 256 { 7 } else { 15 };
-
-        let fit = median_ns(reps, || {
-            Gp::fit(xs.clone(), ys.clone(), cfg.clone()).unwrap();
-        });
-
-        let base = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
-        let (xn, yn) = (xs[n].clone(), ys[n]);
-        let extend = median_ns(reps * 3, || {
-            base.with_observation(xn.clone(), yn).unwrap();
-        });
-
-        let cost_gp = base.clone();
-        let lat_gp = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
-        let cands = Halton::new(DIM).points(24);
-        let nei = NeiConfig { qmc_samples: 8 };
+        let reps = match n {
+            _ if smoke => 3,
+            0..=255 => 15,
+            256..=1023 => 7,
+            _ => 3,
+        };
         let qos = ys.iter().sum::<f64>() / ys.len() as f64;
-        let propose = median_ns(5, || {
-            propose_batch(&cost_gp, &lat_gp, qos, &cands, 3, nei);
+
+        let mut fit = None;
+        let mut extend = None;
+        let mut propose = None;
+        if n <= EXACT_FIT_CAP {
+            fit = Some(median_ns(reps.min(7), || {
+                Gp::fit(xs.clone(), ys.clone(), cfg.clone()).unwrap();
+            }));
+            let base = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
+            let (xn, yn) = (xs[n].clone(), ys[n]);
+            extend = Some(median_ns(reps * 3, || {
+                base.with_observation(xn.clone(), yn).unwrap();
+            }));
+            speedup_pairs.push((n, fit.unwrap(), extend.unwrap()));
+            if n <= EXACT_PROPOSE_CAP {
+                let lat_gp = Gp::fit(xs[..n].to_vec(), ys[..n].to_vec(), cfg.clone()).unwrap();
+                propose = Some(median_ns(reps.min(5), || {
+                    propose_batch(&base, &lat_gp, qos, &cands, 3, nei);
+                }));
+            }
+        }
+
+        let sfit = median_ns(reps, || {
+            SparseGp::fit_auto_points(&xs, &ys, &sparse_cfg).unwrap();
         });
+        let sparse = SparseGp::fit_auto_points(&xs[..n], &ys[..n], &sparse_cfg).unwrap();
+        let (xn, yn) = (xs[n].clone(), ys[n]);
+        let sabsorb = median_ns(reps * 3, || {
+            let mut s = sparse.clone();
+            s.absorb(&xn, yn);
+        });
+        let sparse_lat = SparseGp::fit_auto_points(&xs[..n], &ys[..n], &sparse_cfg).unwrap();
+        let spropose = median_ns(reps.min(7), || {
+            propose_batch(&sparse, &sparse_lat, qos, &cands, 3, nei);
+        });
+        sparse_propose_largest = Some((n, spropose));
 
         rows.push(vec![
             n.to_string(),
-            fit.to_string(),
-            extend.to_string(),
-            propose.to_string(),
+            fmt(fit),
+            fmt(extend),
+            fmt(propose),
+            sfit.to_string(),
+            sabsorb.to_string(),
+            spropose.to_string(),
         ]);
-        fit_ns.push(fit);
-        extend_ns.push(extend);
-        propose_ns.push(propose);
+        insert(&mut fit_m, n, fit);
+        insert(&mut extend_m, n, extend);
+        insert(&mut propose_m, n, propose);
+        insert(&mut sfit_m, n, Some(sfit));
+        insert(&mut sabsorb_m, n, Some(sabsorb));
+        insert(&mut spropose_m, n, Some(spropose));
     }
     print_table(
-        "GP micro-benchmark (median ns/op)",
-        &["n", "gp_fit", "gp_extend", "propose_batch"],
+        "GP micro-benchmark (median ns/op, '-' = above exact-tier cap)",
+        &[
+            "n",
+            "gp_fit",
+            "gp_extend",
+            "propose_batch",
+            "sparse_fit",
+            "sparse_absorb",
+            "sparse_propose",
+        ],
         &rows,
     );
-    let speedup = fit_ns[2] as f64 / extend_ns[2] as f64;
-    println!("\nspeedup extend vs full refit at n=256: {speedup:.1}x");
+    // Largest size where both halves of the ratio were measured.
+    let (speedup_n, speedup) = speedup_pairs
+        .iter()
+        .max_by_key(|(n, _, _)| *n)
+        .map(|&(n, f, e)| (n, f as f64 / e as f64))
+        .expect("at least one exact size measured");
+    let (pps_n, pps_ns) = sparse_propose_largest.expect("sparse sweep is never empty");
+    let proposals_per_sec = 1e9 / pps_ns as f64;
+    println!("\nspeedup extend vs full refit at n={speedup_n}: {speedup:.1}x");
+    println!("sparse proposals/sec at n={pps_n}: {proposals_per_sec:.0}");
     json!({
         "schema": "aquatope.bench.v1",
         "kind": "gp",
         "dim": DIM,
-        "sizes": SIZES,
+        "sizes": sizes,
+        "inducing": INDUCING,
+        "exact_fit_cap": EXACT_FIT_CAP,
+        "exact_propose_cap": EXACT_PROPOSE_CAP,
         "unit": "median ns per op",
-        "gp_fit": { "16": fit_ns[0], "64": fit_ns[1], "256": fit_ns[2] },
-        "gp_extend": { "16": extend_ns[0], "64": extend_ns[1], "256": extend_ns[2] },
-        "propose_batch": { "16": propose_ns[0], "64": propose_ns[1], "256": propose_ns[2] },
-        "speedup_extend_vs_fit_n256": speedup,
+        "gp_fit": Value::Object(fit_m),
+        "gp_extend": Value::Object(extend_m),
+        "propose_batch": Value::Object(propose_m),
+        "sparse_fit": Value::Object(sfit_m),
+        "sparse_absorb": Value::Object(sabsorb_m),
+        "sparse_propose_batch": Value::Object(spropose_m),
+        "proposals_per_sec": proposals_per_sec,
+        "proposals_per_sec_n": pps_n,
+        "speedup_extend_vs_fit": speedup,
+        "speedup_extend_vs_fit_n": speedup_n,
     })
+}
+
+/// Median `gp_extend` ns at the largest exact-tier size in `record`, or
+/// `None` if the map is missing/empty — the quantity the CI floor gates.
+pub fn extend_ns_largest(record: &Value) -> Option<(usize, u64)> {
+    largest_entry(record.get("gp_extend")?)
+}
+
+/// Median sparse `propose_batch` ns at the largest size in `record`.
+pub fn sparse_propose_ns_largest(record: &Value) -> Option<(usize, u64)> {
+    largest_entry(record.get("sparse_propose_batch")?)
+}
+
+fn largest_entry(map: &Value) -> Option<(usize, u64)> {
+    let Value::Object(entries) = map else {
+        return None;
+    };
+    entries
+        .iter()
+        .filter_map(|(k, v)| Some((k.parse::<usize>().ok()?, u64::try_from(v.as_i64()?).ok()?)))
+        .max_by_key(|(n, _)| *n)
 }
 
 #[cfg(test)]
@@ -122,5 +243,15 @@ mod tests {
         assert_eq!(xs.len(), 10);
         assert_eq!(ys.len(), 10);
         assert!(xs.iter().all(|x| x.len() == DIM));
+    }
+
+    #[test]
+    fn largest_entry_picks_numerically_largest_size() {
+        let record = json!({
+            "gp_extend": { "16": 10, "256": 30, "64": 20 },
+            "sparse_propose_batch": { "4096": 999, "512": 1 },
+        });
+        assert_eq!(extend_ns_largest(&record), Some((256, 30)));
+        assert_eq!(sparse_propose_ns_largest(&record), Some((4096, 999)));
     }
 }

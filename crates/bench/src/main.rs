@@ -2,7 +2,10 @@
 //! workspace root.
 //!
 //! * `cargo run -p aqua-bench --release` (or `-- gp`) — BO engine hot
-//!   kernels → `BENCH_GP.json`.
+//!   kernels on both surrogate tiers → `BENCH_GP.json` (`--smoke` →
+//!   `target/BENCH_GP_SMOKE.json`). Exits non-zero if `gp_extend` or the
+//!   sparse `propose_batch` median regresses past its ceiling (the full
+//!   run gates sparse proposals at 1 ms).
 //! * `cargo run -p aqua-bench --release -- nn` — batched BNN engine
 //!   (sequential vs batched, bit-identical paths) → `BENCH_NN.json`.
 //!   Add `--smoke` for a seconds-long CI sanity run (written to
@@ -35,6 +38,42 @@ fn write_record(name: &str, record: &serde_json::Value) {
     let body = serde_json::to_string_pretty(record).expect("record serializes") + "\n";
     std::fs::write(&path, body).expect("write benchmark record");
     println!("[json] {path}");
+}
+
+/// Ceilings on the GP record's gated medians, ns/op. Generous multiples
+/// of measured release-build numbers (extend at n=256 runs ~0.2 ms;
+/// a sparse proposal ~0.5 ms at any n) — they catch order-of-magnitude
+/// regressions and accidental debug-profile runs, not noise. The full
+/// run's sparse-proposal ceiling is the sub-millisecond acceptance
+/// headline itself.
+const GP_EXTEND_CEIL_NS: u64 = 20_000_000;
+const GP_SPARSE_PROPOSE_CEIL_NS: u64 = 1_000_000;
+const GP_SPARSE_PROPOSE_CEIL_NS_SMOKE: u64 = 10_000_000;
+
+fn run_gp(smoke: bool) {
+    let record = aqua_bench::gp_bench::run(smoke);
+    let name = if smoke {
+        "target/BENCH_GP_SMOKE.json"
+    } else {
+        "BENCH_GP.json"
+    };
+    write_record(name, &record);
+    let (n, extend) = aqua_bench::gp_bench::extend_ns_largest(&record).expect("gp_extend present");
+    if extend > GP_EXTEND_CEIL_NS {
+        eprintln!("gp_extend regression: {extend} ns at n={n} > {GP_EXTEND_CEIL_NS} ns ceiling");
+        std::process::exit(1);
+    }
+    let (n, propose) =
+        aqua_bench::gp_bench::sparse_propose_ns_largest(&record).expect("sparse sweep present");
+    let ceil = if smoke {
+        GP_SPARSE_PROPOSE_CEIL_NS_SMOKE
+    } else {
+        GP_SPARSE_PROPOSE_CEIL_NS
+    };
+    if propose > ceil {
+        eprintln!("sparse propose_batch regression: {propose} ns at n={n} > {ceil} ns ceiling");
+        std::process::exit(1);
+    }
 }
 
 /// Sanity floor on the best point of the shard-scaling curve, events/sec.
@@ -102,7 +141,7 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("gp");
     match which {
-        "gp" => write_record("BENCH_GP.json", &aqua_bench::gp_bench::run()),
+        "gp" => run_gp(smoke),
         "nn" => {
             // Smoke runs use too few reps to be a reference record; keep
             // them out of the committed root-level file.
@@ -131,7 +170,7 @@ fn main() {
         "sim" => run_sim(smoke),
         "svc" => run_svc(smoke),
         "all" => {
-            write_record("BENCH_GP.json", &aqua_bench::gp_bench::run());
+            run_gp(smoke);
             let name = if smoke {
                 "target/BENCH_NN_SMOKE.json"
             } else {

@@ -1,12 +1,28 @@
 //! Acquisition functions: EI, noisy EI, the constraint-weighted variant,
 //! and greedy batch selection (paper §5.3, "customized acquisition
 //! function").
+//!
+//! Everything here is generic over [`Surrogate`], so the same proposal
+//! machinery runs against the exact [`Gp`] tier and the sparse
+//! inducing-point tier. On the exact tier the generic code monomorphizes
+//! to exactly the concrete code it replaced — results are bit-identical.
 
 use aqua_linalg::{normal_cdf, normal_pdf};
-use aqua_sim::par_map;
 
-use crate::gp::Gp;
 use crate::qmc::Halton;
+use crate::surrogate::Surrogate;
+
+/// EI from posterior statistics — the shared core every candidate
+/// evaluation funnels through, so scoring one candidate against many
+/// incumbents predicts once.
+fn ei_from_stats(mean: f64, sd: f64, best: f64) -> f64 {
+    if sd < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / sd;
+    // Analytically non-negative; clamp away CDF-approximation rounding.
+    ((best - mean) * normal_cdf(z) + sd * normal_pdf(z)).max(0.0)
+}
 
 /// Classic expected improvement for minimization against a known incumbent
 /// `best`: `EI(x) = E[max(best − f(x), 0)]`.
@@ -22,15 +38,9 @@ use crate::qmc::Halton;
 /// let ei = expected_improvement(&gp, &[0.9], 0.5);
 /// assert!(ei >= 0.0);
 /// ```
-pub fn expected_improvement(gp: &Gp, x: &[f64], best: f64) -> f64 {
+pub fn expected_improvement<S: Surrogate>(gp: &S, x: &[f64], best: f64) -> f64 {
     let (mean, var) = gp.predict(x);
-    let sd = var.sqrt();
-    if sd < 1e-12 {
-        return (best - mean).max(0.0);
-    }
-    let z = (best - mean) / sd;
-    // Analytically non-negative; clamp away CDF-approximation rounding.
-    ((best - mean) * normal_cdf(z) + sd * normal_pdf(z)).max(0.0)
+    ei_from_stats(mean, var.sqrt(), best)
 }
 
 /// Lower confidence bound `mean − beta·sd` for minimization — the
@@ -39,7 +49,7 @@ pub fn expected_improvement(gp: &Gp, x: &[f64], best: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `beta` is negative.
-pub fn lower_confidence_bound(gp: &Gp, x: &[f64], beta: f64) -> f64 {
+pub fn lower_confidence_bound<S: Surrogate>(gp: &S, x: &[f64], beta: f64) -> f64 {
     assert!(beta >= 0.0, "beta must be non-negative");
     let (mean, var) = gp.predict(x);
     mean - beta * var.sqrt()
@@ -47,7 +57,7 @@ pub fn lower_confidence_bound(gp: &Gp, x: &[f64], beta: f64) -> f64 {
 
 /// Probability of improvement over `best` for minimization — the simplest
 /// improvement-based acquisition, exposed for ablations.
-pub fn probability_of_improvement(gp: &Gp, x: &[f64], best: f64) -> f64 {
+pub fn probability_of_improvement<S: Surrogate>(gp: &S, x: &[f64], best: f64) -> f64 {
     let (mean, var) = gp.predict(x);
     let sd = var.sqrt();
     if sd < 1e-12 {
@@ -56,15 +66,20 @@ pub fn probability_of_improvement(gp: &Gp, x: &[f64], best: f64) -> f64 {
     normal_cdf((best - mean) / sd)
 }
 
-/// Probability that the constraint GP's latent value at `x` is below
-/// `threshold` — Gardner et al.'s feasibility weight.
-pub fn probability_feasible(constraint_gp: &Gp, x: &[f64], threshold: f64) -> f64 {
-    let (mean, var) = constraint_gp.predict(x);
-    let sd = var.sqrt();
+/// Feasibility weight from posterior statistics — shared by the
+/// point-wise and batch scoring paths so both round identically.
+fn feasible_from_stats(mean: f64, sd: f64, threshold: f64) -> f64 {
     if sd < 1e-12 {
         return if mean <= threshold { 1.0 } else { 0.0 };
     }
     normal_cdf((threshold - mean) / sd)
+}
+
+/// Probability that the constraint GP's latent value at `x` is below
+/// `threshold` — Gardner et al.'s feasibility weight.
+pub fn probability_feasible<S: Surrogate>(constraint_gp: &S, x: &[f64], threshold: f64) -> f64 {
+    let (mean, var) = constraint_gp.predict(x);
+    feasible_from_stats(mean, var.sqrt(), threshold)
 }
 
 /// Configuration for noisy-EI integration.
@@ -91,9 +106,9 @@ impl Default for NeiConfig {
 ///
 /// `threshold` is the QoS bound on the constraint GP's output (end-to-end
 /// latency); `cost_gp` is minimized.
-pub fn constrained_nei(
-    cost_gp: &Gp,
-    constraint_gp: &Gp,
+pub fn constrained_nei<C: Surrogate, K: Surrogate>(
+    cost_gp: &C,
+    constraint_gp: &K,
     threshold: f64,
     x: &[f64],
     config: NeiConfig,
@@ -105,21 +120,27 @@ pub fn constrained_nei(
 /// QMC incumbent samples of the noisy-EI integral — one per posterior
 /// draw, independent of the candidate being scored, so a whole candidate
 /// pool can share them.
-fn nei_incumbents(cost_gp: &Gp, constraint_gp: &Gp, threshold: f64, config: NeiConfig) -> Vec<f64> {
+fn nei_incumbents<C: Surrogate, K: Surrogate>(
+    cost_gp: &C,
+    constraint_gp: &K,
+    threshold: f64,
+    config: NeiConfig,
+) -> Vec<f64> {
     let m = config.qmc_samples.max(1);
     // Quasi-random standard-normal draws per GP. The cost GP may carry
     // extra fantasy observations (batch selection), so each GP gets a
-    // stream sized to its own training set; a 16-dim Halton stream is
+    // stream sized to its own support set; a 16-dim Halton stream is
     // chunked across coordinates.
     let mut h = Halton::new(16);
-    let z_cost = h.normal_rows(m, cost_gp.len());
-    let z_con = h.normal_rows(m, constraint_gp.len());
+    let z_cost = h.normal_rows(m, cost_gp.support_len());
+    let z_con = h.normal_rows(m, constraint_gp.support_len());
 
-    let cost_samples = cost_gp.posterior_samples_at_train(&z_cost);
-    let con_samples = constraint_gp.posterior_samples_at_train(&z_con);
-    // Real (paired) observations; fantasy points beyond this prefix have no
-    // constraint sample and are excluded from the incumbent.
-    let paired = cost_gp.len().min(constraint_gp.len());
+    let cost_samples = cost_gp.posterior_samples_at_support(&z_cost);
+    let con_samples = constraint_gp.posterior_samples_at_support(&z_con);
+    // Paired support points (training observations on the exact tier);
+    // support points beyond this prefix have no constraint sample and are
+    // excluded from the incumbent.
+    let paired = cost_gp.support_len().min(constraint_gp.support_len());
 
     cost_samples
         .iter()
@@ -144,30 +165,39 @@ fn nei_incumbents(cost_gp: &Gp, constraint_gp: &Gp, threshold: f64, config: NeiC
 }
 
 /// EI against each incumbent, averaged and feasibility-weighted — the
-/// per-candidate half of [`constrained_nei`].
-fn nei_score(
-    cost_gp: &Gp,
-    constraint_gp: &Gp,
+/// per-candidate half of [`constrained_nei`]. The candidate's posterior
+/// is computed once and shared across every incumbent (the prediction is
+/// pure, so hoisting it out of the incumbent loop is bit-identical to
+/// per-incumbent [`expected_improvement`] calls — and removes the O(n²)
+/// solve from all but one of them).
+fn nei_score<C: Surrogate, K: Surrogate>(
+    cost_gp: &C,
+    constraint_gp: &K,
     threshold: f64,
     x: &[f64],
     incumbents: &[f64],
 ) -> f64 {
+    let (mean, var) = cost_gp.predict(x);
+    let sd = var.sqrt();
     let mut acc = 0.0;
     for &incumbent in incumbents {
-        acc += expected_improvement(cost_gp, x, incumbent);
+        acc += ei_from_stats(mean, sd, incumbent);
     }
     (acc / incumbents.len() as f64) * probability_feasible(constraint_gp, x, threshold)
 }
 
 /// Scores every candidate with one shared QMC incumbent draw instead of
-/// regenerating the stream (and re-sampling both posteriors) per call.
-/// Candidates are scored on a deterministic parallel map; each result is
-/// bit-identical to calling [`constrained_nei`] on that candidate alone,
-/// because a fresh 16-dim Halton stream produces the same draw sequence
-/// for every candidate index anyway.
-pub fn constrained_nei_batch(
-    cost_gp: &Gp,
-    constraint_gp: &Gp,
+/// regenerating the stream (and re-sampling both posteriors) per call,
+/// and one [`Surrogate::predict_batch`] per GP instead of per-candidate
+/// predictions — the sparse tier answers the whole pool with a single
+/// gemm plus two blocked multi-RHS solves. Each result is bit-identical
+/// to calling [`constrained_nei`] on that candidate alone: a fresh
+/// 16-dim Halton stream produces the same draw sequence for every
+/// candidate index anyway, and `predict_batch` is contractually
+/// bit-identical to point-wise `predict`.
+pub fn constrained_nei_batch<C: Surrogate, K: Surrogate>(
+    cost_gp: &C,
+    constraint_gp: &K,
     threshold: f64,
     candidates: &[Vec<f64>],
     config: NeiConfig,
@@ -176,9 +206,21 @@ pub fn constrained_nei_batch(
         return Vec::new();
     }
     let incumbents = nei_incumbents(cost_gp, constraint_gp, threshold, config);
-    par_map(candidates, |_, c| {
-        nei_score(cost_gp, constraint_gp, threshold, c, &incumbents)
-    })
+    let cost_stats = cost_gp.predict_batch(candidates);
+    let con_stats = constraint_gp.predict_batch(candidates);
+    cost_stats
+        .iter()
+        .zip(&con_stats)
+        .map(|(&(mean, var), &(con_mean, con_var))| {
+            let sd = var.sqrt();
+            let mut acc = 0.0;
+            for &incumbent in &incumbents {
+                acc += ei_from_stats(mean, sd, incumbent);
+            }
+            (acc / incumbents.len() as f64)
+                * feasible_from_stats(con_mean, con_var.sqrt(), threshold)
+        })
+        .collect()
 }
 
 /// Selects a batch of `q` candidate indices (into `candidates`) by greedy
@@ -191,9 +233,9 @@ pub fn constrained_nei_batch(
 /// # Panics
 ///
 /// Panics if `q == 0` or `candidates` is empty.
-pub fn propose_batch(
-    cost_gp: &Gp,
-    constraint_gp: &Gp,
+pub fn propose_batch<C: Surrogate, K: Surrogate>(
+    cost_gp: &C,
+    constraint_gp: &K,
     threshold: f64,
     candidates: &[Vec<f64>],
     q: usize,
@@ -223,7 +265,7 @@ pub fn propose_batch(
         picked.push(idx);
         // Fantasize the observation at the pick (Kriging believer).
         let (mean, _) = fantasy.predict(&candidates[idx]);
-        if let Ok(updated) = fantasy.with_observation(candidates[idx].clone(), mean) {
+        if let Some(updated) = fantasy.fantasized(candidates[idx].clone(), mean) {
             fantasy = updated;
         }
     }
@@ -233,7 +275,7 @@ pub fn propose_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gp::GpConfig;
+    use crate::gp::{Gp, GpConfig};
 
     fn toy_gps() -> (Gp, Gp) {
         // Cost decreases with x; latency increases with x (trade-off).

@@ -52,7 +52,7 @@ pub fn detect_anomalies(gp: &Gp, confidence: f64) -> Vec<usize> {
             Ok(g) => g,
             Err(_) => continue,
         };
-        let (mean, var) = diagnostic.predict(&gp.train_x()[i]);
+        let (mean, var) = diagnostic.predict(gp.train_x().row(i));
         // Width: latent predictive std, with a floor so near-interpolating
         // diagnostics don't flag benign points.
         let spread = gp

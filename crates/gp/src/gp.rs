@@ -75,7 +75,9 @@ impl Error for GpError {}
 /// original units.
 #[derive(Debug, Clone)]
 pub struct Gp {
-    x: Vec<Vec<f64>>,
+    /// Training inputs, one point per row (`n × d`, row-major flat
+    /// storage — no per-point allocations on the refit hot path).
+    x: Matrix,
     y_raw: Vec<f64>,
     y_mean: f64,
     y_scale: f64,
@@ -96,7 +98,7 @@ pub struct Gp {
 }
 
 /// Target standardization shared by every (re)fit path.
-fn standardize(ys: &[f64]) -> (f64, f64, Vec<f64>) {
+pub(crate) fn standardize(ys: &[f64]) -> (f64, f64, Vec<f64>) {
     let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
     let var = ys.iter().map(|v| (v - y_mean).powi(2)).sum::<f64>() / ys.len() as f64;
     let y_scale = var.sqrt().max(1e-9);
@@ -105,18 +107,35 @@ fn standardize(ys: &[f64]) -> (f64, f64, Vec<f64>) {
 }
 
 /// Pairwise Euclidean distance matrix with [`Matern52::eval`]'s summation
-/// order, mirrored across the diagonal.
-fn pairwise_dists(x: &[Vec<f64>]) -> Matrix {
-    let n = x.len();
+/// order, mirrored across the diagonal. Points are rows of a row-major
+/// `n × d` matrix, so each pair is one unit-stride slice pass.
+pub(crate) fn pairwise_dists(x: &Matrix) -> Matrix {
+    let n = x.rows();
     let mut d = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..i {
-            let v = euclidean(&x[i], &x[j]);
+            let v = euclidean(x.row(i), x.row(j));
             d[(i, j)] = v;
             d[(j, i)] = v;
         }
     }
     d
+}
+
+/// Packs per-point vectors into the row-major `n × d` form the GP stores.
+///
+/// # Panics
+///
+/// Panics if the points are ragged.
+pub(crate) fn points_to_matrix(x: &[Vec<f64>]) -> Matrix {
+    let n = x.len();
+    let d = x.first().map_or(0, Vec::len);
+    let mut data = Vec::with_capacity(n * d);
+    for p in x {
+        assert_eq!(p.len(), d, "ragged training points");
+        data.extend_from_slice(p);
+    }
+    Matrix::from_vec(n, d, data)
 }
 
 impl Gp {
@@ -136,6 +155,19 @@ impl Gp {
     /// yields a factorable kernel matrix.
     pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, config: GpConfig) -> Result<Self, GpError> {
         if x.len() < 2 || x.len() != y.len() {
+            return Err(GpError::InsufficientData);
+        }
+        Self::fit_flat(points_to_matrix(&x), y, config)
+    }
+
+    /// [`Gp::fit`] over points already packed row-major (`n × d`) — the
+    /// allocation-free entry point for callers that keep flat storage.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gp::fit`].
+    pub fn fit_flat(x: Matrix, y: Vec<f64>, config: GpConfig) -> Result<Self, GpError> {
+        if x.rows() < 2 || x.rows() != y.len() {
             return Err(GpError::InsufficientData);
         }
         let (y_mean, y_scale, y_std_units) = standardize(&y);
@@ -218,13 +250,13 @@ impl Gp {
     /// when a rank-1 extension hits a non-positive pivot, reproducing the
     /// fresh jitter ladder a from-scratch refit would run.
     fn evaluate(
-        x: &[Vec<f64>],
+        x: &Matrix,
         y: &[f64],
         kernel: &Matern52,
         noise: f64,
     ) -> Option<(f64, Cholesky, Vec<f64>)> {
-        let n = x.len();
-        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+        let n = x.rows();
+        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(x.row(i), x.row(j)));
         k.add_diagonal(noise.max(1e-9));
         let chol = Cholesky::new_with_jitter(&k).ok()?;
         let (lml, alpha) = Self::marginal_likelihood(&chol, y);
@@ -233,17 +265,17 @@ impl Gp {
 
     /// Number of training points.
     pub fn len(&self) -> usize {
-        self.x.len()
+        self.x.rows()
     }
 
     /// True if the GP has no training data (never constructible; kept for
     /// API symmetry).
     pub fn is_empty(&self) -> bool {
-        self.x.is_empty()
+        self.x.rows() == 0
     }
 
-    /// The training inputs.
-    pub fn train_x(&self) -> &[Vec<f64>] {
+    /// The training inputs, one point per row (`n × d`).
+    pub fn train_x(&self) -> &Matrix {
         &self.x
     }
 
@@ -269,7 +301,9 @@ impl Gp {
     ///
     /// Panics if `x` has the wrong dimensionality.
     pub fn predict(&self, x: &[f64]) -> (f64, f64) {
-        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let kstar: Vec<f64> = (0..self.x.rows())
+            .map(|i| self.kernel.eval(self.x.row(i), x))
+            .collect();
         let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
         let v = self.chol.forward_solve(&kstar);
         let var_std = (self.kernel.eval(x, x) - v.iter().map(|a| a * a).sum::<f64>()).max(0.0);
@@ -293,7 +327,7 @@ impl Gp {
     ///
     /// Panics if any `z` row has the wrong length.
     pub fn posterior_samples_at_train(&self, z: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let n = self.x.len();
+        let n = self.x.rows();
         // Posterior over latent f at train points:
         //   mean = K alpha, cov = K - K (K + σ²I)^{-1} K.
         let k = Matrix::from_fn(n, n, |i, j| self.kernel.eval_dist(self.dists[(i, j)]));
@@ -339,7 +373,18 @@ impl Gp {
 
     /// Distances from every training input to `x`, in training order.
     fn dists_to(&self, x: &[f64]) -> Vec<f64> {
-        self.x.iter().map(|xi| euclidean(xi, x)).collect()
+        (0..self.x.rows())
+            .map(|i| euclidean(self.x.row(i), x))
+            .collect()
+    }
+
+    /// The training matrix with one extra point appended as a new row.
+    fn push_row(&self, x: &[f64]) -> Matrix {
+        assert_eq!(x.len(), self.x.cols(), "dimension mismatch");
+        let mut data = Vec::with_capacity((self.x.rows() + 1) * self.x.cols());
+        data.extend_from_slice(self.x.as_slice());
+        data.extend_from_slice(x);
+        Matrix::from_vec(self.x.rows() + 1, self.x.cols(), data)
     }
 
     /// Core of the incremental path: a GP with `(x, y)` appended, keeping
@@ -349,10 +394,9 @@ impl Gp {
     /// falls back to the from-scratch jitter ladder, which is what a
     /// non-incremental refit would have run anyway.
     fn append_observation(&self, x: Vec<f64>, y: f64) -> Result<Gp, GpError> {
-        let n = self.x.len();
+        let n = self.x.rows();
         let new_dists = self.dists_to(&x);
-        let mut xs = self.x.clone();
-        xs.push(x);
+        let xs = self.push_row(&x);
         let mut ys = self.y_raw.clone();
         ys.push(y);
         // Keep hyperparameters: re-standardize and re-factor only.
@@ -424,7 +468,7 @@ impl Gp {
         }
         // Full re-selection: grow the cached distance matrix (skipping the
         // O(n²·d) pairwise pass) and rerun the grid search.
-        let n = self.x.len();
+        let n = self.x.rows();
         let new_dists = self.dists_to(&x);
         let mut dists = Matrix::zeros(n + 1, n + 1);
         for i in 0..n {
@@ -438,7 +482,7 @@ impl Gp {
         let (lml, kernel, chol, alpha) =
             Self::select_hyperparams(&dists, &y_std_units, &self.config)
                 .ok_or(GpError::SingularKernel)?;
-        self.x.push(x);
+        self.x = self.push_row(&x);
         self.y_raw = ys;
         self.y_mean = y_mean;
         self.y_scale = y_scale;
@@ -469,7 +513,12 @@ impl Gp {
             return Err(GpError::InsufficientData);
         }
         let m = keep.len();
-        let xs: Vec<Vec<f64>> = keep.iter().map(|&i| self.x[i].clone()).collect();
+        let d = self.x.cols();
+        let mut xdata = Vec::with_capacity(m * d);
+        for &i in keep {
+            xdata.extend_from_slice(self.x.row(i));
+        }
+        let xs = Matrix::from_vec(m, d, xdata);
         let ys: Vec<f64> = keep.iter().map(|&i| self.y_raw[i]).collect();
         let (y_mean, y_scale, y_std_units) = standardize(&ys);
         let dists = Matrix::from_fn(m, m, |i, j| self.dists[(keep[i], keep[j])]);
@@ -497,7 +546,7 @@ impl Gp {
     /// [`Gp::posterior_samples_at_train`].
     pub fn standard_normal_draws(&self, m: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
         (0..m)
-            .map(|_| (0..self.x.len()).map(|_| rng.standard_normal()).collect())
+            .map(|_| (0..self.x.rows()).map(|_| rng.standard_normal()).collect())
             .collect()
     }
 }
@@ -603,7 +652,7 @@ mod tests {
         // Average over samples approximates the posterior mean at each point.
         for i in 0..gp.len() {
             let avg: f64 = samples.iter().map(|s| s[i]).sum::<f64>() / samples.len() as f64;
-            let (mean, _) = gp.predict(&gp.train_x()[i]);
+            let (mean, _) = gp.predict(gp.train_x().row(i));
             assert!((avg - mean).abs() < 0.15, "point {i}: {avg} vs {mean}");
         }
     }
@@ -686,8 +735,9 @@ mod tests {
         let xnew: Vec<f64> = (0..4).map(|_| rng.uniform()).collect();
         let fast = gp.with_observation(xnew.clone(), 0.7).unwrap();
 
-        let mut xs2 = gp.train_x().to_vec();
-        xs2.push(xnew);
+        let mut xdata = gp.train_x().as_slice().to_vec();
+        xdata.extend_from_slice(&xnew);
+        let xs2 = Matrix::from_vec(gp.len() + 1, 4, xdata);
         let mut ys2 = gp.train_y().to_vec();
         ys2.push(0.7);
         let (_, _, y_std) = standardize(&ys2);

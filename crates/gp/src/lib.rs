@@ -37,6 +37,7 @@ pub mod anomaly;
 pub mod gp;
 pub mod kernel;
 pub mod qmc;
+pub mod surrogate;
 
 pub use acquisition::{
     constrained_nei, constrained_nei_batch, expected_improvement, lower_confidence_bound,
@@ -46,3 +47,4 @@ pub use anomaly::detect_anomalies;
 pub use gp::{Gp, GpConfig, GpError};
 pub use kernel::{euclidean, unit_factors, Matern52};
 pub use qmc::Halton;
+pub use surrogate::{SparseGp, SparseGpConfig, Surrogate};

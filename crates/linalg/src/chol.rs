@@ -241,22 +241,142 @@ impl Cholesky {
         self.backward_solve(&self.forward_solve(b))
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `L Y = B` for all RHS columns at once, cache-blocked.
+    ///
+    /// Panel form: a `PB`-row triangle is solved row by row (vectorized
+    /// across the RHS columns, unit stride), then every row below the
+    /// panel subtracts its panel contribution in one
+    /// [`crate::gemm::gemm_sub_acc`] trailing update. Per output element
+    /// the subtractions still land in increasing-`k` order followed by the
+    /// final division — bit-identical to calling [`Cholesky::forward_solve`]
+    /// per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != dim()`.
+    pub fn forward_solve_matrix(&self, b: &Matrix) -> Matrix {
+        const PB: usize = 32;
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "dimension mismatch");
+        let r = b.cols();
+        let mut y = b.clone();
+        let mut panel = Vec::new();
+        let mut p0 = 0;
+        while p0 < n {
+            let p1 = (p0 + PB).min(n);
+            for i in p0..p1 {
+                let (solved, rest) = y.as_mut_slice().split_at_mut(i * r);
+                let yi = &mut rest[..r];
+                let lrow = self.l.row(i);
+                for k in p0..i {
+                    let lik = lrow[k];
+                    let yk = &solved[k * r..(k + 1) * r];
+                    for (a, b) in yi.iter_mut().zip(yk) {
+                        *a -= lik * b;
+                    }
+                }
+                let div = lrow[i];
+                for v in yi {
+                    *v /= div;
+                }
+            }
+            if p1 < n {
+                // Pack the strided sub-diagonal block L[p1.., p0..p1] so the
+                // trailing update is a contiguous row-major gemm.
+                let pw = p1 - p0;
+                panel.clear();
+                for i in p1..n {
+                    panel.extend_from_slice(&self.l.row(i)[p0..p1]);
+                }
+                let (solved, rest) = y.as_mut_slice().split_at_mut(p1 * r);
+                crate::gemm::gemm_sub_acc(n - p1, r, pw, &panel, &solved[p0 * r..], rest);
+            }
+            p0 = p1;
+        }
+        y
+    }
+
+    /// Solves `Lᵀ X = Y` for all RHS columns at once.
+    ///
+    /// Row-form substitution vectorized across the RHS columns (unit
+    /// stride on the rows, where the O(n²·cols) work is). The update for
+    /// row `i` must run nearest-`k`-first *after* rows below it are final,
+    /// so a gemm trailing update would reorder the accumulation and break
+    /// the bit contract — this stays a per-row loop, but reads each `L`
+    /// column once instead of once per RHS column. Bit-identical to
+    /// calling [`Cholesky::backward_solve`] per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.rows() != dim()`.
+    pub fn backward_solve_matrix(&self, y: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(y.rows(), n, "dimension mismatch");
+        let r = y.cols();
+        let mut x = y.clone();
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                let lki = self.l[(k, i)];
+                let (head, rest) = x.as_mut_slice().split_at_mut(k * r);
+                let xi = &mut head[i * r..(i + 1) * r];
+                let xk = &rest[..r];
+                for (a, b) in xi.iter_mut().zip(xk) {
+                    *a -= lki * b;
+                }
+            }
+            let div = self.l[(i, i)];
+            for v in x.row_mut(i) {
+                *v /= div;
+            }
+        }
+        x
+    }
+
+    /// Solves `A X = B` for all RHS columns at once via the blocked
+    /// multi-RHS substitutions — bit-identical to solving column by
+    /// column.
     ///
     /// # Panics
     ///
     /// Panics if `b.rows() != dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
         assert_eq!(b.rows(), self.dim(), "dimension mismatch");
-        let mut out = Matrix::zeros(b.rows(), b.cols());
-        for j in 0..b.cols() {
-            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
-            let x = self.solve_vec(&col);
-            for i in 0..b.rows() {
-                out[(i, j)] = x[i];
+        self.backward_solve_matrix(&self.forward_solve_matrix(b))
+    }
+
+    /// The factor of `A + v vᵀ` (rank-1 update, "cholupdate") in O(n²),
+    /// keeping the recorded jitter. A positive-semidefinite update of an
+    /// SPD matrix stays SPD, so this cannot fail for finite inputs.
+    ///
+    /// The sparse surrogate's fantasy appends lean on this: its `m×m`
+    /// system grows by one observation as `A + (k_u/σ)(k_u/σ)ᵀ` without a
+    /// refactorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn rank_one_update(&self, v: &[f64]) -> Cholesky {
+        let n = self.dim();
+        assert_eq!(v.len(), n, "dimension mismatch");
+        let mut l = self.l.clone();
+        let mut w = v.to_vec();
+        for k in 0..n {
+            let lkk = l[(k, k)];
+            let wk = w[k];
+            let r = (lkk * lkk + wk * wk).sqrt();
+            let c = r / lkk;
+            let s = wk / lkk;
+            l[(k, k)] = r;
+            for i in k + 1..n {
+                let lik = (l[(i, k)] + s * w[i]) / c;
+                w[i] = c * w[i] - s * lik;
+                l[(i, k)] = lik;
             }
         }
-        out
+        Cholesky {
+            l,
+            jitter: self.jitter,
+        }
     }
 
     /// Log-determinant of the original matrix: `2 Σ ln L_ii`.
@@ -437,6 +557,76 @@ mod tests {
 
     fn arb_matrix_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
         prop::collection::vec(0.1f64..2.0, n)
+    }
+
+    /// Deterministic pseudo-random SPD matrix large enough to exercise
+    /// several 32-row solve panels.
+    fn big_spd(n: usize, seed: u64) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| {
+            let x = ((i * n + j) as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        });
+        let mut g = b.matmul(&b.transpose());
+        g.add_diagonal(n as f64); // diagonally dominant → comfortably SPD
+        g
+    }
+
+    #[test]
+    fn blocked_solves_bit_identical_to_per_column() {
+        // 83 rows straddles two full panels plus a 19-row tail; 5 RHS
+        // columns exercise the gemm scalar column tail as well.
+        for &(n, r) in &[(5usize, 3usize), (32, 8), (83, 5), (70, 70)] {
+            let a = big_spd(n, 21);
+            let c = Cholesky::new(&a).unwrap();
+            let b = Matrix::from_fn(n, r, |i, j| ((i * r + j) as f64).sin());
+            let fwd = c.forward_solve_matrix(&b);
+            let full = c.solve_matrix(&b);
+            for j in 0..r {
+                let col: Vec<f64> = (0..n).map(|i| b[(i, j)]).collect();
+                let yf = c.forward_solve(&col);
+                let ys = c.solve_vec(&col);
+                for i in 0..n {
+                    assert_eq!(
+                        fwd[(i, j)].to_bits(),
+                        yf[i].to_bits(),
+                        "forward ({i},{j}) n={n}"
+                    );
+                    assert_eq!(
+                        full[(i, j)].to_bits(),
+                        ys[i].to_bits(),
+                        "solve ({i},{j}) n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactorization() {
+        let n = 17;
+        let a = big_spd(n, 7);
+        let c = Cholesky::new(&a).unwrap();
+        let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let up = c.rank_one_update(&v);
+        let mut avv = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                avv[(i, j)] += v[i] * v[j];
+            }
+        }
+        let want = Cholesky::new(&avv).unwrap();
+        for i in 0..n {
+            for j in 0..=i {
+                let (g, w) = (up.factor()[(i, j)], want.factor()[(i, j)]);
+                assert!(
+                    (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                    "({i},{j}): {g} vs {w}"
+                );
+            }
+        }
+        assert_eq!(up.jitter(), c.jitter());
     }
 
     #[test]

@@ -79,7 +79,39 @@ pub fn gemm_acc(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f
             return;
         }
     }
-    gemm_acc_tiled::<MR>(m, n, p, a, b, out);
+    gemm_acc_tiled::<MR, false>(m, n, p, a, b, out);
+}
+
+/// `out -= a · b` — the subtracting form of [`gemm_acc`], the trailing
+/// update of blocked triangular solves.
+///
+/// Per output element the contributions are *subtracted* one `mul`+`sub`
+/// per contraction index in increasing-`p` order from the element's
+/// current value — exactly `sum -= l * y` of the scalar substitution loops
+/// it replaces (IEEE-754 subtraction of a product is bit-identical to
+/// adding its exact negation, so `add`/`sub` variants never diverge).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the shapes.
+pub fn gemm_sub_acc(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * p, "lhs shape mismatch");
+    assert_eq!(b.len(), p * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F availability was just checked at runtime.
+            unsafe { gemm_sub_acc_avx512(m, n, p, a, b, out) };
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just checked at runtime.
+            unsafe { gemm_sub_acc_avx2(m, n, p, a, b, out) };
+            return;
+        }
+    }
+    gemm_acc_tiled::<MR, true>(m, n, p, a, b, out);
 }
 
 /// AVX-512 re-instantiation: an `NR = 8` panel is exactly one zmm lane
@@ -87,7 +119,7 @@ pub fn gemm_acc(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 unsafe fn gemm_acc_avx512(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
-    gemm_acc_tiled::<MR_WIDE>(m, n, p, a, b, out);
+    gemm_acc_tiled::<MR_WIDE, false>(m, n, p, a, b, out);
 }
 
 /// The same tiled kernel re-instantiated with AVX2 codegen enabled. AVX2
@@ -97,7 +129,23 @@ unsafe fn gemm_acc_avx512(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], ou
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_acc_avx2(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
-    gemm_acc_tiled::<MR>(m, n, p, a, b, out);
+    gemm_acc_tiled::<MR, false>(m, n, p, a, b, out);
+}
+
+/// AVX-512 re-instantiation of the subtracting kernel; see
+/// [`gemm_acc_avx512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_sub_acc_avx512(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    gemm_acc_tiled::<MR_WIDE, true>(m, n, p, a, b, out);
+}
+
+/// AVX2 re-instantiation of the subtracting kernel; see
+/// [`gemm_acc_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_sub_acc_avx2(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    gemm_acc_tiled::<MR, true>(m, n, p, a, b, out);
 }
 
 /// Register-blocked accumulation: `MAXR×NR` output tiles live in local
@@ -106,8 +154,9 @@ unsafe fn gemm_acc_avx2(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out:
 /// accumulator still receives its contributions one `mul`+`add` at a time
 /// in increasing-`k` order — only the memory traffic changes (the tile
 /// decomposition, greedy 8/4/2/1 over the row chunk, cannot affect bits).
+/// `SUB` flips every accumulation to a subtraction ([`gemm_sub_acc`]).
 #[inline(always)]
-fn gemm_acc_tiled<const MAXR: usize>(
+fn gemm_acc_tiled<const MAXR: usize, const SUB: bool>(
     m: usize,
     n: usize,
     p: usize,
@@ -124,22 +173,22 @@ fn gemm_acc_tiled<const MAXR: usize>(
             let mut r = i;
             let mut rem = mr;
             if rem >= 8 {
-                tile_nn::<8>(r, j, n, p, a, b, out);
+                tile_nn::<8, SUB>(r, j, n, p, a, b, out);
                 r += 8;
                 rem -= 8;
             }
             if rem >= 4 {
-                tile_nn::<4>(r, j, n, p, a, b, out);
+                tile_nn::<4, SUB>(r, j, n, p, a, b, out);
                 r += 4;
                 rem -= 4;
             }
             if rem >= 2 {
-                tile_nn::<2>(r, j, n, p, a, b, out);
+                tile_nn::<2, SUB>(r, j, n, p, a, b, out);
                 r += 2;
                 rem -= 2;
             }
             if rem == 1 {
-                tile_nn::<1>(r, j, n, p, a, b, out);
+                tile_nn::<1, SUB>(r, j, n, p, a, b, out);
             }
             j += NR;
         }
@@ -149,7 +198,11 @@ fn gemm_acc_tiled<const MAXR: usize>(
             for j in n_main..n {
                 let mut acc = out[r * n + j];
                 for (k, &av) in arow.iter().enumerate() {
-                    acc += av * b[k * n + j];
+                    if SUB {
+                        acc -= av * b[k * n + j];
+                    } else {
+                        acc += av * b[k * n + j];
+                    }
                 }
                 out[r * n + j] = acc;
             }
@@ -158,13 +211,13 @@ fn gemm_acc_tiled<const MAXR: usize>(
     }
 }
 
-/// One `R×NR` register tile of `out += a · b` at row `i`, column panel
-/// `j..j+NR`. Accumulates over `k` in order from the tile's current
-/// values. Bounds are proven by one assert per operand up front so the
-/// `k` loop body — a handful of cycles per iteration — carries no
-/// per-element checks.
+/// One `R×NR` register tile of `out ± a · b` at row `i`, column panel
+/// `j..j+NR` (`SUB` selects the sign). Accumulates over `k` in order from
+/// the tile's current values. Bounds are proven by one assert per operand
+/// up front so the `k` loop body — a handful of cycles per iteration —
+/// carries no per-element checks.
 #[inline(always)]
-fn tile_nn<const R: usize>(
+fn tile_nn<const R: usize, const SUB: bool>(
     i: usize,
     j: usize,
     n: usize,
@@ -196,7 +249,11 @@ fn tile_nn<const R: usize>(
             // SAFETY: covered by the `a` assert above.
             let av = unsafe { *a.get_unchecked((i + r) * p + k) };
             for l in 0..NR {
-                acc_r[l] += av * brow[l];
+                if SUB {
+                    acc_r[l] -= av * brow[l];
+                } else {
+                    acc_r[l] += av * brow[l];
+                }
             }
         }
     }
@@ -457,6 +514,37 @@ mod tests {
                     want += a[i * p + k] * b[k * n + j];
                 }
                 assert_eq!(out[i * n + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_sub_acc_subtracts_in_k_order_from_initial_value() {
+        // Sizes straddle the register-tile edges so every tile_nn
+        // instantiation and the scalar tail run in SUB mode.
+        for &(m, n, p) in &[
+            (1usize, 1usize, 1usize),
+            (3, NR - 1, 7),
+            (MR + 3, 2 * NR + 5, 7),
+            (2 * MR_WIDE + 1, 3 * NR, 13),
+        ] {
+            let a = arb(m * p, 14);
+            let b = arb(p * n, 15);
+            let init = arb(m * n, 16);
+            let mut out = init.clone();
+            gemm_sub_acc(m, n, p, &a, &b, &mut out);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut want = init[i * n + j];
+                    for k in 0..p {
+                        want -= a[i * p + k] * b[k * n + j];
+                    }
+                    assert_eq!(
+                        out[i * n + j].to_bits(),
+                        want.to_bits(),
+                        "{m}x{n} ({i},{j})"
+                    );
+                }
             }
         }
     }

@@ -135,7 +135,11 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, computed by the cache-blocked
+    /// [`crate::gemm::gemm`] kernels (runtime portable/AVX2/AVX-512
+    /// dispatch). Per output element the contraction runs in increasing
+    /// inner-index order, one `mul`+`add` per index — the same bits as
+    /// the textbook triple loop.
     ///
     /// # Panics
     ///
@@ -143,19 +147,14 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for j in 0..rhs.cols {
-                    orow[j] += a * rrow[j];
-                }
-            }
-        }
+        crate::gemm::gemm(
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         out
     }
 

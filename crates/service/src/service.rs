@@ -278,6 +278,18 @@ impl ControlPlane {
         }
     }
 
+    /// Replaces the online latency model — e.g.
+    /// [`OnlineLatencyModel::scalable_default`] for high-traffic planes
+    /// whose per-app training sets should auto-switch to the sparse
+    /// surrogate tier (each switch is surfaced as a
+    /// [`SimEvent::SurrogateTierSwitch`] telemetry event at the refit
+    /// tick that performed it). Call before [`ControlPlane::run`].
+    #[must_use]
+    pub fn with_model(mut self, model: OnlineLatencyModel) -> Self {
+        self.model = model;
+        self
+    }
+
     /// Attaches a live telemetry sink flushed every `flush_every` events.
     /// Only coarse container-lifecycle events (warm hits, cold-start
     /// begins) are emitted, keeping the request path cheap.
@@ -383,6 +395,16 @@ impl ControlPlane {
             }
             SvcEvent::RefitTick => {
                 self.refit.tick(&mut self.model);
+                for sw in self.model.drain_tier_switches() {
+                    if let Some(t) = &mut self.telemetry {
+                        t.record(&SimEvent::SurrogateTierSwitch {
+                            at: now,
+                            app: sw.app,
+                            train: sw.train,
+                            inducing: sw.inducing,
+                        });
+                    }
+                }
                 if !self.draining {
                     self.reactor
                         .after(self.cfg.refit_interval, SvcEvent::RefitTick);
@@ -865,6 +887,34 @@ mod tests {
         assert_eq!(report.model.observed, 15, "every 2nd completion sampled");
         assert!(report.refit.ticks > 0);
         assert!(report.refit.absorbed > 0, "refits folded observations in");
+    }
+
+    #[test]
+    fn refit_tick_switches_tier_and_emits_telemetry() {
+        let (reg, jobs) = chain_jobs(1, 60);
+        let cfg = ServiceConfig {
+            model_sample_every: 1,
+            refit_interval: SimDuration::from_secs(5),
+            ..small_cfg()
+        };
+        let mut plane = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            cfg,
+        )
+        .with_model(
+            OnlineLatencyModel::scalable_default()
+                .with_tier_threshold(16)
+                .with_inducing(8),
+        );
+        plane.attach_telemetry(Box::new(aqua_telemetry::Recorder::unbounded()), 64);
+        let report = plane.run();
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.model.tier_switches, 1, "exact tier crossed 16 obs");
+        let live = report.telemetry.expect("sink attached");
+        assert_eq!(live.kind("surrogate_tier_switch"), 1);
     }
 
     #[test]

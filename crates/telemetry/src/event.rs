@@ -226,6 +226,19 @@ pub enum SimEvent {
         /// The QoS target it missed, in seconds.
         qos_secs: f64,
     },
+    /// An online latency model crossed its size threshold and was rebuilt
+    /// on the sparse (inducing-point) surrogate tier. Emitted by the
+    /// service control plane during refit ticks; the simulator's exact
+    /// tier never produces it, so golden sim traces are unaffected.
+    SurrogateTierSwitch {
+        at: SimTime,
+        /// Application whose model switched.
+        app: usize,
+        /// Training-set size at the switch.
+        train: usize,
+        /// Inducing-set size of the new sparse model.
+        inducing: usize,
+    },
 }
 
 impl SimEvent {
@@ -245,7 +258,8 @@ impl SimEvent {
             | SimEvent::FaultInjected { at, .. }
             | SimEvent::InvocationRetried { at, .. }
             | SimEvent::InvocationTimedOut { at, .. }
-            | SimEvent::QosViolation { at, .. } => at,
+            | SimEvent::QosViolation { at, .. }
+            | SimEvent::SurrogateTierSwitch { at, .. } => at,
         }
     }
 
@@ -267,6 +281,7 @@ impl SimEvent {
             SimEvent::InvocationRetried { .. } => "invocation_retried",
             SimEvent::InvocationTimedOut { .. } => "invocation_timed_out",
             SimEvent::QosViolation { .. } => "qos_violation",
+            SimEvent::SurrogateTierSwitch { .. } => "surrogate_tier_switch",
         }
     }
 
@@ -469,6 +484,16 @@ impl SimEvent {
                 push_u64_field(&mut s, "instance", instance as u64);
                 push_f64_field(&mut s, "latency_secs", latency_secs);
                 push_f64_field(&mut s, "qos_secs", qos_secs);
+            }
+            SimEvent::SurrogateTierSwitch {
+                app,
+                train,
+                inducing,
+                ..
+            } => {
+                push_u64_field(&mut s, "app", app as u64);
+                push_u64_field(&mut s, "train", train as u64);
+                push_u64_field(&mut s, "inducing", inducing as u64);
             }
         }
         // Every field helper appends a trailing comma; replace the last

@@ -622,7 +622,8 @@ impl EventSink for InvariantChecker {
             }
             SimEvent::StageQueued { .. }
             | SimEvent::BoIteration { .. }
-            | SimEvent::QosViolation { .. } => {}
+            | SimEvent::QosViolation { .. }
+            | SimEvent::SurrogateTierSwitch { .. } => {}
         }
     }
 }

@@ -14,7 +14,13 @@
 //!   scenario matrix → `MATRIX_REPORT.json` (deterministic; `--smoke`
 //!   writes the reduced CI variant to `target/MATRIX_REPORT_SMOKE.json`).
 //!   Exits non-zero if a sanity-ordering gate (oracle ≤ aquatope ≤ fixed
-//!   on QoS violations) regresses.
+//!   on QoS violations) regresses. Add `--mode service` to replay every
+//!   cell on the live control plane too (multi-tenant admission
+//!   installed) and emit the `aquatope.matrix_report.v2` record with
+//!   sim-vs-service drift and predictive-rejection verdicts; service
+//!   cells are sanity-gated the same way, and full service runs also
+//!   fail unless predictive rejection beats depth-only shedding in at
+//!   least one stressed cell.
 //! * `cargo run -p aqua-bench --release -- sim` — Azure-scale simulator
 //!   throughput over a shard-count sweep → `BENCH_SIM.json` (`--smoke`
 //!   → `target/BENCH_SIM_SMOKE.json`). Exits non-zero if best events/sec
@@ -153,7 +159,16 @@ fn main() {
             write_record(name, &aqua_bench::nn_bench::run(smoke));
         }
         "matrix" => {
-            let (record, violations) = aqua_bench::matrix::run(smoke);
+            let service_mode = args
+                .iter()
+                .position(|a| a == "--mode")
+                .and_then(|i| args.get(i + 1))
+                .is_some_and(|m| m == "service");
+            let (record, violations) = if service_mode {
+                aqua_bench::matrix::run_service(smoke)
+            } else {
+                aqua_bench::matrix::run(smoke)
+            };
             let name = if smoke {
                 "target/MATRIX_REPORT_SMOKE.json"
             } else {

@@ -6,14 +6,48 @@
 //! full trace is 100k/s), reactor events per second, end-to-end service
 //! latency percentiles, the shed rate, and peak RSS. The run is
 //! deterministic in everything but the wall-clock denominators.
+//!
+//! The plane runs in its production shape: the trace's apps are split
+//! round-robin across [`SVC_TENANTS`] QoS-classed tenants (generous
+//! caps — the throughput headline measures the tenancy *machinery*, not
+//! an artificial shed wall — and guaranteed memory shares that leave
+//! half the pool as borrowable slack), and a small per-window predictive
+//! admission budget keeps the latency-model veto path on the hot path.
 
-use aqua_faas::FaultPlan;
+use aqua_faas::{FaultPlan, QosClass, TenantId, TenantPlan};
 use aqua_pool::HistogramPolicy;
-use aqua_service::{drive, ServiceConfig};
+use aqua_service::{drive_tenanted, PredictiveConfig, ServiceConfig};
+use aqua_sim::SimDuration;
 use aqua_workflows::azure::AzureScaleConfig;
 use serde_json::json;
 
 use crate::common::{peak_rss_mb, print_table};
+
+/// Tenants the trace's apps are split across (round-robin by job).
+pub const SVC_TENANTS: usize = 4;
+
+/// Per-tenant workflow latency SLO. The Azure trace's p99 sits around
+/// 4 s with a long straggler tail, so 60 s promises real misses exist to
+/// count without turning the throughput benchmark into a QoS study.
+pub const SVC_SLO: SimDuration = SimDuration::from_secs(60);
+
+/// Model consultations the predictive veto may spend per policy window.
+pub const SVC_PREDICTIVE_CHECKS: u32 = 4;
+
+/// The benchmark's tenancy plan for a `jobs`-long job list under a
+/// `budget_mb` pool: [`SVC_TENANTS`] identical classes with effectively
+/// unbounded in-flight/queue caps and half the pool guaranteed in equal
+/// shares (the other half stays global slack, exercising the
+/// work-conserving borrowing path on demand boots).
+pub fn svc_tenant_plan(jobs: usize, budget_mb: f64) -> TenantPlan {
+    let share = budget_mb / (2 * SVC_TENANTS) as f64;
+    TenantPlan {
+        classes: (0..SVC_TENANTS)
+            .map(|_| QosClass::new(SVC_SLO, usize::MAX / 2, usize::MAX / 2, share))
+            .collect(),
+        job_tenants: (0..jobs).map(|j| TenantId(j % SVC_TENANTS)).collect(),
+    }
+}
 
 /// Runs the load driver and returns the `BENCH_SVC.json` record. `smoke`
 /// swaps in the CI-sized trace with the same shape.
@@ -24,22 +58,31 @@ pub fn run(smoke: bool) -> serde_json::Value {
         AzureScaleConfig::full()
     };
     println!(
-        "service workload: {} apps, {} min trace",
-        azure.apps, azure.minutes
+        "service workload: {} apps, {} min trace, {} tenants",
+        azure.apps, azure.minutes, SVC_TENANTS
     );
-    let report = drive(
+    let cfg = ServiceConfig {
+        predictive: PredictiveConfig::enabled(SVC_PREDICTIVE_CHECKS, 1.0),
+        ..ServiceConfig::default()
+    };
+    let budget_mb = cfg.pool.memory_budget_mb;
+    let report = drive_tenanted(
         &azure,
-        ServiceConfig::default(),
+        cfg,
         Box::new(HistogramPolicy::default()),
         &FaultPlan::disabled(),
+        |jobs| svc_tenant_plan(jobs.len(), budget_mb),
     );
     let svc = &report.service;
     let shed_rate = {
-        let offered = svc.admission.admitted + svc.admission.shed_arrivals;
+        let offered = svc.admission.arrivals();
         if offered == 0 {
             0.0
         } else {
-            (svc.admission.shed_arrivals + svc.admission.shed_tasks) as f64 / offered as f64
+            (svc.admission.shed_arrivals
+                + svc.admission.shed_tasks
+                + svc.admission.predictive_rejects) as f64
+                / offered as f64
         }
     };
     let peak_rss = peak_rss_mb();
@@ -91,6 +134,28 @@ pub fn run(smoke: bool) -> serde_json::Value {
         "shed_rate": shed_rate,
         "shed_arrivals": svc.admission.shed_arrivals,
         "shed_tasks": svc.admission.shed_tasks,
+        "predictive_rejects": svc.admission.predictive_rejects,
+        "tenancy": {
+            "tenants": SVC_TENANTS,
+            "slo_secs": SVC_SLO.as_secs_f64(),
+            "predictive_checks_per_window": SVC_PREDICTIVE_CHECKS,
+            "per_tenant": svc
+                .tenants
+                .iter()
+                .map(|t| {
+                    json!({
+                        "admitted": t.admission.admitted,
+                        "finished": t.admission.finished,
+                        "shed_arrivals": t.admission.shed_arrivals,
+                        "shed_tasks": t.admission.shed_tasks,
+                        "predictive_rejects": t.admission.predictive_rejects,
+                        "qos_misses": t.qos_misses,
+                        "latency_p50": t.latency.p50,
+                        "latency_p99": t.latency.p99,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        },
         "latency_secs": {
             "mean": svc.latency.mean,
             "p50": svc.latency.p50,

@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod runtime;
 pub(crate) mod shard;
 pub mod sim;
+pub mod tenant;
 pub mod types;
 pub mod workflow;
 
@@ -65,6 +66,7 @@ pub use sim::{
     replacement_target, FaasSim, FaasSimBuilder, FixedPrewarm, FnWindowStats, PoolDecision,
     PoolObservation, PrewarmController, WorkflowJob,
 };
+pub use tenant::{QosClass, TenantId, TenantPlan};
 pub use types::{ContainerId, FunctionId, ResourceConfig, StageConfigs, WorkerId};
 pub use workflow::{Stage, WorkflowDag};
 

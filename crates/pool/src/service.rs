@@ -134,8 +134,12 @@ impl LivePoolSignal {
         self.functions
     }
 
-    /// The default control-window length the service ticks policies at
-    /// (matches the simulator's 1 s default tick).
+    /// The default control-window length the service ticks policies at:
+    /// a fine-grained 1 s window suited to reactive policies and the
+    /// per-window predictive-veto budget. The batch simulator's default
+    /// pool tick is 60 s — services hosting *forecasting* policies
+    /// (histogram, AQUATOPE) that were tuned against sim runs should set
+    /// their window to match, or per-window demand shrinks 60-fold.
     pub fn default_window() -> SimDuration {
         SimDuration::from_secs(1)
     }

@@ -20,13 +20,24 @@
 //! [`aqua_sim::par_map`] (order-preserving, `AQUA_THREADS`-independent),
 //! and [`matrix::MatrixReport::to_json`] emits a byte-stable report
 //! (`MATRIX_REPORT.json` at the workspace root).
+//!
+//! The [`service_mode`] module re-runs the same cells against the live
+//! control plane (`aqua-service`) with multi-tenant admission and,
+//! optionally, predictive rejection enabled, and reports sim-vs-service
+//! QoS drift plus predictive-vs-shedding sign-test verdicts as the
+//! `aquatope.matrix_report.v2` schema.
 
 pub mod matrix;
 pub mod policy;
 pub mod scenario;
+pub mod service_mode;
 pub mod stats;
 
 pub use matrix::{run_matrix, Cell, CellMetrics, MatrixConfig, MatrixReport};
 pub use policy::{OraclePrewarm, PolicyKind};
 pub use scenario::{default_fault_rates, ScenarioInstance, ScenarioKind, ScenarioSpec};
+pub use service_mode::{
+    evaluate_cell_service, run_service_cells, run_service_matrix, ClusterProfile, DriftRow,
+    ServiceMatrixReport,
+};
 pub use stats::{mean_ci95, sign_test_p, Comparison};

@@ -331,38 +331,8 @@ impl MatrixReport {
     /// values themselves are already bit-stable; rounding only keeps the
     /// textual form short).
     pub fn to_json(&self) -> Value {
-        let cells: Vec<Value> = self
-            .cells
-            .iter()
-            .map(|c| {
-                let per_seed: Vec<Value> = c.per_seed.iter().map(metrics_json).collect();
-                json!({
-                    "scenario": c.scenario.clone(),
-                    "policy": c.policy.clone(),
-                    "mean": metrics_json(&c.mean()),
-                    "ci95": metrics_json(&c.ci95()),
-                    "per_seed": per_seed,
-                })
-            })
-            .collect();
-        let comparisons: Vec<Value> = self
-            .comparisons()
-            .iter()
-            .map(|c| {
-                json!({
-                    "scenario": c.scenario.clone(),
-                    "metric": c.metric.clone(),
-                    "policy_a": c.policy_a.clone(),
-                    "policy_b": c.policy_b.clone(),
-                    "mean_delta": round9(c.mean_delta),
-                    "wins": c.wins as u64,
-                    "losses": c.losses as u64,
-                    "ties": c.ties as u64,
-                    "p_value": round9(c.p_value),
-                    "a_beats_b_at_0_05": c.a_beats_b(0.05),
-                })
-            })
-            .collect();
+        let cells = cells_json(&self.cells);
+        let comparisons: Vec<Value> = self.comparisons().iter().map(comparison_json).collect();
         let scenarios: Vec<Value> = self
             .specs
             .iter()
@@ -400,6 +370,40 @@ impl MatrixReport {
     }
 }
 
+/// Cells in run order, in the byte-stable v1 shape (shared with the
+/// service-mode v2 report so sim and service cells render identically).
+pub(crate) fn cells_json(cells: &[Cell]) -> Vec<Value> {
+    cells
+        .iter()
+        .map(|c| {
+            let per_seed: Vec<Value> = c.per_seed.iter().map(metrics_json).collect();
+            json!({
+                "scenario": c.scenario.clone(),
+                "policy": c.policy.clone(),
+                "mean": metrics_json(&c.mean()),
+                "ci95": metrics_json(&c.ci95()),
+                "per_seed": per_seed,
+            })
+        })
+        .collect()
+}
+
+/// One paired sign-test comparison in the v1 report shape.
+pub(crate) fn comparison_json(c: &Comparison) -> Value {
+    json!({
+        "scenario": c.scenario.clone(),
+        "metric": c.metric.clone(),
+        "policy_a": c.policy_a.clone(),
+        "policy_b": c.policy_b.clone(),
+        "mean_delta": round9(c.mean_delta),
+        "wins": c.wins as u64,
+        "losses": c.losses as u64,
+        "ties": c.ties as u64,
+        "p_value": round9(c.p_value),
+        "a_beats_b_at_0_05": c.a_beats_b(0.05),
+    })
+}
+
 fn metrics_json(m: &CellMetrics) -> Value {
     json!({
         "qos_violation_rate": round9(m.qos_violation_rate),
@@ -410,7 +414,7 @@ fn metrics_json(m: &CellMetrics) -> Value {
     })
 }
 
-fn round9(x: f64) -> f64 {
+pub(crate) fn round9(x: f64) -> f64 {
     (x * 1e9).round() / 1e9
 }
 

@@ -10,7 +10,8 @@
 //! zero-rate fault plan reproduces the clean cells bit-for-bit.
 
 use aqua_faas::{
-    FaultPlan, FaultRates, FunctionRegistry, ResourceConfig, RetryPolicy, StageConfigs, WorkflowJob,
+    FaultPlan, FaultRates, FunctionRegistry, QosClass, ResourceConfig, RetryPolicy, StageConfigs,
+    TenantId, TenantPlan, WorkflowJob,
 };
 use aqua_sim::{arrivals_with_cv, SimDuration, SimRng, SimTime};
 use aqua_workflows::{apps, RateTraceConfig};
@@ -90,6 +91,11 @@ pub struct ScenarioInstance {
     pub jobs: Vec<WorkflowJob>,
     /// Per-job end-to-end deadlines, parallel to `jobs`.
     pub deadlines: Vec<SimDuration>,
+    /// Tenant of each job, parallel to `jobs`: the primary application
+    /// is [`TenantId`]`(0)`, a noisy neighbor is `TenantId(1)`. Shared
+    /// with the live service via [`ScenarioInstance::tenant_plan`] so
+    /// "tenant" means the same thing in sim and service mode.
+    pub tenants: Vec<TenantId>,
     /// The primary application's QoS target (`deadlines[0]`).
     pub qos: SimDuration,
     /// Number of primary workflow instances; the simulator assigns the
@@ -101,6 +107,39 @@ pub struct ScenarioInstance {
     pub faults: FaultPlan,
     /// Retry policy paired with the fault plan.
     pub retry: RetryPolicy,
+}
+
+impl ScenarioInstance {
+    /// The tenancy plan for running this scenario on the live service:
+    /// each tenant's SLO is the deadline of its first job, and with more
+    /// than one tenant the warm-pool budget is split into equal
+    /// guaranteed shares covering 90% of `memory_budget_mb` (the last
+    /// 10% stays unguaranteed, work-conserving borrowing slack). A
+    /// single-tenant scenario gets a zero share, which keeps the pool on
+    /// its untenanted fast path.
+    pub fn tenant_plan(&self, memory_budget_mb: f64) -> TenantPlan {
+        let n = self.tenants.iter().map(|t| t.0 + 1).max().unwrap_or(1);
+        let share = if n > 1 {
+            memory_budget_mb * 0.9 / n as f64
+        } else {
+            0.0
+        };
+        let classes = (0..n)
+            .map(|t| {
+                let slo = self
+                    .tenants
+                    .iter()
+                    .position(|x| x.0 == t)
+                    .map(|j| self.deadlines[j])
+                    .expect("tenant with no job");
+                QosClass::new(slo, usize::MAX, usize::MAX, share)
+            })
+            .collect();
+        TenantPlan {
+            classes,
+            job_tenants: self.tenants.clone(),
+        }
+    }
 }
 
 impl ScenarioSpec {
@@ -159,6 +198,7 @@ impl ScenarioSpec {
             primary_arrivals,
         )];
         let mut deadlines = vec![primary.qos];
+        let mut tenants = vec![TenantId(0)];
         if self.kind == ScenarioKind::NoisyNeighbor {
             let neighbor = apps::fan_out_in(&mut registry, 6);
             let arrivals = ScenarioSpec::new(ScenarioKind::Bursty, self.minutes, self.mean_rpm)
@@ -171,6 +211,7 @@ impl ScenarioSpec {
                 arrivals,
             ));
             deadlines.push(neighbor.qos);
+            tenants.push(TenantId(1));
         }
         let (faults, retry) = if self.kind == ScenarioKind::Faulted {
             (
@@ -187,6 +228,7 @@ impl ScenarioSpec {
             registry,
             jobs,
             deadlines,
+            tenants,
             qos: primary.qos,
             n_primary,
             minutes: self.minutes,
@@ -273,6 +315,29 @@ mod tests {
         let inst = spec(ScenarioKind::NoisyNeighbor).instantiate(3);
         assert_eq!(inst.jobs.len(), 2);
         assert_eq!(inst.deadlines.len(), 2);
+        assert_eq!(inst.tenants, vec![TenantId(0), TenantId(1)]);
         assert!(inst.n_primary < inst.jobs[0].arrivals.len() + inst.jobs[1].arrivals.len());
+    }
+
+    #[test]
+    fn tenant_plan_maps_deadlines_to_slos_and_splits_the_budget() {
+        let inst = spec(ScenarioKind::NoisyNeighbor).instantiate(3);
+        let plan = inst.tenant_plan(10_000.0);
+        plan.validate();
+        assert_eq!(plan.tenants(), 2);
+        assert_eq!(plan.classes[0].latency_slo, Some(inst.deadlines[0]));
+        assert_eq!(plan.classes[1].latency_slo, Some(inst.deadlines[1]));
+        assert!((plan.classes[0].memory_share_mb - 4500.0).abs() < 1e-9);
+        assert!((plan.classes[1].memory_share_mb - 4500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_tenant_plan_keeps_the_untenanted_fast_path() {
+        let inst = spec(ScenarioKind::Diurnal).instantiate(3);
+        let plan = inst.tenant_plan(10_000.0);
+        assert_eq!(plan.tenants(), 1);
+        assert_eq!(plan.classes[0].memory_share_mb, 0.0);
+        assert_eq!(plan.classes[0].latency_slo, Some(inst.qos));
+        assert_eq!(plan.job_tenants, vec![TenantId(0)]);
     }
 }

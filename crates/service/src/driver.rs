@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use aqua_faas::{FaultPlan, PrewarmController};
+use aqua_faas::{FaultPlan, PrewarmController, TenantPlan, WorkflowJob};
 use aqua_sim::SimDuration;
 use aqua_workflows::azure::{azure_scale, AzureScaleConfig};
 
@@ -48,13 +48,30 @@ pub struct DriverReport {
 /// exactly when arrivals end and the drain covers in-flight work.
 pub fn drive(
     azure: &AzureScaleConfig,
-    mut cfg: ServiceConfig,
+    cfg: ServiceConfig,
     policy: Box<dyn PrewarmController>,
     faults: &FaultPlan,
 ) -> DriverReport {
+    drive_tenanted(azure, cfg, policy, faults, |jobs| {
+        TenantPlan::single(jobs.len())
+    })
+}
+
+/// [`drive`] with a tenancy plan: `plan` sees the generated job list and
+/// returns the [`TenantPlan`] to install, so callers can split the trace's
+/// apps into QoS-classed tenants without re-generating the workload.
+pub fn drive_tenanted(
+    azure: &AzureScaleConfig,
+    mut cfg: ServiceConfig,
+    policy: Box<dyn PrewarmController>,
+    faults: &FaultPlan,
+    plan: impl FnOnce(&[WorkflowJob]) -> TenantPlan,
+) -> DriverReport {
     let workload = azure_scale(azure);
     cfg.run_for = SimDuration::from_secs(azure.minutes * 60);
-    let plane = ControlPlane::new(workload.registry, workload.jobs, policy, faults, cfg);
+    let tenants = plan(&workload.jobs);
+    let plane = ControlPlane::new(workload.registry, workload.jobs, policy, faults, cfg)
+        .with_tenants(tenants);
     let start = Instant::now();
     let service = plane.run();
     let wall_secs = start.elapsed().as_secs_f64().max(1e-9);

@@ -68,9 +68,11 @@ pub mod service;
 pub mod warm_pool;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats};
-pub use driver::{drive, DriverReport};
+pub use driver::{drive, drive_tenanted, DriverReport};
 pub use fxhash::FxHashMap;
 pub use reactor::Reactor;
 pub use refit::{RefitScheduler, RefitStats};
-pub use service::{ControlPlane, ServiceConfig, ServiceReport, SvcEvent};
+pub use service::{
+    ControlPlane, PredictiveConfig, ServiceConfig, ServiceReport, SvcEvent, TenantReport,
+};
 pub use warm_pool::{Acquired, BootPurpose, WarmPoolConfig, WarmPoolManager, WarmPoolStats};

@@ -31,11 +31,11 @@ use aqua_faas::runtime::{BootTicket, RuntimeStats};
 use aqua_faas::types::ConfigSpace;
 use aqua_faas::{
     ContainerId, FaultPlan, FunctionId, FunctionRegistry, NoiseModel, PrewarmController,
-    SimContainerRuntime, StageConfigs, WorkflowDag, WorkflowJob,
+    SimContainerRuntime, StageConfigs, TenantId, TenantPlan, WorkflowDag, WorkflowJob,
 };
 use aqua_pool::LivePoolSignal;
 use aqua_sim::{LatencySummary, SimDuration, SimTime};
-use aqua_telemetry::{EventSink, LiveSink, LiveStats, SimEvent};
+use aqua_telemetry::{EventSink, LiveSink, LiveStats, ShedReason, SimEvent};
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionStats};
 use crate::fxhash::FxHashMap;
@@ -70,6 +70,43 @@ pub enum SvcEvent {
     Shutdown,
 }
 
+/// Predictive-admission knobs: how often and how conservatively the
+/// plane consults the online latency model at the front door.
+///
+/// An arrival of a tenant with a finite SLO is rejected when the model's
+/// workflow-latency prediction `mean + k_sigma · σ` already exceeds the
+/// SLO — the work is doomed, so shedding it *now* keeps queues short for
+/// arrivals that can still make it. The budget counts prediction *checks*
+/// per policy window (not rejects), bounding the per-arrival GP cost on
+/// the hot path; `0` disables the mechanism entirely, and a disabled
+/// plane is bit-identical to one without the feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictiveConfig {
+    /// Model consultations allowed per policy window (0 = disabled).
+    pub checks_per_window: u32,
+    /// Uncertainty multiplier in the reject criterion `mean + k·σ > SLO`.
+    pub k_sigma: f64,
+}
+
+impl Default for PredictiveConfig {
+    fn default() -> Self {
+        PredictiveConfig {
+            checks_per_window: 0,
+            k_sigma: 1.0,
+        }
+    }
+}
+
+impl PredictiveConfig {
+    /// An enabled config with a per-window check budget.
+    pub fn enabled(checks_per_window: u32, k_sigma: f64) -> Self {
+        PredictiveConfig {
+            checks_per_window,
+            k_sigma,
+        }
+    }
+}
+
 /// Tunables for [`ControlPlane`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -93,6 +130,8 @@ pub struct ServiceConfig {
     pub run_for: SimDuration,
     /// Seed for the runtime's boot/exec sampling streams.
     pub seed: u64,
+    /// Predictive-admission knobs (disabled by default).
+    pub predictive: PredictiveConfig,
 }
 
 impl Default for ServiceConfig {
@@ -107,8 +146,22 @@ impl Default for ServiceConfig {
             model_sample_every: 32,
             run_for: SimDuration::from_secs(3600),
             seed: 0xA9_5EED,
+            predictive: PredictiveConfig::default(),
         }
     }
+}
+
+/// Per-tenant slice of the end-of-run report.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// The tenant's admission/shedding ledger.
+    pub admission: AdmissionStats,
+    /// End-to-end latency summary over this tenant's completions, seconds.
+    pub latency: LatencySummary,
+    /// Completed workflows that still missed the tenant's SLO.
+    pub qos_misses: u64,
+    /// The SLO the misses were counted against (+inf = best-effort).
+    pub slo_secs: f64,
 }
 
 /// End-of-run report of a [`ControlPlane`].
@@ -146,6 +199,10 @@ pub struct ServiceReport {
     pub swept_at_exit: usize,
     /// Workflow instances still open when the loop ran dry (0 = clean).
     pub stranded_instances: usize,
+    /// Billable memory footprint of the run, GB·s.
+    pub cost_gb_s: f64,
+    /// Per-tenant ledgers and latency summaries, indexed by `TenantId`.
+    pub tenants: Vec<TenantReport>,
 }
 
 /// Per-job static state the plane derives once at construction.
@@ -201,6 +258,15 @@ pub struct ControlPlane {
     rejected: u64,
     skipped_in_drain: u64,
     invocations_executed: u64,
+    /// Tenancy: QoS classes plus the job → tenant map. Defaults to one
+    /// unlimited tenant, which reproduces the untenanted plane exactly.
+    plan: TenantPlan,
+    /// Per-tenant completion latencies, seconds.
+    tenant_latencies: Vec<Vec<f64>>,
+    /// Per-tenant completed-but-late counts.
+    tenant_qos_misses: Vec<u64>,
+    /// Predictive checks left in the current policy window.
+    predictive_left: u32,
 }
 
 /// Normalizes a stage-0 config into the default [`ConfigSpace`] unit cube.
@@ -253,6 +319,8 @@ impl ControlPlane {
                 completions: 0,
             })
             .collect();
+        let plan = TenantPlan::single(jobs.len());
+        let predictive_left = cfg.predictive.checks_per_window;
         ControlPlane {
             reactor: Reactor::with_capacity(jobs.len() + 64),
             pool: WarmPoolManager::new(cfg.pool, Box::new(runtime), configs),
@@ -274,8 +342,53 @@ impl ControlPlane {
             rejected: 0,
             skipped_in_drain: 0,
             invocations_executed: 0,
+            tenant_latencies: vec![Vec::new()],
+            tenant_qos_misses: vec![0],
+            predictive_left,
+            plan,
             cfg,
         }
+    }
+
+    /// Installs a multi-tenant plan: per-tenant admission budgets, and —
+    /// when any class carries a nonzero memory share — a partitioned
+    /// warm-pool budget with work-conserving borrowing. Call before
+    /// [`ControlPlane::run`]. A plan of all-[`aqua_faas::QosClass::unlimited`]
+    /// classes leaves every decision identical to the untenanted plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan doesn't cover this plane's jobs or a job
+    /// names an unknown tenant.
+    #[must_use]
+    pub fn with_tenants(mut self, plan: TenantPlan) -> Self {
+        plan.validate();
+        assert_eq!(
+            plan.job_tenants.len(),
+            self.jobs.len(),
+            "tenant plan must cover every job"
+        );
+        self.admission = Admission::with_tenants(self.cfg.admission, plan.classes.clone());
+        if plan.classes.iter().any(|c| c.memory_share_mb > 0.0) {
+            // Functions inherit the tenant of the first job stage that
+            // uses them — the same pinning rule as boot configs.
+            let mut fn_tenant = vec![TenantId(0); self.pool.functions()];
+            let mut pinned = vec![false; self.pool.functions()];
+            for (j, job) in self.jobs.iter().enumerate() {
+                for s in job.dag.stages() {
+                    if !pinned[s.function.0] {
+                        pinned[s.function.0] = true;
+                        fn_tenant[s.function.0] = plan.job_tenants[j];
+                    }
+                }
+            }
+            let shares: Vec<f64> = plan.classes.iter().map(|c| c.memory_share_mb).collect();
+            self.pool.set_tenancy(fn_tenant, shares);
+        }
+        self.tenant_latencies = vec![Vec::new(); plan.tenants()];
+        self.tenant_qos_misses = vec![0; plan.tenants()];
+        self.plan = plan;
+        self
     }
 
     /// Replaces the online latency model — e.g.
@@ -338,7 +451,7 @@ impl ControlPlane {
                 self.relieve_starved(now);
             }
             SvcEvent::BootFailed { container } => {
-                let f = self.pool.on_boot_failed(container);
+                let f = self.pool.on_boot_failed(container, now);
                 self.signal.on_boot_failure(f);
                 // Replacement boots for waiters the failed boot was
                 // covering, then let other starved functions at the
@@ -374,6 +487,7 @@ impl ControlPlane {
                 );
                 let decisions = self.policy.tick(&obs);
                 self.pool.apply_decisions(&decisions);
+                self.predictive_left = self.cfg.predictive.checks_per_window;
                 if !self.draining {
                     self.reactor
                         .after(self.cfg.policy_window, SvcEvent::PolicyTick);
@@ -418,12 +532,76 @@ impl ControlPlane {
         }
     }
 
+    /// Predictive front-door check: consumes one budgeted model
+    /// consultation and returns `true` when the arrival should be
+    /// rejected because its predicted latency already misses the SLO.
+    fn predictive_veto(&mut self, job: usize, tenant: TenantId, now: SimTime) -> bool {
+        if self.predictive_left == 0 {
+            return false;
+        }
+        let slo = self.plan.classes[tenant.0].slo_secs();
+        if !slo.is_finite() {
+            return false; // best-effort tenants are never vetoed
+        }
+        // Only consult the model under visible congestion: with every
+        // function queue empty a fresh arrival inherits nobody's wait,
+        // and — crucially — admitting freely while uncongested keeps
+        // completions flowing into the model, so a pessimistic forecast
+        // learned during a burst can never starve its own correction.
+        if self.pending.iter().all(|q| q.is_empty()) {
+            return false;
+        }
+        self.predictive_left -= 1;
+        let u = self.jobs[job].u;
+        let Some((mean, var)) = self.model.predict(job, &u, now.as_secs_f64()) else {
+            return false; // model not fitted yet: admit optimistically
+        };
+        let sigma = var.max(0.0).sqrt();
+        let predicted = mean + self.cfg.predictive.k_sigma * sigma;
+        if predicted <= slo {
+            return false;
+        }
+        self.admission.predictive_reject(tenant);
+        if let Some(t) = &mut self.telemetry {
+            t.record(&SimEvent::PredictiveReject {
+                at: now,
+                tenant: tenant.0,
+                workflow: job,
+                predicted_secs: predicted,
+                sigma_secs: sigma,
+                slo_secs: slo,
+            });
+        }
+        true
+    }
+
     fn admit(&mut self, job: usize, now: SimTime) {
-        if !self.admission.try_admit() {
-            return; // shed at the front door, counted by the limiter
+        let tenant = self.plan.job_tenants[job];
+        if self.predictive_veto(job, tenant, now) {
+            return;
+        }
+        if !self.admission.try_admit(tenant) {
+            // Shed at the front door, counted by the limiter.
+            if let Some(t) = &mut self.telemetry {
+                t.record(&SimEvent::TenantShed {
+                    at: now,
+                    tenant: tenant.0,
+                    workflow: job,
+                    reason: ShedReason::Inflight,
+                });
+            }
+            return;
         }
         let id = self.next_instance;
         self.next_instance += 1;
+        if let Some(t) = &mut self.telemetry {
+            t.record(&SimEvent::TenantAdmit {
+                at: now,
+                tenant: tenant.0,
+                workflow: job,
+                instance: id,
+            });
+        }
         let dag = &self.jobs[job].dag;
         self.instances.insert(
             id,
@@ -485,12 +663,22 @@ impl ControlPlane {
                 true
             }
             Acquired::NoCapacity => {
-                if self.admission.may_queue(self.pending[f.0].len()) {
+                let job = self.instances.get(&wf).expect("dispatch orphan").job;
+                let tenant = self.plan.job_tenants[job];
+                if self.admission.may_queue(tenant, self.pending[f.0].len()) {
                     self.bump_outstanding(wf);
                     self.pending[f.0].push_back((wf, stage));
                     self.mark_starved(f);
                     true
                 } else {
+                    if let Some(t) = &mut self.telemetry {
+                        t.record(&SimEvent::TenantShed {
+                            at: now,
+                            tenant: tenant.0,
+                            workflow: job,
+                            reason: ShedReason::Queue,
+                        });
+                    }
                     self.signal.on_complete(f); // undo the dispatch count
                     self.abort(wf);
                     false
@@ -624,33 +812,33 @@ impl ControlPlane {
     /// Retires one outstanding task of an aborted instance, finishing the
     /// instance when its last task drains.
     fn retire_aborted_task(&mut self, wf: u64) {
-        let done = {
+        let (done, job) = {
             let inst = self
                 .instances
                 .get_mut(&wf)
                 .expect("retire for gone instance");
             inst.outstanding -= 1;
-            inst.aborted && inst.outstanding == 0
+            (inst.aborted && inst.outstanding == 0, inst.job)
         };
         if done {
             self.instances.remove(&wf);
-            self.admission.finish();
+            self.admission.finish(self.plan.job_tenants[job]);
         }
     }
 
     fn abort(&mut self, wf: u64) {
-        let finish_now = {
+        let (finish_now, job) = {
             let inst = self.instances.get_mut(&wf).expect("abort of gone instance");
             if inst.aborted {
                 return;
             }
             inst.aborted = true;
-            inst.outstanding == 0
+            (inst.outstanding == 0, inst.job)
         };
         self.rejected += 1;
         if finish_now {
             self.instances.remove(&wf);
-            self.admission.finish();
+            self.admission.finish(self.plan.job_tenants[job]);
         }
     }
 
@@ -678,10 +866,24 @@ impl ControlPlane {
         }
         if wf_done {
             let inst = self.instances.remove(&wf).expect("double completion");
-            self.admission.finish();
+            let tenant = self.plan.job_tenants[job];
+            self.admission.finish(tenant);
             self.completed += 1;
             let latency = (now - inst.admitted_at).as_secs_f64();
             self.latencies.push(latency);
+            self.tenant_latencies[tenant.0].push(latency);
+            if latency > self.plan.classes[tenant.0].slo_secs() {
+                self.tenant_qos_misses[tenant.0] += 1;
+            }
+            if let Some(t) = &mut self.telemetry {
+                t.record(&SimEvent::TenantComplete {
+                    at: now,
+                    tenant: tenant.0,
+                    workflow: job,
+                    instance: wf,
+                    latency_secs: latency,
+                });
+            }
             let js = &mut self.jobs[job];
             js.completions += 1;
             if js.completions.is_multiple_of(self.cfg.model_sample_every) {
@@ -715,11 +917,20 @@ impl ControlPlane {
 
     fn finish(mut self) -> ServiceReport {
         let stranded = self.instances.len();
-        let swept = self.pool.shutdown_sweep();
+        let cost_gb_s = self.pool.memory_gb_seconds(self.reactor.now());
+        let swept = self.pool.shutdown_sweep(self.reactor.now());
         let live = self.pool.live_containers();
         if let Some(t) = &mut self.telemetry {
             t.flush();
         }
+        let tenants = (0..self.plan.tenants())
+            .map(|t| TenantReport {
+                admission: self.admission.tenant_stats(TenantId(t)),
+                latency: LatencySummary::of(&self.tenant_latencies[t]),
+                qos_misses: self.tenant_qos_misses[t],
+                slo_secs: self.plan.classes[t].slo_secs(),
+            })
+            .collect();
         ServiceReport {
             sim_horizon: self.reactor.now(),
             events_processed: self.reactor.processed(),
@@ -737,6 +948,8 @@ impl ControlPlane {
             live_containers_at_exit: live,
             swept_at_exit: swept,
             stranded_instances: stranded,
+            cost_gb_s,
+            tenants,
         }
     }
 }
@@ -933,8 +1146,132 @@ mod tests {
         assert!(live.kind("cold_start_begin") > 0);
         assert!(live.kind("warm_hit") > 0);
         assert_eq!(
-            live.kind("warm_hit") + live.kind("cold_start_begin"),
+            live.kind("warm_hit")
+                + live.kind("cold_start_begin")
+                + live.kind("tenant_admit")
+                + live.kind("tenant_complete"),
             live.events
         );
+        assert_eq!(live.kind("tenant_admit"), 20, "one admit per arrival");
+        assert_eq!(live.kind("tenant_complete"), 20);
+    }
+
+    #[test]
+    fn tenant_plan_partitions_admission_and_reports_per_tenant() {
+        use aqua_faas::QosClass;
+        let (reg, jobs) = chain_jobs(2, 20);
+        let plan = TenantPlan {
+            classes: vec![
+                QosClass::new(SimDuration::from_secs(30), 1, 4, 0.0),
+                QosClass::unlimited(),
+            ],
+            job_tenants: vec![TenantId(0), TenantId(1)],
+        };
+        let report = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            small_cfg(),
+        )
+        .with_tenants(plan)
+        .run();
+        assert_eq!(report.tenants.len(), 2);
+        let t0 = &report.tenants[0];
+        let t1 = &report.tenants[1];
+        assert_eq!(t1.admission.admitted, 20, "unlimited tenant admits all");
+        assert_eq!(t1.admission.shed_arrivals, 0);
+        assert_eq!(t0.admission.arrivals(), 20, "tenant ledger balances");
+        assert_eq!(
+            t0.admission.admitted + t1.admission.admitted,
+            report.admission.admitted,
+            "tenant ledgers sum to the global one"
+        );
+        assert_eq!(t0.slo_secs, 30.0);
+        assert!(t1.slo_secs.is_infinite());
+        assert_eq!(report.stranded_instances, 0);
+        assert_eq!(report.live_containers_at_exit, 0);
+        assert!(report.cost_gb_s > 0.0, "containers held memory for a while");
+    }
+
+    #[test]
+    fn predictive_rejection_vetoes_doomed_arrivals() {
+        use aqua_faas::QosClass;
+        // One slow single-container function fed faster than it serves:
+        // the queue never drains, so arrivals face real congestion (the
+        // veto only consults the model while queues are non-empty).
+        let mut reg = FunctionRegistry::new();
+        let f = reg.register(FunctionSpec::new("slow").with_work_ms(400.0));
+        let dag = WorkflowDag::chain("app0", vec![f]);
+        let configs = StageConfigs::uniform(&dag, aqua_faas::ResourceConfig::default());
+        let arrivals = (0..60)
+            .map(|i| SimTime::from_millis(100 * (i as u64 + 1)))
+            .collect();
+        let jobs = vec![WorkflowJob {
+            dag,
+            configs,
+            arrivals,
+        }];
+        let cfg = ServiceConfig {
+            pool: crate::warm_pool::WarmPoolConfig {
+                memory_budget_mb: 1024.0,
+                ..Default::default()
+            },
+            model_sample_every: 1,
+            refit_interval: SimDuration::from_secs(2),
+            predictive: PredictiveConfig::enabled(u32::MAX, 0.0),
+            ..small_cfg()
+        };
+        // An SLO far below any achievable latency: once the model fits,
+        // every checked arrival is predictively rejected.
+        let plan = TenantPlan {
+            classes: vec![QosClass::new(SimDuration::from_micros(1), 1000, 1000, 0.0)],
+            job_tenants: vec![TenantId(0)],
+        };
+        let mut plane = ControlPlane::new(
+            reg,
+            jobs,
+            Box::new(aqua_pool::ReactiveAutoscale::default()),
+            &FaultPlan::disabled(),
+            cfg,
+        )
+        .with_tenants(plan);
+        plane.attach_telemetry(Box::new(aqua_telemetry::Recorder::unbounded()), 64);
+        let report = plane.run();
+        let s = report.admission;
+        assert!(s.predictive_rejects > 0, "model must veto once fitted");
+        assert_eq!(s.arrivals(), 60, "rejects balance the arrival ledger");
+        assert_eq!(s.admitted, s.finished, "every admitted instance drained");
+        let live = report.telemetry.expect("sink attached");
+        assert_eq!(live.kind("predictive_reject"), s.predictive_rejects);
+        assert_eq!(report.live_containers_at_exit, 0);
+    }
+
+    #[test]
+    fn zero_predictive_budget_is_identical_to_default_plane() {
+        let run = |predictive: PredictiveConfig| {
+            let (reg, jobs) = chain_jobs(3, 20);
+            ControlPlane::new(
+                reg,
+                jobs,
+                Box::new(aqua_pool::HistogramPolicy::default()),
+                &FaultPlan::disabled(),
+                ServiceConfig {
+                    predictive,
+                    ..small_cfg()
+                },
+            )
+            .run()
+        };
+        let off = run(PredictiveConfig::default());
+        let zero = run(PredictiveConfig {
+            checks_per_window: 0,
+            k_sigma: 3.0,
+        });
+        assert_eq!(off.events_processed, zero.events_processed);
+        assert_eq!(off.latency, zero.latency);
+        assert_eq!(off.pool, zero.pool);
+        assert_eq!(off.runtime, zero.runtime);
+        assert_eq!(off.admission, zero.admission);
     }
 }

@@ -62,6 +62,27 @@ impl FaultKind {
     }
 }
 
+/// Why a tenant's load was shed by queue-depth admission control (as
+/// opposed to the model-driven [`SimEvent::PredictiveReject`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The arrival found the in-flight cap (global or tenant) exhausted.
+    Inflight,
+    /// A task found its function queue (global or tenant cap) full and
+    /// its workflow instance was aborted.
+    Queue,
+}
+
+impl ShedReason {
+    /// Stable lowercase identifier used in the JSON encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Inflight => "inflight",
+            ShedReason::Queue => "queue",
+        }
+    }
+}
+
 /// One scheduling-relevant moment in a simulation run.
 ///
 /// Every variant carries its simulated timestamp `at`. Identifier fields
@@ -239,6 +260,51 @@ pub enum SimEvent {
         /// Inducing-set size of the new sparse model.
         inducing: usize,
     },
+    /// A workflow arrival was admitted on a multi-tenant control plane.
+    /// Emitted by the live service only; the batch simulator has no
+    /// tenant vocabulary, so sim golden traces never contain it.
+    TenantAdmit {
+        at: SimTime,
+        /// Tenant the workflow belongs to.
+        tenant: usize,
+        /// Job (workflow template) index.
+        workflow: usize,
+        /// Plane-unique workflow instance id.
+        instance: u64,
+    },
+    /// An admitted workflow instance finished every stage.
+    TenantComplete {
+        at: SimTime,
+        tenant: usize,
+        workflow: usize,
+        instance: u64,
+        /// Achieved end-to-end latency, seconds.
+        latency_secs: f64,
+    },
+    /// A tenant's load was shed by queue-depth admission control — at the
+    /// front door (`reason = inflight`, nothing was dispatched) or at a
+    /// full function queue (`reason = queue`, the instance aborts).
+    TenantShed {
+        at: SimTime,
+        tenant: usize,
+        workflow: usize,
+        reason: ShedReason,
+    },
+    /// A workflow arrival was rejected *before admission* because the
+    /// online latency model predicted its end-to-end latency
+    /// (`mean + k·σ`) would already miss the tenant's SLO. Distinct from
+    /// queue-depth shedding: nothing about the queues triggered it.
+    PredictiveReject {
+        at: SimTime,
+        tenant: usize,
+        workflow: usize,
+        /// Predicted end-to-end latency mean, seconds.
+        predicted_secs: f64,
+        /// Predictive standard deviation, seconds.
+        sigma_secs: f64,
+        /// The SLO the prediction already misses, seconds.
+        slo_secs: f64,
+    },
 }
 
 impl SimEvent {
@@ -259,7 +325,11 @@ impl SimEvent {
             | SimEvent::InvocationRetried { at, .. }
             | SimEvent::InvocationTimedOut { at, .. }
             | SimEvent::QosViolation { at, .. }
-            | SimEvent::SurrogateTierSwitch { at, .. } => at,
+            | SimEvent::SurrogateTierSwitch { at, .. }
+            | SimEvent::TenantAdmit { at, .. }
+            | SimEvent::TenantComplete { at, .. }
+            | SimEvent::TenantShed { at, .. }
+            | SimEvent::PredictiveReject { at, .. } => at,
         }
     }
 
@@ -282,6 +352,10 @@ impl SimEvent {
             SimEvent::InvocationTimedOut { .. } => "invocation_timed_out",
             SimEvent::QosViolation { .. } => "qos_violation",
             SimEvent::SurrogateTierSwitch { .. } => "surrogate_tier_switch",
+            SimEvent::TenantAdmit { .. } => "tenant_admit",
+            SimEvent::TenantComplete { .. } => "tenant_complete",
+            SimEvent::TenantShed { .. } => "tenant_shed",
+            SimEvent::PredictiveReject { .. } => "predictive_reject",
         }
     }
 
@@ -495,6 +569,52 @@ impl SimEvent {
                 push_u64_field(&mut s, "train", train as u64);
                 push_u64_field(&mut s, "inducing", inducing as u64);
             }
+            SimEvent::TenantAdmit {
+                tenant,
+                workflow,
+                instance,
+                ..
+            } => {
+                push_u64_field(&mut s, "tenant", tenant as u64);
+                push_u64_field(&mut s, "workflow", workflow as u64);
+                push_u64_field(&mut s, "instance", instance);
+            }
+            SimEvent::TenantComplete {
+                tenant,
+                workflow,
+                instance,
+                latency_secs,
+                ..
+            } => {
+                push_u64_field(&mut s, "tenant", tenant as u64);
+                push_u64_field(&mut s, "workflow", workflow as u64);
+                push_u64_field(&mut s, "instance", instance);
+                push_f64_field(&mut s, "latency_secs", latency_secs);
+            }
+            SimEvent::TenantShed {
+                tenant,
+                workflow,
+                reason,
+                ..
+            } => {
+                push_u64_field(&mut s, "tenant", tenant as u64);
+                push_u64_field(&mut s, "workflow", workflow as u64);
+                push_str_field(&mut s, "reason", reason.as_str());
+            }
+            SimEvent::PredictiveReject {
+                tenant,
+                workflow,
+                predicted_secs,
+                sigma_secs,
+                slo_secs,
+                ..
+            } => {
+                push_u64_field(&mut s, "tenant", tenant as u64);
+                push_u64_field(&mut s, "workflow", workflow as u64);
+                push_f64_field(&mut s, "predicted_secs", predicted_secs);
+                push_f64_field(&mut s, "sigma_secs", sigma_secs);
+                push_f64_field(&mut s, "slo_secs", slo_secs);
+            }
         }
         // Every field helper appends a trailing comma; replace the last
         // with the closing brace.
@@ -679,6 +799,58 @@ mod tests {
         assert_eq!(FaultKind::Straggler.as_str(), "straggler");
         assert_eq!(FaultKind::HandoffDelay.as_str(), "handoff_delay");
         assert_eq!(EvictionReason::Fault.as_str(), "fault");
+    }
+
+    #[test]
+    fn tenant_events_encode_deterministically() {
+        let admit = SimEvent::TenantAdmit {
+            at: SimTime::from_millis(750),
+            tenant: 1,
+            workflow: 0,
+            instance: 42,
+        };
+        assert_eq!(
+            admit.to_json(),
+            "{\"type\":\"tenant_admit\",\"at_us\":750000,\"tenant\":1,\
+             \"workflow\":0,\"instance\":42}"
+        );
+        let shed = SimEvent::TenantShed {
+            at: SimTime::from_secs(2),
+            tenant: 0,
+            workflow: 3,
+            reason: ShedReason::Queue,
+        };
+        assert!(shed.to_json().contains("\"reason\":\"queue\""));
+        assert_eq!(ShedReason::Inflight.as_str(), "inflight");
+        let done = SimEvent::TenantComplete {
+            at: SimTime::from_secs(3),
+            tenant: 1,
+            workflow: 0,
+            instance: 42,
+            latency_secs: 0.5,
+        };
+        assert!(done.to_json().contains("\"latency_secs\":0.5"));
+        assert_eq!(done.kind(), "tenant_complete");
+    }
+
+    #[test]
+    fn predictive_reject_carries_the_criterion() {
+        let ev = SimEvent::PredictiveReject {
+            at: SimTime::from_secs(9),
+            tenant: 2,
+            workflow: 1,
+            predicted_secs: 2.5,
+            sigma_secs: 0.25,
+            slo_secs: 1.5,
+        };
+        assert_eq!(ev.kind(), "predictive_reject");
+        assert_eq!(
+            ev.to_json(),
+            "{\"type\":\"predictive_reject\",\"at_us\":9000000,\"tenant\":2,\
+             \"workflow\":1,\"predicted_secs\":2.5,\"sigma_secs\":0.25,\
+             \"slo_secs\":1.5}"
+        );
+        assert_eq!(ev.at(), SimTime::from_secs(9));
     }
 
     #[test]

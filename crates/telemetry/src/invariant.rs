@@ -26,6 +26,11 @@
 //!    attempt ledger balances: completions plus timeouts never exceed
 //!    dispatched tasks plus retries, and a `StageComplete` requires
 //!    exactly `tasks` completions.
+//! 6. **Tenant ledger** — a workflow instance is tenant-admitted at most
+//!    once, a `TenantComplete` refers to a previously admitted instance
+//!    (with the same tenant and workflow that admitted it), no instance
+//!    completes twice, and completion latencies are finite and
+//!    non-negative.
 //!
 //! Violations are collected, not panicked, so a test can assert on the
 //! whole run via [`InvariantChecker::assert_ok`].
@@ -87,6 +92,9 @@ pub struct InvariantChecker {
     /// Boot-fail/crash fault count per function id — retries draw their
     /// legitimacy from here or from a timeout on their own stage.
     fn_faults: HashMap<usize, u32>,
+    /// Tenant-admission ledger keyed by instance id: who admitted the
+    /// instance (`tenant`, `workflow`) and whether it already completed.
+    tenant_admits: HashMap<u64, (usize, usize, bool)>,
     last_time: SimTime,
     events_seen: u64,
     violations: Vec<String>,
@@ -103,6 +111,7 @@ impl InvariantChecker {
             containers: HashMap::new(),
             stages: HashMap::new(),
             fn_faults: HashMap::new(),
+            tenant_admits: HashMap::new(),
             last_time: SimTime::ZERO,
             events_seen: 0,
             violations: Vec::new(),
@@ -495,6 +504,52 @@ impl InvariantChecker {
         self.check_attempt_ledger(at, (workflow, instance, stage));
     }
 
+    fn on_tenant_admit(&mut self, at: SimTime, tenant: usize, workflow: usize, instance: u64) {
+        if self
+            .tenant_admits
+            .insert(instance, (tenant, workflow, false))
+            .is_some()
+        {
+            self.violate(at, format!("instance {instance} tenant-admitted twice"));
+        }
+    }
+
+    fn on_tenant_complete(
+        &mut self,
+        at: SimTime,
+        tenant: usize,
+        workflow: usize,
+        instance: u64,
+        latency_secs: f64,
+    ) {
+        let mut msgs: Vec<String> = Vec::new();
+        if !latency_secs.is_finite() || latency_secs < 0.0 {
+            msgs.push(format!(
+                "instance {instance} completed with nonsensical latency {latency_secs}"
+            ));
+        }
+        match self.tenant_admits.get_mut(&instance) {
+            None => msgs.push(format!(
+                "tenant completion for never-admitted instance {instance}"
+            )),
+            Some((adm_tenant, adm_wf, done)) => {
+                if *adm_tenant != tenant || *adm_wf != workflow {
+                    msgs.push(format!(
+                        "instance {instance} completed as tenant {tenant}/workflow \
+                         {workflow}, admitted as tenant {adm_tenant}/workflow {adm_wf}"
+                    ));
+                }
+                if *done {
+                    msgs.push(format!("instance {instance} tenant-completed twice"));
+                }
+                *done = true;
+            }
+        }
+        for m in msgs {
+            self.violate(at, m);
+        }
+    }
+
     fn on_stage_complete(&mut self, at: SimTime, workflow: usize, instance: usize, stage: usize) {
         let t = self
             .stages
@@ -620,10 +675,44 @@ impl EventSink for InvariantChecker {
             } => {
                 self.on_stage_complete(at, workflow, instance, stage);
             }
+            SimEvent::TenantAdmit {
+                at,
+                tenant,
+                workflow,
+                instance,
+            } => {
+                self.on_tenant_admit(at, tenant, workflow, instance);
+            }
+            SimEvent::TenantComplete {
+                at,
+                tenant,
+                workflow,
+                instance,
+                latency_secs,
+            } => {
+                self.on_tenant_complete(at, tenant, workflow, instance, latency_secs);
+            }
+            SimEvent::PredictiveReject {
+                at,
+                predicted_secs,
+                sigma_secs,
+                ..
+            } => {
+                if !predicted_secs.is_finite() || sigma_secs < 0.0 || !sigma_secs.is_finite() {
+                    self.violate(
+                        at,
+                        format!(
+                            "predictive reject with nonsensical prediction \
+                             {predicted_secs} ± {sigma_secs}"
+                        ),
+                    );
+                }
+            }
             SimEvent::StageQueued { .. }
             | SimEvent::BoIteration { .. }
             | SimEvent::QosViolation { .. }
-            | SimEvent::SurrogateTierSwitch { .. } => {}
+            | SimEvent::SurrogateTierSwitch { .. }
+            | SimEvent::TenantShed { .. } => {}
         }
     }
 }
@@ -1036,6 +1125,85 @@ mod tests {
         assert!(!c.is_ok());
         assert!(
             c.violations()[0].contains("completed with 1 of 2"),
+            "{:?}",
+            c.violations()
+        );
+    }
+
+    fn admit(at: u64, tenant: usize, workflow: usize, instance: u64) -> SimEvent {
+        SimEvent::TenantAdmit {
+            at: t(at),
+            tenant,
+            workflow,
+            instance,
+        }
+    }
+
+    fn tenant_done(at: u64, tenant: usize, workflow: usize, instance: u64) -> SimEvent {
+        SimEvent::TenantComplete {
+            at: t(at),
+            tenant,
+            workflow,
+            instance,
+            latency_secs: 0.25,
+        }
+    }
+
+    #[test]
+    fn tenant_ledger_balances_on_clean_run() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&admit(1, 0, 0, 10));
+        c.record(&admit(1, 1, 2, 11));
+        c.record(&SimEvent::TenantShed {
+            at: t(2),
+            tenant: 0,
+            workflow: 0,
+            reason: crate::event::ShedReason::Queue,
+        });
+        c.record(&tenant_done(3, 0, 0, 10));
+        c.record(&tenant_done(4, 1, 2, 11));
+        c.assert_ok();
+    }
+
+    #[test]
+    fn detects_double_admit_and_double_complete() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&admit(1, 0, 0, 10));
+        c.record(&admit(2, 0, 0, 10));
+        c.record(&tenant_done(3, 0, 0, 10));
+        c.record(&tenant_done(4, 0, 0, 10));
+        let v = c.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("tenant-admitted twice"));
+        assert!(v[1].contains("tenant-completed twice"));
+    }
+
+    #[test]
+    fn detects_completion_without_admit_or_with_wrong_tenant() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&tenant_done(1, 0, 0, 99));
+        c.record(&admit(2, 0, 0, 10));
+        c.record(&tenant_done(3, 1, 0, 10));
+        let v = c.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("never-admitted"));
+        assert!(v[1].contains("admitted as tenant 0"));
+    }
+
+    #[test]
+    fn detects_nonsensical_predictive_reject() {
+        let mut c = InvariantChecker::new(1, 4096.0);
+        c.record(&SimEvent::PredictiveReject {
+            at: t(1),
+            tenant: 0,
+            workflow: 0,
+            predicted_secs: f64::NAN,
+            sigma_secs: 0.1,
+            slo_secs: 1.0,
+        });
+        assert!(!c.is_ok());
+        assert!(
+            c.violations()[0].contains("nonsensical prediction"),
             "{:?}",
             c.violations()
         );

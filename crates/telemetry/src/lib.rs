@@ -43,7 +43,7 @@ pub mod live;
 pub mod sink;
 
 pub use diff::{diff_jsonl, diff_traces, Divergence};
-pub use event::{EvictionReason, FaultKind, SimEvent};
+pub use event::{EvictionReason, FaultKind, ShedReason, SimEvent};
 pub use invariant::InvariantChecker;
 pub use live::{LiveSink, LiveStats};
 pub use sink::{EventSink, Fanout, JsonlWriter, Recorder, SharedSink, Telemetry};

@@ -1,14 +1,18 @@
 //! Lifecycle tests for the control-plane service: graceful shutdown
-//! drains in-flight work, the filler task replenishes under injected
-//! boot failures while respecting the boot semaphore, and a zero-rate
-//! fault plan is a strict no-op on service behavior.
+//! drains in-flight work (with and without predictive rejection in the
+//! admission path), the filler task replenishes under injected boot
+//! failures while respecting the boot semaphore, a zero-rate fault plan
+//! is a strict no-op on service behavior, and a zero-budget predictive
+//! config is bit-identical to a plane without the feature.
 
 use aquatope::faas::{
-    FaultPlan, FaultRates, FunctionRegistry, FunctionSpec, ResourceConfig, StageConfigs,
-    WorkflowDag, WorkflowJob,
+    FaultPlan, FaultRates, FunctionRegistry, FunctionSpec, QosClass, ResourceConfig, StageConfigs,
+    TenantId, TenantPlan, WorkflowDag, WorkflowJob,
 };
 use aquatope::pool::{HistogramPolicy, ReactiveAutoscale};
-use aquatope::service::{ControlPlane, ServiceConfig, ServiceReport, WarmPoolConfig};
+use aquatope::service::{
+    ControlPlane, PredictiveConfig, ServiceConfig, ServiceReport, WarmPoolConfig,
+};
 use aquatope::sim::{SimDuration, SimTime};
 
 /// `apps` single-stage jobs, each with `n` arrivals spread over ~n/2 s.
@@ -146,6 +150,107 @@ fn filler_respects_the_boot_semaphore_under_failures() {
     assert!(report.pool.prewarm_boots > 0, "the filler did boot");
     assert_eq!(report.completed, 120);
     assert_eq!(report.live_containers_at_exit, 0);
+}
+
+/// A deliberately overloaded plane: a 400 ms body fed every 100 ms
+/// against a one-container memory budget, with the latency model
+/// sampling every completion so a nonzero-budget predictive veto engages
+/// mid-run. `plan` optionally installs tenancy (a finite SLO is what
+/// arms the veto); `None` runs the untenanted plane.
+fn congested_run(predictive: PredictiveConfig, plan: Option<TenantPlan>) -> ServiceReport {
+    let mut reg = FunctionRegistry::new();
+    let f = reg.register(FunctionSpec::new("hot").with_work_ms(400.0));
+    let dag = WorkflowDag::chain("hot-app", vec![f]);
+    let configs = StageConfigs::uniform(&dag, ResourceConfig::default());
+    let jobs = vec![WorkflowJob {
+        dag,
+        configs,
+        arrivals: (0..60)
+            .map(|i| SimTime::from_millis(100 * (i as u64 + 1)))
+            .collect(),
+    }];
+    let cfg = ServiceConfig {
+        pool: WarmPoolConfig {
+            memory_budget_mb: ResourceConfig::default().memory_mb,
+            ..WarmPoolConfig::default()
+        },
+        model_sample_every: 1,
+        refit_interval: SimDuration::from_secs(2),
+        predictive,
+        run_for: SimDuration::from_secs(60),
+        ..ServiceConfig::default()
+    };
+    let plane = ControlPlane::new(
+        reg,
+        jobs,
+        Box::new(ReactiveAutoscale::default()),
+        &FaultPlan::disabled(),
+        cfg,
+    );
+    match plan {
+        Some(p) => plane.with_tenants(p),
+        None => plane,
+    }
+    .run()
+}
+
+/// One tenant under a 1 s SLO with caps roomy enough that depth shedding
+/// never depends on them (the global queue cap binds first, exactly as
+/// on the untenanted plane) and no memory share — so the *only* behavior
+/// the plan can introduce is the predictive veto.
+fn slo_plan() -> TenantPlan {
+    TenantPlan {
+        classes: vec![QosClass::new(SimDuration::from_secs(1), 100_000, 2048, 0.0)],
+        job_tenants: vec![TenantId(0)],
+    }
+}
+
+#[test]
+fn shutdown_drains_completely_with_predictive_rejection_active() {
+    // Predictive rejection removes arrivals *before* admission; the drain
+    // guarantee must be unchanged: every admitted instance resolves, the
+    // ledger balances arrival-for-arrival, and no container survives.
+    let report = congested_run(PredictiveConfig::enabled(u32::MAX, 1.0), Some(slo_plan()));
+    assert!(
+        report.admission.predictive_rejects > 0,
+        "the veto must actually fire for this test to mean anything"
+    );
+    assert_eq!(
+        report.admission.arrivals(),
+        60,
+        "rejects stay on the ledger"
+    );
+    assert_eq!(
+        report.admission.admitted, report.admission.finished,
+        "every admission was balanced by a finish despite mid-run vetoes"
+    );
+    assert_eq!(report.stranded_instances, 0);
+    assert_eq!(report.live_containers_at_exit, 0);
+    assert_eq!(report.runtime.boots, report.runtime.kills);
+}
+
+#[test]
+fn zero_prediction_budget_is_bit_identical_to_a_plane_without_it() {
+    // checks_per_window = 0 must make the feature indistinguishable from
+    // not existing — even with a finite SLO, an aggressive k·σ, and real
+    // congestion that triggers vetoes under any nonzero budget — and the
+    // same congested workload must diverge once the budget is nonzero,
+    // proving the budget was the only gate.
+    let off = congested_run(PredictiveConfig::enabled(0, 5.0), Some(slo_plan()));
+    let plain = congested_run(PredictiveConfig::default(), None);
+    assert_eq!(off.admission.predictive_rejects, 0);
+    assert_eq!(off.completed, plain.completed);
+    assert_eq!(off.events_processed, plain.events_processed);
+    assert_eq!(off.latency, plain.latency);
+    assert_eq!(off.pool, plain.pool);
+    assert_eq!(off.runtime, plain.runtime);
+    assert_eq!(off.admission, plain.admission);
+    let on = congested_run(PredictiveConfig::enabled(u32::MAX, 1.0), Some(slo_plan()));
+    assert!(
+        on.admission.predictive_rejects > 0,
+        "budget was the only gate"
+    );
+    assert_ne!(on.admission, plain.admission);
 }
 
 #[test]

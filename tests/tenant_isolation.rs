@@ -1,0 +1,153 @@
+//! Property tests for multi-tenant isolation on the live control plane:
+//! a noisy neighbor burning through its own QoS budget must never make a
+//! steady tenant shed, miss its SLO, or lose its guaranteed warmth, and
+//! every tenant's admission ledger must balance exactly — across pool
+//! policies, burst shapes, and seeds.
+
+use aquatope::faas::{
+    FaultPlan, FunctionRegistry, FunctionSpec, PrewarmController, QosClass, ResourceConfig,
+    StageConfigs, TenantId, TenantPlan, WorkflowDag, WorkflowJob,
+};
+use aquatope::pool::{FaasCachePolicy, HistogramPolicy, IceBreakerPolicy, ReactiveAutoscale};
+use aquatope::service::{ControlPlane, ServiceConfig, ServiceReport, WarmPoolConfig};
+use aquatope::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// The steady tenant's end-to-end SLO — generous against a 60 ms body
+/// plus one cold start, so a miss means real interference, not noise.
+const STEADY_SLO_SECS: u64 = 10;
+
+fn policy(kind: usize) -> Box<dyn PrewarmController> {
+    match kind {
+        0 => Box::new(HistogramPolicy::default()),
+        1 => Box::new(ReactiveAutoscale::default()),
+        2 => Box::new(FaasCachePolicy::default()),
+        _ => Box::new(IceBreakerPolicy::default()),
+    }
+}
+
+/// Two single-stage tenants on a pool sized for exactly one container
+/// each, guarantees covering the whole budget (no borrowable slack).
+///
+/// * Tenant 0 (noisy): `burst` arrivals 10 ms apart from t=1 s into a
+///   tight class (4 in flight, 4 queued) — it must shed.
+/// * Tenant 1 (steady): `steady` arrivals 500 ms apart into a roomy
+///   class with a real SLO — it must never shed or miss.
+fn run(burst: usize, steady: usize, policy_kind: usize, seed: u64) -> ServiceReport {
+    let mut reg = FunctionRegistry::new();
+    let noisy_fn = reg.register(FunctionSpec::new("noisy").with_work_ms(80.0));
+    let steady_fn = reg.register(FunctionSpec::new("steady").with_work_ms(60.0));
+    let job = |name: &str, f, arrivals| {
+        let dag = WorkflowDag::chain(name, vec![f]);
+        let configs = StageConfigs::uniform(&dag, ResourceConfig::default());
+        WorkflowJob {
+            dag,
+            configs,
+            arrivals,
+        }
+    };
+    let noisy_arrivals: Vec<SimTime> = (0..burst)
+        .map(|i| SimTime::from_millis(1_000 + 10 * i as u64))
+        .collect();
+    let steady_arrivals: Vec<SimTime> = (0..steady)
+        .map(|i| SimTime::from_millis(100 + 500 * i as u64))
+        .collect();
+    let last_ms = noisy_arrivals
+        .iter()
+        .chain(&steady_arrivals)
+        .map(|t| t.as_millis())
+        .max()
+        .unwrap_or(0);
+    let jobs = vec![
+        job("noisy-app", noisy_fn, noisy_arrivals),
+        job("steady-app", steady_fn, steady_arrivals),
+    ];
+    let mem = ResourceConfig::default().memory_mb;
+    let plan = TenantPlan {
+        classes: vec![
+            QosClass::new(SimDuration::from_secs(60), 4, 4, mem),
+            QosClass::new(SimDuration::from_secs(STEADY_SLO_SECS), 1024, 1024, mem),
+        ],
+        job_tenants: vec![TenantId(0), TenantId(1)],
+    };
+    let cfg = ServiceConfig {
+        pool: WarmPoolConfig {
+            memory_budget_mb: 2.0 * mem,
+            ..WarmPoolConfig::default()
+        },
+        run_for: SimDuration::from_millis(last_ms + 30_000),
+        seed,
+        ..ServiceConfig::default()
+    };
+    ControlPlane::new(reg, jobs, policy(policy_kind), &FaultPlan::disabled(), cfg)
+        .with_tenants(plan)
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The steady tenant is untouchable: zero shedding of any kind, every
+    /// arrival admitted and finished, zero SLO misses — no matter how
+    /// hard the neighbor bursts, which policy runs the pool, or the seed.
+    #[test]
+    fn prop_noisy_neighbor_cannot_touch_a_steady_tenant(
+        burst in 8usize..96,
+        steady in 4usize..40,
+        policy_kind in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        let report = run(burst, steady, policy_kind, seed);
+        let s = report.tenants[1].clone();
+        prop_assert_eq!(s.admission.shed_arrivals, 0, "steady tenant shed at the front door");
+        prop_assert_eq!(s.admission.shed_tasks, 0, "steady tenant shed in a queue");
+        prop_assert_eq!(s.admission.predictive_rejects, 0, "predictive is off by default");
+        prop_assert_eq!(s.admission.admitted, steady as u64);
+        prop_assert_eq!(s.admission.finished, steady as u64);
+        prop_assert_eq!(s.qos_misses, 0, "steady tenant missed its SLO: p99={}s", s.latency.p99);
+        prop_assert!(s.latency.p99 <= STEADY_SLO_SECS as f64);
+    }
+
+    /// Every tenant's ledger balances: arrivals() recovers the trace
+    /// exactly, every admission is balanced by a finish after the drain,
+    /// the per-tenant ledgers sum to the global one, and a large enough
+    /// burst demonstrably sheds — only on the noisy tenant's books.
+    #[test]
+    fn prop_tenant_ledgers_balance_across_policies(
+        burst in 8usize..96,
+        steady in 4usize..40,
+        policy_kind in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        let report = run(burst, steady, policy_kind, seed);
+        prop_assert_eq!(report.arrivals_skipped_in_drain, 0, "horizon covers the trace");
+        let traces = [burst as u64, steady as u64];
+        let mut sum_admitted = 0;
+        let mut sum_finished = 0;
+        for (t, trace) in traces.iter().enumerate() {
+            let a = report.tenants[t].admission;
+            prop_assert_eq!(a.arrivals(), *trace, "tenant {} ledger drifted from its trace", t);
+            prop_assert_eq!(a.admitted, a.finished, "tenant {} admission unbalanced", t);
+            sum_admitted += a.admitted;
+            sum_finished += a.finished;
+        }
+        prop_assert_eq!(sum_admitted, report.admission.admitted);
+        prop_assert_eq!(sum_finished, report.admission.finished);
+        prop_assert_eq!(
+            report.admission.shed_arrivals + report.admission.shed_tasks,
+            report.tenants[0].admission.shed_arrivals + report.tenants[0].admission.shed_tasks,
+            "all shedding happened on the noisy tenant's books"
+        );
+        if burst >= 32 {
+            prop_assert!(
+                report.tenants[0].admission.shed_arrivals
+                    + report.tenants[0].admission.shed_tasks
+                    > 0,
+                "a 10ms-spaced burst of {} against a 4/4 class must shed",
+                burst
+            );
+        }
+        prop_assert_eq!(report.stranded_instances, 0);
+        prop_assert_eq!(report.live_containers_at_exit, 0);
+    }
+}

@@ -11,6 +11,10 @@
 //! model (per-shard RNG and fault streams; see `DESIGN.md`, "Sharded
 //! execution"). Faults are active so the fault streams, retries, and
 //! kills are covered by the guarantee too.
+//!
+//! The live control plane's thread-count sweep lives in
+//! `tests/service_trace.rs`: the same `AQUA_THREADS` ∈ {1, 2, 8}
+//! guarantee over a two-tenant service run, pinned to a golden trace.
 
 use aquatope::faas::prelude::*;
 use aquatope::faas::sim::WorkflowJob;
